@@ -1,0 +1,103 @@
+"""Fig. 3 (a)-(f): the motivation analyses.
+
+Each benchmark regenerates one panel of the paper's Fig. 3 and asserts
+its qualitative shape (the property the paper's argument rests on).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.figures import (
+    fig3a_activation_cdf,
+    fig3b_reuse_probability,
+    fig3c_workload_distribution,
+    fig3d_existing_methods,
+    fig3e_expert_count_sweep,
+    fig3f_workload_sweep,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_fig3a_activation_cdf(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig3a_activation_cdf(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig3a_activation_cdf", format_table(rows, title="Fig. 3a — activation CDF"))
+    # Neuron activations concentrate far more than expert activations.
+    mid = rows[len(rows) // 5]
+    assert mid["opt-neuron"] > mid["deepseek-expert"]
+    assert mid["opt-neuron"] > mid["mixtral-expert"]
+
+
+def test_fig3b_reuse_probability(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig3b_reuse_probability(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    shown = rows[::4]
+    report(
+        "fig3b_reuse_probability",
+        format_table(shown, title="Fig. 3b — reuse probability by score rank"),
+    )
+    probs = np.array([r["reuse_probability"] for r in rows])
+    # High-score ranks predict reuse; the tail does not.
+    assert probs[:6].mean() > 3 * probs[-16:].mean()
+
+
+def test_fig3c_workload_distribution(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig3c_workload_distribution(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig3c_workload_distribution",
+        format_table(rows[::8], title="Fig. 3c — prefill expert loads (sorted)"),
+    )
+    loads = np.array([r["load"] for r in rows])
+    # Uneven distribution: the busiest expert sees several times the mean.
+    assert loads[0] > 2 * loads[loads > 0].mean()
+
+
+def test_fig3d_existing_methods(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig3d_existing_methods(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig3d_existing_methods",
+        format_table(rows, title="Fig. 3d — existing frameworks, mixed probes"),
+    )
+    by_key = {(r["scenario"], r["strategy"]): r["latency_s"] for r in rows}
+    # llama.cpp collapses at prefill; no single method wins everywhere.
+    assert (
+        by_key[("mixtral-prefill-128", "llamacpp")]
+        > 2 * by_key[("mixtral-prefill-128", "ktransformers")]
+    )
+
+
+def test_fig3e_expert_count_sweep(benchmark, report):
+    rows = benchmark.pedantic(fig3e_expert_count_sweep, rounds=1, iterations=1)
+    report(
+        "fig3e_expert_count_sweep",
+        format_table(rows, title="Fig. 3e — CPU vs GPU time by expert count"),
+    )
+    # First CPU expert pays warmup; marginal experts are cheaper.
+    first = rows[0]["cpu_time_s"]
+    marginal = rows[1]["cpu_time_s"] - rows[0]["cpu_time_s"]
+    assert marginal < first
+
+
+def test_fig3f_workload_sweep(benchmark, report):
+    rows = benchmark.pedantic(fig3f_workload_sweep, rounds=1, iterations=1)
+    report(
+        "fig3f_workload_sweep",
+        format_table(rows, title="Fig. 3f — CPU vs GPU time by workload size"),
+    )
+    gpu_growth = rows[-1]["gpu_time_s"] / rows[0]["gpu_time_s"]
+    cpu_growth = rows[-1]["cpu_time_s"] / rows[0]["cpu_time_s"]
+    assert cpu_growth > 20 * gpu_growth

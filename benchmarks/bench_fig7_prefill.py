@@ -1,0 +1,45 @@
+"""Fig. 7: prefill TTFT across models, cache ratios and input lengths.
+
+Regenerates the full 3-models x 3-ratios x 4-buckets x 4-frameworks
+grid and checks the paper's headline claims: HybriMoE speeds up prefill
+vs kTransformers on average, and llama.cpp's static mapping collapses
+as prompts grow.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.figures import fig7_prefill
+from repro.experiments.reporting import (
+    add_speedup_column,
+    format_table,
+    geometric_mean,
+)
+
+
+def test_fig7_prefill_grid(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig7_prefill(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    rows = add_speedup_column(
+        rows, "ttft_s", group_columns=("model", "cache_ratio", "bucket")
+    )
+    table = format_table(
+        rows,
+        columns=["model", "cache_ratio", "bucket", "strategy", "ttft_s", "speedup"],
+        title="Fig. 7 — prefill TTFT (speedup vs kTransformers)",
+    )
+    speedups = [r["speedup"] for r in rows if r["strategy"] == "hybrimoe"]
+    average = geometric_mean(speedups)
+    summary = f"HybriMoE prefill speedup vs kTransformers: geomean {average:.2f}x (paper: 1.33x)"
+    report("fig7_prefill", table + "\n\n" + summary)
+
+    # Headline shape: HybriMoE wins on average...
+    assert average > 1.15
+    # ...and llama.cpp is the clear prefill loser at long prompts.
+    llamacpp = [
+        r["speedup"]
+        for r in rows
+        if r["strategy"] == "llamacpp" and r["bucket"] >= 512
+    ]
+    assert max(llamacpp) < 0.8

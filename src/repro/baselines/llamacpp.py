@@ -1,0 +1,87 @@
+"""llama.cpp baseline: static layer-to-device mapping.
+
+llama.cpp's ``-ngl`` offloading assigns the first N layers to the GPU
+and the rest — attention included — to the CPU. The same memory budget
+as the expert-cache configurations buys ``ratio * num_layers`` whole
+GPU layers. No transfers ever happen at inference time; CPU layers pay
+CPU prices for everything, which is why the paper finds this baseline
+slow at prefill yet competitive at decode (small per-expert loads suit
+the CPU, and zero transfer overhead helps).
+"""
+
+from __future__ import annotations
+
+from repro.cache.lfu import LFUPolicy
+from repro.cache.manager import ExpertCache
+from repro.core.tasks import (
+    SHARED_BLOCK,
+    ComputeTask,
+    Device,
+    ExecutionPlan,
+)
+from repro.engine.strategy_base import LayerContext, Strategy
+
+__all__ = ["LlamaCppStrategy"]
+
+
+class LlamaCppStrategy(Strategy):
+    """Whole-layer static CPU/GPU split (llama.cpp ``-ngl`` style)."""
+
+    name = "llamacpp"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._gpu_layers: set[int] = set()
+
+    def setup(self) -> None:
+        runtime = self._runtime()
+        num_layers = runtime.model_config.num_layers
+        gpu_layer_count = int(round(runtime.config.cache_ratio * num_layers))
+        self._gpu_layers = set(range(gpu_layer_count))
+
+    @property
+    def gpu_layers(self) -> set[int]:
+        """Layers resident on the GPU (read-only view for tests)."""
+        return set(self._gpu_layers)
+
+    def build_cache(self) -> ExpertCache:
+        runtime = self._runtime()
+        num_experts = runtime.model_config.num_routed_experts
+        pinned = [
+            (layer, expert)
+            for layer in sorted(self._gpu_layers)
+            for expert in range(num_experts)
+        ]
+        return ExpertCache(0, LFUPolicy(), pinned=pinned)
+
+    def observe_scores(self, ctx: LayerContext) -> None:
+        """Static mapping: routing scores are ignored."""
+
+    def attention_device(self, layer: int) -> str:
+        return "gpu" if layer in self._gpu_layers else "cpu"
+
+    def plan_layer(self, ctx: LayerContext) -> ExecutionPlan:
+        runtime = self._runtime()
+        oracle = runtime.estimated_oracle(ctx.n_tokens)
+        on_gpu = ctx.layer in self._gpu_layers
+        device = Device.GPU if on_gpu else Device.CPU
+        ordered = sorted(ctx.activated, key=lambda pair: (-pair[1], pair[0]))
+
+        tasks: list[ComputeTask] = []
+        if oracle.num_shared > 0:
+            tasks.append(ComputeTask(ctx.layer, SHARED_BLOCK, ctx.n_tokens, device))
+        tasks.extend(
+            ComputeTask(ctx.layer, expert, load, device) for expert, load in ordered
+        )
+        return ExecutionPlan(
+            layer=ctx.layer,
+            n_tokens=ctx.n_tokens,
+            gpu_tasks=tasks if on_gpu else [],
+            cpu_tasks=[] if on_gpu else tasks,
+            transfers=[],
+            estimated_makespan=0.0,
+            metadata={"scheduler": "static-layer", "gpu_layer": on_gpu},
+        )
+
+    def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
+        """Static mapping: nothing to maintain."""

@@ -1,0 +1,42 @@
+"""Pure on-demand loading baseline (paper Fig. 1a).
+
+Every activated expert computes on the GPU; a miss stalls on a PCIe
+load. No CPU computation, no prefetching — the reference point that
+motivates hybrid execution in the first place. Uses an LRU cache like
+other GPU-centric systems.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LRUPolicy
+from repro.cache.manager import ExpertCache
+from repro.core.fixed_plan import gpu_only_plan
+from repro.core.tasks import ExecutionPlan
+from repro.engine.strategy_base import LayerContext, Strategy
+
+__all__ = ["OnDemandStrategy"]
+
+
+class OnDemandStrategy(Strategy):
+    """On-demand GPU loading with an LRU cache and no prefetch."""
+
+    name = "ondemand"
+
+    def build_cache(self) -> ExpertCache:
+        runtime = self._runtime()
+        cache = ExpertCache(runtime.capacity, LRUPolicy())
+        cache.warm_fill(runtime.frequency_ranking())
+        return cache
+
+    def observe_scores(self, ctx: LayerContext) -> None:
+        """Score-agnostic."""
+
+    def plan_layer(self, ctx: LayerContext) -> ExecutionPlan:
+        runtime = self._runtime()
+        return gpu_only_plan(
+            layer=ctx.layer,
+            activated=list(ctx.activated),
+            cached_experts=set(ctx.cached_experts),
+            n_tokens=ctx.n_tokens,
+            oracle=runtime.estimated_oracle(ctx.n_tokens),
+        )

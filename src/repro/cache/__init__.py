@@ -1,0 +1,32 @@
+"""Expert cache management: policies and the capacity manager.
+
+GPU memory holds a bounded number of routed experts; this package
+decides *which*. Keys are ``(layer, expert)`` pairs. Policies:
+
+- :class:`~repro.cache.lru.LRUPolicy` — least recently used;
+- :class:`~repro.cache.lfu.LFUPolicy` — least frequently used;
+- :class:`~repro.cache.mrs.MRSPolicy` — the paper's Minus Recent Score
+  policy (§IV-D, eq. 3): per-expert priorities accumulate top-p routing
+  scores with exponential averaging, and the minimum-priority expert is
+  evicted.
+
+:class:`~repro.cache.manager.ExpertCache` enforces capacity, pinning and
+locking invariants and keeps hit/miss statistics.
+"""
+
+from repro.cache.base import EvictionPolicy, ExpertKey, make_policy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.manager import CacheStats, ExpertCache
+from repro.cache.mrs import MRSPolicy
+
+__all__ = [
+    "ExpertKey",
+    "EvictionPolicy",
+    "make_policy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "MRSPolicy",
+    "ExpertCache",
+    "CacheStats",
+]

@@ -1,0 +1,53 @@
+"""Least-Frequently-Used eviction policy."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cache.base import EvictionPolicy, ExpertKey
+from repro.errors import CacheError
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the key with the fewest recorded uses.
+
+    Frequency counts persist across evictions (a key re-entering the
+    cache keeps its history), matching the LFU variant used by
+    kTransformers-style frequency pinning. Ties break on recency, then
+    key order, for determinism.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: dict[ExpertKey, int] = {}
+        self._last_used: dict[ExpertKey, int] = {}
+
+    def on_insert(self, key: ExpertKey, now: int) -> None:
+        self._counts[key] = self._counts.get(key, 0)
+        self._last_used[key] = now
+
+    def on_access(self, key: ExpertKey, now: int) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._last_used[key] = now
+
+    def victim(self, candidates: Iterable[ExpertKey]) -> ExpertKey:
+        candidates = list(candidates)
+        if not candidates:
+            raise CacheError("LFU victim requested with no candidates")
+        return min(
+            candidates,
+            key=lambda k: (self._counts.get(k, 0), self._last_used.get(k, -1), k),
+        )
+
+    def priority(self, key: ExpertKey) -> float:
+        return float(self._counts.get(key, 0))
+
+    def forget(self, key: ExpertKey) -> None:
+        # Keep counts (history survives eviction); drop recency only.
+        self._last_used.pop(key, None)
+
+    def priority_snapshot(self) -> dict[ExpertKey, float]:
+        return {k: float(v) for k, v in self._counts.items()}

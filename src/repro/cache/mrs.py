@@ -1,0 +1,103 @@
+"""Minus Recent Score (MRS) — the paper's score-aware policy (§IV-D).
+
+Each routed expert keeps an estimated priority ``S`` updated whenever
+its layer's routing scores are observed:
+
+.. math::
+
+    S \\leftarrow \\alpha \\cdot \\mathrm{TopP}(s) + (1 - \\alpha) \\cdot S
+
+``TopP`` keeps only the top-``p`` scores of the layer (the paper sets
+``p`` to twice the number of activated experts) and zeroes the rest —
+low scores carry no reuse signal (Fig. 3b), so they only decay the
+priority. Eviction removes the expert with the *minimum* S, hence the
+name "Minus Recent Score".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.cache.base import EvictionPolicy, ExpertKey
+from repro.errors import CacheError
+
+__all__ = ["MRSPolicy"]
+
+
+class MRSPolicy(EvictionPolicy):
+    """Score-aware eviction driven by routing-score accumulation.
+
+    Parameters
+    ----------
+    alpha:
+        Averaging coefficient of eq. (3); higher values weigh the most
+        recent iteration's scores more.
+    top_p:
+        Number of top scores per layer that accumulate. The paper uses
+        ``2 * num_activated_experts``.
+    """
+
+    name = "mrs"
+
+    def __init__(self, alpha: float = 0.7, top_p: int = 4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise CacheError(f"alpha must be in (0, 1], got {alpha}")
+        if top_p < 1:
+            raise CacheError(f"top_p must be >= 1, got {top_p}")
+        self.alpha = alpha
+        self.top_p = top_p
+        self._scores: dict[ExpertKey, float] = {}
+        self._last_used: dict[ExpertKey, int] = {}
+
+    def on_insert(self, key: ExpertKey, now: int) -> None:
+        self._scores.setdefault(key, 0.0)
+        self._last_used[key] = now
+
+    def on_access(self, key: ExpertKey, now: int) -> None:
+        self._last_used[key] = now
+
+    def on_scores(self, layer: int, scores: np.ndarray, now: int) -> None:
+        """Apply eq. (3) to every expert of ``layer``.
+
+        Experts inside the layer's top-``p`` accumulate
+        ``alpha * score``; all others decay by ``(1 - alpha)``. Priorities
+        are tracked for *all* experts of the layer — including uncached
+        ones — because a high-scoring uncached expert must outrank stale
+        cached entries the moment it is loaded.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise CacheError(f"scores must be 1-D, got shape {scores.shape}")
+        p = min(self.top_p, scores.size)
+        top_idx = set(int(i) for i in np.argsort(-scores, kind="stable")[:p])
+        for expert in range(scores.size):
+            key = (layer, expert)
+            previous = self._scores.get(key, 0.0)
+            contribution = float(scores[expert]) if expert in top_idx else 0.0
+            self._scores[key] = self.alpha * contribution + (1.0 - self.alpha) * previous
+
+    def victim(self, candidates: Iterable[ExpertKey]) -> ExpertKey:
+        candidates = list(candidates)
+        if not candidates:
+            raise CacheError("MRS victim requested with no candidates")
+        return min(
+            candidates,
+            key=lambda k: (self._scores.get(k, 0.0), self._last_used.get(k, -1), k),
+        )
+
+    def priority(self, key: ExpertKey) -> float:
+        return self._scores.get(key, 0.0)
+
+    def forget(self, key: ExpertKey) -> None:
+        # Scores persist across evictions: reuse probability is a
+        # property of the expert, not of its cache residency.
+        self._last_used.pop(key, None)
+
+    def priority_snapshot(self) -> dict[ExpertKey, float]:
+        return dict(self._scores)
+
+    def score_of(self, key: ExpertKey) -> float:
+        """Current estimated priority of one expert (0 if never scored)."""
+        return self._scores.get(key, 0.0)

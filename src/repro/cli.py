@@ -1,0 +1,163 @@
+"""Command-line interface for the HybriMoE reproduction.
+
+Subcommands::
+
+    python -m repro.cli run      --model deepseek --strategy hybrimoe ...
+    python -m repro.cli compare  --model qwen2 --cache-ratio 0.25 ...
+    python -m repro.cli figure   fig8 [--full]
+    python -m repro.cli info
+
+``run`` executes one generation and prints its metrics; ``compare``
+races all five frameworks on one workload; ``figure`` regenerates one
+paper artifact (quick scale by default); ``info`` lists presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.factory import available_strategies, make_engine
+from repro.experiments import figures
+from repro.experiments.reporting import add_speedup_column, format_table
+from repro.experiments.runner import run_workload
+from repro.hardware.platform_presets import HARDWARE_PRESETS
+from repro.models.presets import MODEL_PRESETS, get_preset
+from repro.rng import derive_rng
+from repro.workloads.generator import decode_workload, prefill_workloads
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig3a": lambda scale, seed: figures.fig3a_activation_cdf(scale=scale, seed=seed),
+    "fig3b": lambda scale, seed: figures.fig3b_reuse_probability(scale=scale, seed=seed),
+    "fig3c": lambda scale, seed: figures.fig3c_workload_distribution(scale=scale, seed=seed),
+    "fig3d": lambda scale, seed: figures.fig3d_existing_methods(scale=scale, seed=seed),
+    "fig3e": lambda scale, seed: figures.fig3e_expert_count_sweep(),
+    "fig3f": lambda scale, seed: figures.fig3f_workload_sweep(),
+    "fig7": lambda scale, seed: figures.fig7_prefill(scale=scale, seed=seed),
+    "fig8": lambda scale, seed: figures.fig8_decode(scale=scale, seed=seed),
+    "fig9": lambda scale, seed: figures.fig9_cache_hit_rate(scale=scale, seed=seed),
+    "table3": lambda scale, seed: figures.table3_ablation(scale=scale, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HybriMoE reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one generation and print metrics")
+    run.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
+    run.add_argument("--strategy", default="hybrimoe", choices=available_strategies())
+    run.add_argument("--cache-ratio", type=float, default=0.5)
+    run.add_argument("--hardware", default="paper", choices=sorted(HARDWARE_PRESETS))
+    run.add_argument("--prompt-len", type=int, default=128)
+    run.add_argument("--decode-steps", type=int, default=32)
+    run.add_argument("--num-layers", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="race all frameworks on one workload")
+    compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
+    compare.add_argument("--cache-ratio", type=float, default=0.25)
+    compare.add_argument("--stage", default="decode", choices=["prefill", "decode"])
+    compare.add_argument("--prompt-len", type=int, default=128)
+    compare.add_argument("--decode-steps", type=int, default=16)
+    compare.add_argument("--num-layers", type=int, default=8)
+    compare.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate one paper artifact")
+    figure.add_argument("name", choices=sorted(_FIGURES))
+    figure.add_argument("--full", action="store_true", help="paper-scale grid")
+    figure.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="list model and hardware presets")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = make_engine(
+        model=args.model,
+        strategy=args.strategy,
+        cache_ratio=args.cache_ratio,
+        hardware=args.hardware,
+        num_layers=args.num_layers,
+        seed=args.seed,
+    )
+    rng = derive_rng(args.seed, "cli", "prompt")
+    prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
+    result = engine.generate(prompt, decode_steps=args.decode_steps)
+    print(format_table([result.summary()], title="run result"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.stage == "decode":
+        workload = decode_workload(args.decode_steps, seed=args.seed)
+    else:
+        workload = prefill_workloads(args.prompt_len, seed=args.seed)[0]
+    rows = []
+    for strategy in available_strategies():
+        result = run_workload(
+            model=args.model,
+            strategy=strategy,
+            cache_ratio=args.cache_ratio,
+            workload=workload,
+            num_layers=args.num_layers,
+            seed=args.seed,
+        )
+        row = {"strategy": strategy, "hit_rate": result.hit_rate}
+        if args.stage == "decode":
+            row["mean_tbt_s"] = result.mean_tbt
+        else:
+            row["ttft_s"] = result.ttft
+        rows.append(row)
+    metric = "mean_tbt_s" if args.stage == "decode" else "ttft_s"
+    rows.sort(key=lambda r: r[metric])
+    print(
+        format_table(
+            rows,
+            title=f"{args.stage} comparison: {args.model} @ "
+            f"{args.cache_ratio:.0%} cache (best first)",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = figures.FULL_SCALE if args.full else figures.QUICK_SCALE
+    rows = _FIGURES[args.name](scale, args.seed)
+    if args.name == "fig7":
+        rows = add_speedup_column(
+            rows, "ttft_s", group_columns=("model", "cache_ratio", "bucket")
+        )
+    elif args.name == "fig8":
+        rows = add_speedup_column(rows, "mean_tbt_s")
+    print(format_table(rows, title=args.name))
+    return 0
+
+
+def _cmd_info() -> int:
+    print("model presets:")
+    for name in sorted(MODEL_PRESETS):
+        print(f"  {get_preset(name).describe()}")
+    print("hardware presets:", ", ".join(sorted(HARDWARE_PRESETS)))
+    print("strategies:", ", ".join(available_strategies()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return _cmd_info()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Plan execution against the discrete-event clock.
+
+:func:`execute_plan` replays an :class:`~repro.core.tasks.ExecutionPlan`
+on the engine's :class:`~repro.hardware.simulator.ThreeResourceClock`
+using the *actual* cost model. The planner's simulation used estimated
+durations; execution re-derives every duration from ground truth, so
+estimate-vs-reality gaps (warmup fitting error, injected noise) show up
+as schedule slack or overruns exactly as they would on hardware.
+
+Dependencies honoured:
+
+- tasks on one resource run serially in plan order;
+- a GPU compute task flagged ``after_transfer`` cannot start before its
+  transfer finishes;
+- externally in-flight arrivals (prefetches from earlier layers) gate
+  GPU tasks through the ``arrivals`` map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tasks import Device, ExecutionPlan, LayerCostOracle
+from repro.errors import SchedulingError
+from repro.hardware.simulator import ThreeResourceClock
+
+__all__ = ["TaskRecord", "LayerExecutionResult", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed operation with committed timeline placement."""
+
+    resource: str
+    layer: int
+    expert: int
+    kind: str  # "compute" | "transfer" | "shared"
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class LayerExecutionResult:
+    """Committed timings of one layer's MoE phase."""
+
+    layer: int
+    start_time: float
+    compute_end: float
+    transfer_end: float
+    records: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Wall time from phase start to last compute finish."""
+        return self.compute_end - self.start_time
+
+    def records_on(self, resource: str) -> list[TaskRecord]:
+        return [r for r in self.records if r.resource == resource]
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    clock: ThreeResourceClock,
+    oracle: LayerCostOracle,
+    start_time: float,
+    external_arrivals: dict[tuple[int, int], float] | None = None,
+) -> LayerExecutionResult:
+    """Execute a validated plan, reserving real timeline intervals.
+
+    Parameters
+    ----------
+    plan:
+        The per-layer plan (already validated by the engine).
+    clock:
+        The engine's absolute-time resource ledger.
+    oracle:
+        Duration oracle bound to the *actual* cost model.
+    start_time:
+        Earliest moment any MoE work of this layer may begin (the end of
+        the layer's attention phase: routing is only known then).
+    external_arrivals:
+        Completion times of in-flight transfers issued by earlier
+        layers' prefetches, keyed by ``(layer, expert)``. A GPU task for
+        such an expert waits for its arrival.
+
+    Returns
+    -------
+    LayerExecutionResult
+        Committed task records plus the layer's compute end time.
+    """
+    if start_time < 0:
+        raise SchedulingError(f"start_time must be non-negative, got {start_time}")
+    arrivals = dict(external_arrivals or {})
+    records: list[TaskRecord] = []
+
+    # --- PCIe: on-demand transfers, in plan order ----------------------
+    transfer_end = start_time
+    for transfer in plan.transfers:
+        duration = oracle.transfer()
+        start, finish = clock.pcie.reserve(
+            start_time, duration, f"xfer L{transfer.layer} E{transfer.expert}"
+        )
+        arrivals[(transfer.layer, transfer.expert)] = finish
+        transfer_end = max(transfer_end, finish)
+        records.append(
+            TaskRecord("pcie", transfer.layer, transfer.expert, "transfer", start, finish)
+        )
+
+    # --- GPU compute ----------------------------------------------------
+    compute_end = start_time
+    for task in plan.gpu_tasks:
+        if task.is_shared:
+            duration = oracle.shared_compute(Device.GPU)
+            earliest = start_time
+            kind = "shared"
+        else:
+            duration = oracle.gpu_compute(task.load)
+            earliest = max(start_time, arrivals.get((task.layer, task.expert), start_time))
+            kind = "compute"
+        start, finish = clock.gpu.reserve(
+            earliest, duration, f"gpu L{task.layer} E{task.expert}"
+        )
+        compute_end = max(compute_end, finish)
+        records.append(TaskRecord("gpu", task.layer, task.expert, kind, start, finish))
+
+    # --- CPU compute ----------------------------------------------------
+    first_cpu = True
+    for task in plan.cpu_tasks:
+        if task.is_shared:
+            duration = oracle.shared_compute(Device.CPU, first_task=first_cpu)
+            kind = "shared"
+        else:
+            duration = oracle.cpu_compute(task.load, first_task=first_cpu)
+            kind = "compute"
+        first_cpu = False
+        start, finish = clock.cpu.reserve(
+            start_time, duration, f"cpu L{task.layer} E{task.expert}"
+        )
+        compute_end = max(compute_end, finish)
+        records.append(TaskRecord("cpu", task.layer, task.expert, kind, start, finish))
+
+    return LayerExecutionResult(
+        layer=plan.layer,
+        start_time=start_time,
+        compute_end=compute_end,
+        transfer_end=transfer_end,
+        records=records,
+    )

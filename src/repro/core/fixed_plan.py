@@ -1,0 +1,140 @@
+"""Fixed-mapping plan construction (prior-art behaviour).
+
+This is the scheduling rule HybriMoE *replaces*: cached experts run on
+the GPU, uncached experts are handled without any balancing search —
+decode computes them on the CPU in id order (kTransformers), prefill
+on-demand-loads them all to the GPU. It serves both the kTransformers
+baseline and the "scheduling off" arm of the Table III ablation.
+"""
+
+from __future__ import annotations
+
+from repro.core.tasks import (
+    SHARED_BLOCK,
+    ComputeTask,
+    Device,
+    ExecutionPlan,
+    LayerCostOracle,
+    TransferTask,
+)
+
+__all__ = ["fixed_mapping_plan", "gpu_only_plan"]
+
+
+def _shared_task(layer: int, n_tokens: int, oracle: LayerCostOracle, device: Device):
+    if oracle.num_shared == 0:
+        return None
+    return ComputeTask(layer, SHARED_BLOCK, n_tokens, device)
+
+
+def fixed_mapping_plan(
+    layer: int,
+    activated: list[tuple[int, int]],
+    cached_experts: set[int],
+    n_tokens: int,
+    stage: str,
+    oracle: LayerCostOracle,
+) -> ExecutionPlan:
+    """kTransformers-style plan: no balancing, no transfer search.
+
+    - cached experts -> GPU (descending load, after the shared block);
+    - uncached experts -> CPU in expert-id order during decode,
+      on-demand GPU loads during prefill (CPU computation is
+      decode-only in kTransformers, paper Table I).
+    """
+    cached = [(e, load) for e, load in activated if e in cached_experts]
+    uncached = [(e, load) for e, load in activated if e not in cached_experts]
+    cached.sort(key=lambda pair: (-pair[1], pair[0]))
+
+    gpu_tasks: list[ComputeTask] = []
+    shared = _shared_task(layer, n_tokens, oracle, Device.GPU)
+    if shared is not None:
+        gpu_tasks.append(shared)
+    gpu_tasks.extend(
+        ComputeTask(layer, e, load, Device.GPU) for e, load in cached
+    )
+
+    cpu_tasks: list[ComputeTask] = []
+    transfers: list[TransferTask] = []
+    if stage == "decode":
+        uncached.sort(key=lambda pair: pair[0])
+        cpu_tasks = [ComputeTask(layer, e, load, Device.CPU) for e, load in uncached]
+    else:
+        uncached.sort(key=lambda pair: (-pair[1], pair[0]))
+        transfers = [TransferTask(layer, e, load) for e, load in uncached]
+        gpu_tasks.extend(
+            ComputeTask(layer, e, load, Device.GPU, after_transfer=True)
+            for e, load in uncached
+        )
+
+    return ExecutionPlan(
+        layer=layer,
+        n_tokens=n_tokens,
+        gpu_tasks=gpu_tasks,
+        cpu_tasks=cpu_tasks,
+        transfers=transfers,
+        estimated_makespan=_serial_estimate(gpu_tasks, cpu_tasks, transfers, oracle),
+        metadata={"scheduler": "fixed", "stage": stage},
+    )
+
+
+def gpu_only_plan(
+    layer: int,
+    activated: list[tuple[int, int]],
+    cached_experts: set[int],
+    n_tokens: int,
+    oracle: LayerCostOracle,
+) -> ExecutionPlan:
+    """GPU-centric plan (AdapMoE / on-demand): misses are loaded, never
+    CPU-computed. Cached experts run first (descending load) while the
+    PCIe link streams the missing experts in descending-load order."""
+    cached = [(e, load) for e, load in activated if e in cached_experts]
+    uncached = [(e, load) for e, load in activated if e not in cached_experts]
+    cached.sort(key=lambda pair: (-pair[1], pair[0]))
+    uncached.sort(key=lambda pair: (-pair[1], pair[0]))
+
+    gpu_tasks: list[ComputeTask] = []
+    shared = _shared_task(layer, n_tokens, oracle, Device.GPU)
+    if shared is not None:
+        gpu_tasks.append(shared)
+    gpu_tasks.extend(ComputeTask(layer, e, load, Device.GPU) for e, load in cached)
+    gpu_tasks.extend(
+        ComputeTask(layer, e, load, Device.GPU, after_transfer=True)
+        for e, load in uncached
+    )
+    transfers = [TransferTask(layer, e, load) for e, load in uncached]
+
+    return ExecutionPlan(
+        layer=layer,
+        n_tokens=n_tokens,
+        gpu_tasks=gpu_tasks,
+        cpu_tasks=[],
+        transfers=transfers,
+        estimated_makespan=_serial_estimate(gpu_tasks, [], transfers, oracle),
+        metadata={"scheduler": "gpu-only"},
+    )
+
+
+def _serial_estimate(
+    gpu_tasks: list[ComputeTask],
+    cpu_tasks: list[ComputeTask],
+    transfers: list[TransferTask],
+    oracle: LayerCostOracle,
+) -> float:
+    """Crude makespan estimate: serial per resource, transfer-gated GPU."""
+    transfer_end = len(transfers) * oracle.transfer()
+    t_gpu = 0.0
+    for task in gpu_tasks:
+        if task.is_shared:
+            t_gpu += oracle.shared_compute(Device.GPU)
+        else:
+            t_gpu += oracle.gpu_compute(task.load)
+    if transfers:
+        t_gpu = max(t_gpu, transfer_end)
+    t_cpu = 0.0
+    for index, task in enumerate(cpu_tasks):
+        if task.is_shared:
+            t_cpu += oracle.shared_compute(Device.CPU, first_task=index == 0)
+        else:
+            t_cpu += oracle.cpu_compute(task.load, first_task=index == 0)
+    return max(t_gpu, t_cpu)

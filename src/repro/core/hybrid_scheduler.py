@@ -1,0 +1,458 @@
+"""Hybrid CPU-GPU scheduling via schedule simulation (paper §IV-B).
+
+The scheduling problem — which device computes each activated expert,
+and which uncached experts are worth transferring to the GPU first — is
+NP-hard in general. HybriMoE constrains it with three priority rules:
+
+- **GPU priority**: the GPU computes cached experts, higher load first;
+- **CPU priority**: the CPU computes uncached experts, lower load
+  first, and may *steal* low-load cached experts when otherwise idle;
+- **Transfer priority**: PCIe moves high-load uncached experts first,
+  so expensive computations become GPU-eligible as early as possible.
+
+With the orders fixed, the only remaining decision is the *allocation*:
+how many (and therefore which) uncached experts go to the transfer
+queue rather than the CPU queue (eq. 2). :class:`HybridScheduler`
+resolves it exactly as the paper describes — an event-driven simulation
+fills the three timelines for each candidate allocation, and the
+allocation with the smallest simulated makespan wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tasks import (
+    SHARED_BLOCK,
+    ComputeTask,
+    Device,
+    ExecutionPlan,
+    LayerCostOracle,
+    TransferTask,
+)
+from repro.errors import SchedulingError
+
+__all__ = ["SchedulerConfig", "HybridScheduler", "SimulatedTask", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunable behaviour of the hybrid scheduler.
+
+    Attributes
+    ----------
+    search_transfers:
+        When True (paper behaviour), simulate every transfer count
+        ``k = 0..|uncached|`` and keep the best. When False, only the
+        two extremes (no transfers / transfer everything) are evaluated
+        — the cheap mode used inside prefetch impact estimation and as
+        an ablation.
+    allow_cpu_steal:
+        Allow an idle CPU to take low-load *cached* experts from the
+        GPU queue (the paper's CPU priority rule, second clause).
+    steal_margin:
+        Fractional safety margin on the steal-benefit test; a steal
+        happens only if the CPU would finish the stolen expert before
+        ``(1 - margin) *`` the GPU's estimated finish time.
+    max_search_width:
+        Upper bound on the number of simulated transfer counts (evenly
+        subsampled, always including both extremes). ``None`` means
+        exhaustive.
+    """
+
+    search_transfers: bool = True
+    allow_cpu_steal: bool = True
+    steal_margin: float = 0.0
+    max_search_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.steal_margin < 1.0:
+            raise SchedulingError(
+                f"steal_margin must be in [0, 1), got {self.steal_margin}"
+            )
+        if self.max_search_width is not None and self.max_search_width < 2:
+            raise SchedulingError(
+                f"max_search_width must be >= 2, got {self.max_search_width}"
+            )
+
+
+@dataclass(frozen=True)
+class SimulatedTask:
+    """One simulated operation with its timeline placement."""
+
+    expert: int
+    start: float
+    finish: float
+    resource: str
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one schedule simulation (one transfer allocation)."""
+
+    makespan: float
+    transfers: list[int]
+    gpu_order: list[SimulatedTask]
+    cpu_order: list[SimulatedTask]
+    stolen: list[int]
+    loads: dict[int, int]
+
+
+class HybridScheduler:
+    """Schedule-simulation planner implementing eq. (2) of the paper.
+
+    Parameters
+    ----------
+    oracle_factory:
+        Callable ``(n_tokens) -> LayerCostOracle`` giving *estimated*
+        durations (typically a warmup-fitted cost model). The planner
+        never sees actual execution times.
+    config:
+        Search and stealing behaviour.
+    """
+
+    def __init__(self, oracle_factory, config: SchedulerConfig | None = None) -> None:
+        self._oracle_factory = oracle_factory
+        self.config = config or SchedulerConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        layer: int,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+        pcie_backlog: float = 0.0,
+        include_shared: bool = True,
+        inflight: dict[int, float] | None = None,
+    ) -> ExecutionPlan:
+        """Produce the minimal-makespan execution plan for one layer.
+
+        Parameters
+        ----------
+        layer:
+            MoE layer index (only labels the plan).
+        activated:
+            ``(expert_id, load)`` pairs for every activated routed
+            expert of the layer.
+        cached_experts:
+            Expert ids of this layer resident (or in flight) on the GPU.
+        n_tokens:
+            Tokens in this step (drives shared-expert cost).
+        pcie_backlog:
+            Seconds until the PCIe link frees up relative to the MoE
+            phase start (in-flight prefetch transfers queue ahead).
+        include_shared:
+            Prepend the fused shared-experts block to the GPU queue
+            (the paper's timelines always run shared experts on GPU
+            first, Fig. 5).
+        inflight:
+            Ready-time offsets (relative to the MoE phase start) of
+            cached experts whose prefetch transfers are still in
+            flight; the GPU cannot start them earlier.
+        """
+        oracle = self._oracle_factory(n_tokens)
+        best = self._best_simulation(
+            activated, cached_experts, oracle, pcie_backlog, include_shared, inflight
+        )
+        return self._materialise(layer, n_tokens, best, oracle, include_shared)
+
+    def simulate_makespan(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+        pcie_backlog: float = 0.0,
+        include_shared: bool = True,
+        quick: bool = False,
+        inflight: dict[int, float] | None = None,
+    ) -> float:
+        """Estimated makespan of the best allocation (no plan object).
+
+        ``quick=True`` forces the two-extremes search regardless of
+        config — used heavily by the prefetcher's impact simulation.
+        """
+        oracle = self._oracle_factory(n_tokens)
+        best = self._best_simulation(
+            activated,
+            cached_experts,
+            oracle,
+            pcie_backlog,
+            include_shared,
+            inflight,
+            force_quick=quick,
+        )
+        return best.makespan
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _candidate_transfer_counts(self, n_uncached: int, force_quick: bool) -> list[int]:
+        if n_uncached == 0:
+            return [0]
+        if force_quick or not self.config.search_transfers:
+            return sorted({0, n_uncached})
+        counts = list(range(n_uncached + 1))
+        width = self.config.max_search_width
+        if width is not None and len(counts) > width:
+            # Evenly subsample, always keeping the extremes.
+            step = (n_uncached) / (width - 1)
+            sampled = {round(i * step) for i in range(width)}
+            counts = sorted(sampled | {0, n_uncached})
+        return counts
+
+    def _best_simulation(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        oracle: LayerCostOracle,
+        pcie_backlog: float,
+        include_shared: bool,
+        inflight: dict[int, float] | None = None,
+        force_quick: bool = False,
+    ) -> SimulationResult:
+        if pcie_backlog < 0:
+            raise SchedulingError(f"pcie_backlog must be non-negative, got {pcie_backlog}")
+        loads = dict(activated)
+        if len(loads) != len(activated):
+            raise SchedulingError("duplicate expert ids in activated list")
+        if any(load <= 0 for load in loads.values()):
+            raise SchedulingError("activated experts must have positive load")
+        inflight = {
+            e: max(0.0, ready)
+            for e, ready in (inflight or {}).items()
+            if e in loads and e in cached_experts
+        }
+
+        uncached = [e for e, _ in activated if e not in cached_experts]
+        best: SimulationResult | None = None
+        for k in self._candidate_transfer_counts(len(uncached), force_quick):
+            result = self._simulate(
+                loads, cached_experts, oracle, k, pcie_backlog, include_shared, inflight
+            )
+            better = best is None or result.makespan < best.makespan - 1e-15
+            tie_fewer_transfers = (
+                best is not None
+                and abs(result.makespan - best.makespan) <= 1e-15
+                and len(result.transfers) < len(best.transfers)
+            )
+            if better or tie_fewer_transfers:
+                best = result
+        assert best is not None  # at least k=0 is always simulated
+        return best
+
+    # ------------------------------------------------------------------
+    # the event-driven schedule simulation
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        loads: dict[int, int],
+        cached_experts: set[int],
+        oracle: LayerCostOracle,
+        k_transfers: int,
+        pcie_backlog: float,
+        include_shared: bool,
+        inflight: dict[int, float] | None = None,
+    ) -> SimulationResult:
+        """Fill the three timelines for one transfer allocation.
+
+        The simulation advances the resource whose next operation
+        *starts* earliest, exactly reproducing the interleaving a real
+        run with these priority queues would produce.
+        """
+        inflight = inflight or {}
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        cached_desc = [
+            e for e in by_load_desc if e in cached_experts and e not in inflight
+        ]
+
+        transfer_list = uncached_desc[:k_transfers]
+        cpu_jobs = sorted(
+            (e for e in uncached_desc[k_transfers:]), key=lambda e: (loads[e], e)
+        )
+
+        # PCIe: sequential transfers, high-load first, behind the backlog.
+        # In-flight prefetches arrive at their own ready offsets without
+        # consuming new PCIe time (their transfers are already queued).
+        arrivals: list[tuple[float, int]] = [
+            (ready, e) for e, ready in inflight.items()
+        ]
+        t_pcie = pcie_backlog
+        for expert in transfer_list:
+            t_pcie += oracle.transfer()
+            arrivals.append((t_pcie, expert))
+        arrivals.sort(key=lambda pair: (pair[0], -loads[pair[1]], pair[1]))
+
+        gpu_order: list[SimulatedTask] = []
+        cpu_order: list[SimulatedTask] = []
+        stolen: list[int] = []
+
+        t_gpu = 0.0
+        if include_shared:
+            shared_dur = oracle.shared_compute(Device.GPU)
+            if shared_dur > 0.0:
+                gpu_order.append(SimulatedTask(SHARED_BLOCK, 0.0, shared_dur, "gpu"))
+                t_gpu = shared_dur
+
+        gpu_pool: list[int] = list(cached_desc)  # descending load
+        arrival_idx = 0
+        t_cpu = 0.0
+        cpu_idx = 0
+        cpu_finished = False
+
+        def absorb_arrivals(up_to: float) -> None:
+            nonlocal arrival_idx
+            while arrival_idx < len(arrivals) and arrivals[arrival_idx][0] <= up_to:
+                expert = arrivals[arrival_idx][1]
+                # Insert preserving descending-load order (paper: a
+                # transferred expert joins the GPU queue by load).
+                position = 0
+                while position < len(gpu_pool) and (
+                    loads[gpu_pool[position]] > loads[expert]
+                    or (
+                        loads[gpu_pool[position]] == loads[expert]
+                        and gpu_pool[position] < expert
+                    )
+                ):
+                    position += 1
+                gpu_pool.insert(position, expert)
+                arrival_idx += 1
+
+        def gpu_finish_estimate() -> float:
+            """Lower-bound finish time of all GPU-bound work (no steal)."""
+            t = t_gpu
+            for expert in gpu_pool:
+                t += oracle.gpu_compute(loads[expert])
+            for ready, expert in arrivals[arrival_idx:]:
+                t = max(t, ready) + oracle.gpu_compute(loads[expert])
+            return t
+
+        while True:
+            absorb_arrivals(t_gpu)
+            # --- candidate GPU action -------------------------------------
+            if gpu_pool:
+                gpu_start = t_gpu
+            elif arrival_idx < len(arrivals):
+                gpu_start = max(t_gpu, arrivals[arrival_idx][0])
+            else:
+                gpu_start = float("inf")
+            # --- candidate CPU action -------------------------------------
+            steal_candidates = [e for e in gpu_pool if e in cached_experts]
+            cpu_can_steal = (
+                self.config.allow_cpu_steal
+                and not cpu_finished
+                and cpu_idx >= len(cpu_jobs)
+                and bool(steal_candidates)
+            )
+            if cpu_idx < len(cpu_jobs):
+                cpu_start = t_cpu
+            elif cpu_can_steal:
+                cpu_start = t_cpu
+            else:
+                cpu_start = float("inf")
+
+            if gpu_start == float("inf") and cpu_start == float("inf"):
+                break
+
+            # Tie-break: a beneficial CPU steal commits before the GPU's
+            # pop of the same instant — when the CPU can finish a cached
+            # expert sooner than the GPU would clear its queue, holding
+            # the expert hostage on the GPU only inflates the makespan.
+            cpu_wins_tie = gpu_start == cpu_start and cpu_idx >= len(cpu_jobs)
+            if gpu_start <= cpu_start and not cpu_wins_tie:
+                absorb_arrivals(gpu_start)
+                if not gpu_pool:
+                    raise SchedulingError("simulation invariant: empty GPU pool at dispatch")
+                expert = gpu_pool.pop(0)
+                duration = oracle.gpu_compute(loads[expert])
+                gpu_order.append(
+                    SimulatedTask(expert, gpu_start, gpu_start + duration, "gpu")
+                )
+                t_gpu = gpu_start + duration
+            else:
+                if cpu_idx < len(cpu_jobs):
+                    expert = cpu_jobs[cpu_idx]
+                    cpu_idx += 1
+                else:
+                    # Steal the lowest-load cached expert if the CPU can
+                    # finish it before the GPU would get everything done.
+                    candidate = min(steal_candidates, key=lambda e: (loads[e], e))
+                    duration = oracle.cpu_compute(
+                        loads[candidate], first_task=not cpu_order
+                    )
+                    threshold = gpu_finish_estimate() * (1.0 - self.config.steal_margin)
+                    if t_cpu + duration >= threshold:
+                        cpu_finished = True
+                        continue
+                    gpu_pool.remove(candidate)
+                    stolen.append(candidate)
+                    expert = candidate
+                duration = oracle.cpu_compute(loads[expert], first_task=not cpu_order)
+                cpu_order.append(
+                    SimulatedTask(expert, t_cpu, t_cpu + duration, "cpu")
+                )
+                t_cpu += duration
+
+        makespan = max(t_gpu, t_cpu)
+        return SimulationResult(
+            makespan=makespan,
+            transfers=list(transfer_list),
+            gpu_order=gpu_order,
+            cpu_order=cpu_order,
+            stolen=stolen,
+            loads=dict(loads),
+        )
+
+    # ------------------------------------------------------------------
+    # plan assembly
+    # ------------------------------------------------------------------
+    def _materialise(
+        self,
+        layer: int,
+        n_tokens: int,
+        sim: SimulationResult,
+        oracle: LayerCostOracle,
+        include_shared: bool,
+    ) -> ExecutionPlan:
+        transferred = set(sim.transfers)
+        gpu_tasks = []
+        for task in sim.gpu_order:
+            if task.expert == SHARED_BLOCK:
+                gpu_tasks.append(
+                    ComputeTask(layer, SHARED_BLOCK, n_tokens, Device.GPU)
+                )
+            else:
+                gpu_tasks.append(
+                    ComputeTask(
+                        layer,
+                        task.expert,
+                        sim.loads[task.expert],
+                        Device.GPU,
+                        after_transfer=task.expert in transferred,
+                    )
+                )
+        cpu_tasks = [
+            ComputeTask(layer, task.expert, sim.loads[task.expert], Device.CPU)
+            for task in sim.cpu_order
+        ]
+        transfers = [
+            TransferTask(layer, expert, sim.loads[expert]) for expert in sim.transfers
+        ]
+        return ExecutionPlan(
+            layer=layer,
+            n_tokens=n_tokens,
+            gpu_tasks=gpu_tasks,
+            cpu_tasks=cpu_tasks,
+            transfers=transfers,
+            estimated_makespan=sim.makespan,
+            metadata={
+                "scheduler": "hybrid",
+                "transfer_count": len(sim.transfers),
+                "stolen": list(sim.stolen),
+                "include_shared": include_shared,
+            },
+        )
+

@@ -1,0 +1,206 @@
+"""Impact-driven prefetching (paper §IV-C, Fig. 6).
+
+Between MoE phases the PCIe link is often idle. HybriMoE fills that
+window by preloading experts of *upcoming* layers — but unlike prior
+work, which prefetches the next layer greedily, it decides **which
+layer's experts** to prioritise by *simulating the impact*: for each
+candidate expert of layers ``l+1 .. l+depth`` it runs the hybrid
+schedule simulation with and without that expert cached, and ranks
+candidates by the expected makespan reduction, discounted by prediction
+confidence (gate-reuse accuracy decays with distance).
+
+Predictions reuse the gating weights of the future layers applied to
+the current hidden state — exactly the mechanism of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hybrid_scheduler import HybridScheduler
+from repro.errors import SchedulingError
+
+__all__ = ["PredictedLayer", "PrefetchDecision", "ImpactDrivenPrefetcher"]
+
+
+@dataclass(frozen=True)
+class PredictedLayer:
+    """Gate-reuse prediction for one future layer.
+
+    Attributes
+    ----------
+    layer:
+        Future layer index.
+    scores:
+        Predicted per-expert routing scores (mean over tokens), shape
+        ``(n_experts,)``.
+    n_tokens:
+        Tokens the step will route (same as the current step's).
+    cached_experts:
+        Expert ids of that layer currently resident or in flight.
+    """
+
+    layer: int
+    scores: np.ndarray
+    n_tokens: int
+    cached_experts: frozenset[int]
+
+
+@dataclass(frozen=True)
+class PrefetchDecision:
+    """One selected prefetch with its estimated benefit."""
+
+    layer: int
+    expert: int
+    gain: float
+    cost: float
+    distance: int
+
+
+class ImpactDrivenPrefetcher:
+    """Rank prefetch candidates by simulated makespan reduction.
+
+    Parameters
+    ----------
+    scheduler:
+        The hybrid scheduler whose simulation estimates impact (shares
+        the planner's *estimated* cost oracle).
+    transfer_time_fn:
+        Callable ``() -> float`` giving the estimated per-expert
+        transfer duration (budget accounting).
+    num_activated:
+        Top-K of the model; predicted activation sets take the top-K
+        experts by predicted score.
+    lookahead:
+        How many future layers to consider (the paper uses 3).
+    confidence_decay:
+        Multiplicative per-layer-distance discount on gains, modelling
+        the decay of gate-reuse prediction accuracy.
+    min_gain:
+        Candidates whose discounted gain is not strictly above this
+        threshold are dropped.
+    """
+
+    def __init__(
+        self,
+        scheduler: HybridScheduler,
+        transfer_time_fn,
+        num_activated: int,
+        lookahead: int = 3,
+        confidence_decay: float = 0.8,
+        min_gain: float = 0.0,
+    ) -> None:
+        if lookahead < 1:
+            raise SchedulingError(f"lookahead must be >= 1, got {lookahead}")
+        if not 0.0 < confidence_decay <= 1.0:
+            raise SchedulingError(
+                f"confidence_decay must be in (0, 1], got {confidence_decay}"
+            )
+        if num_activated < 1:
+            raise SchedulingError(f"num_activated must be >= 1, got {num_activated}")
+        self.scheduler = scheduler
+        self.transfer_time_fn = transfer_time_fn
+        self.num_activated = num_activated
+        self.lookahead = lookahead
+        self.confidence_decay = confidence_decay
+        self.min_gain = min_gain
+
+    # ------------------------------------------------------------------
+    def predicted_activation(
+        self, prediction: PredictedLayer
+    ) -> list[tuple[int, int]]:
+        """Estimated ``(expert, load)`` set for a predicted layer.
+
+        The top-K experts by predicted score are assumed activated.
+        Loads are apportioned from scores: each of the ``n_tokens``
+        tokens contributes K expert slots, distributed proportionally
+        to the predicted scores of the selected experts (minimum 1).
+        """
+        scores = np.asarray(prediction.scores, dtype=np.float64)
+        k = min(self.num_activated, scores.size)
+        top = np.argsort(-scores, kind="stable")[:k]
+        total_slots = prediction.n_tokens * k
+        weights = scores[top]
+        weight_sum = float(weights.sum())
+        if weight_sum <= 0:
+            shares = np.full(k, 1.0 / k)
+        else:
+            shares = weights / weight_sum
+        loads = np.maximum(1, np.round(shares * total_slots).astype(int))
+        # Cap at n_tokens: an expert cannot receive more tokens than exist.
+        loads = np.minimum(loads, prediction.n_tokens)
+        return [(int(e), int(load)) for e, load in zip(top, loads)]
+
+    def evaluate_candidates(
+        self, predictions: list[PredictedLayer], current_layer: int
+    ) -> list[PrefetchDecision]:
+        """Simulate the impact of each candidate expert, best first."""
+        decisions: list[PrefetchDecision] = []
+        for prediction in predictions:
+            distance = prediction.layer - current_layer
+            if distance < 1 or distance > self.lookahead:
+                continue
+            activated = self.predicted_activation(prediction)
+            cached = set(prediction.cached_experts)
+            candidates = [e for e, _ in activated if e not in cached]
+            if not candidates:
+                continue
+            base = self.scheduler.simulate_makespan(
+                activated, cached, prediction.n_tokens, quick=True
+            )
+            confidence = self.confidence_decay ** (distance - 1)
+            for expert in candidates:
+                with_expert = self.scheduler.simulate_makespan(
+                    activated, cached | {expert}, prediction.n_tokens, quick=True
+                )
+                gain = (base - with_expert) * confidence
+                if gain > self.min_gain:
+                    decisions.append(
+                        PrefetchDecision(
+                            layer=prediction.layer,
+                            expert=expert,
+                            gain=gain,
+                            cost=self.transfer_time_fn(),
+                            distance=distance,
+                        )
+                    )
+        decisions.sort(key=lambda d: (-d.gain, d.distance, d.layer, d.expert))
+        return decisions
+
+    def select(
+        self,
+        predictions: list[PredictedLayer],
+        current_layer: int,
+        budget_s: float,
+        layer_span_s: float = float("inf"),
+        backlog_s: float = 0.0,
+    ) -> list[PrefetchDecision]:
+        """Greedy selection of prefetches within budget and lead time.
+
+        Two constraints gate each candidate:
+
+        - **budget**: total prefetch transfer time stays within the
+          estimated idle window of the PCIe link;
+        - **lead time**: a transfer must be able to *finish* before its
+          target layer's MoE phase, i.e. within ``distance *
+          layer_span_s`` minus the link's current backlog. A prefetch
+          that lands late merely stalls the GPU (the planner would have
+          done better sending the expert to the CPU), so it is skipped.
+        """
+        if budget_s <= 0:
+            return []
+        if backlog_s < 0:
+            raise SchedulingError(f"backlog_s must be non-negative, got {backlog_s}")
+        chosen: list[PrefetchDecision] = []
+        spent = 0.0
+        for decision in self.evaluate_candidates(predictions, current_layer):
+            if spent + decision.cost > budget_s:
+                continue
+            finish_offset = backlog_s + spent + decision.cost
+            if finish_offset > decision.distance * layer_span_s:
+                continue
+            chosen.append(decision)
+            spent += decision.cost
+        return chosen

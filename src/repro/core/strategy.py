@@ -1,0 +1,220 @@
+"""The HybriMoE strategy: all three techniques with ablation toggles.
+
+``HybriMoEStrategy(scheduling=…, prefetching=…, caching=…)`` maps
+directly onto the rows of the paper's Table III:
+
+===============================  ==========================================
+Configuration                    Toggles
+===============================  ==========================================
+Baseline (kTransformers-like)    all False
+Baseline + Scheduling            ``scheduling=True``
+Baseline + Prefetching           ``prefetching=True``
+Baseline + Caching               ``caching=True``
+All (HybriMoE)                   all True
+===============================  ==========================================
+
+- **scheduling** — replace the fixed mapping with the schedule-
+  simulation planner of §IV-B (transfer search + CPU work stealing);
+- **prefetching** — enable the impact-driven prefetcher of §IV-C;
+- **caching** — replace static frequency pinning with the dynamic
+  MRS cache of §IV-D.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lfu import LFUPolicy
+from repro.cache.manager import ExpertCache
+from repro.cache.mrs import MRSPolicy
+from repro.core.fixed_plan import fixed_mapping_plan
+from repro.core.prefetch import ImpactDrivenPrefetcher, PredictedLayer
+from repro.core.tasks import ExecutionPlan
+from repro.engine.strategy_base import LayerContext, Strategy
+
+__all__ = ["HybriMoEStrategy"]
+
+
+class HybriMoEStrategy(Strategy):
+    """Hybrid scheduling + impact prefetching + MRS caching (§IV)."""
+
+    def __init__(
+        self,
+        scheduling: bool = True,
+        prefetching: bool = True,
+        caching: bool = True,
+        prefetch_admit_margin: float = 0.25,
+    ) -> None:
+        super().__init__()
+        self.scheduling = scheduling
+        self.prefetching = prefetching
+        self.caching = caching
+        self.prefetch_admit_margin = prefetch_admit_margin
+        self._prefetcher: ImpactDrivenPrefetcher | None = None
+        parts = [
+            flag_name
+            for flag_name, enabled in (
+                ("sched", scheduling),
+                ("prefetch", prefetching),
+                ("cache", caching),
+            )
+            if enabled
+        ]
+        self.name = "hybrimoe" if all(
+            (scheduling, prefetching, caching)
+        ) else "hybrimoe[" + "+".join(parts or ["baseline"]) + "]"
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        runtime = self._runtime()
+        if self.prefetching:
+            shape = runtime.model_config.routed_expert_shape
+            self._prefetcher = ImpactDrivenPrefetcher(
+                scheduler=runtime.scheduler,
+                transfer_time_fn=lambda: runtime.cost_estimated.transfer_time(shape),
+                num_activated=runtime.model_config.num_activated_experts,
+                lookahead=runtime.config.prefetch_lookahead,
+                confidence_decay=runtime.config.prefetch_confidence_decay,
+            )
+
+    def build_cache(self) -> ExpertCache:
+        runtime = self._runtime()
+        capacity = runtime.capacity
+        ranking = runtime.frequency_ranking()
+        if self.caching:
+            policy = MRSPolicy(
+                alpha=runtime.config.mrs_alpha,
+                top_p=2 * runtime.model_config.num_activated_experts,
+            )
+            # Prime MRS priorities from the warmup phase so the first
+            # eviction decisions already reflect observed scores — the
+            # paper's warmup collects exactly this signal (§IV-A).
+            clock = 0
+            for step in runtime.warmup_trace.steps:
+                for routing in step.layers:
+                    clock += 1
+                    policy.on_scores(routing.layer, routing.mean_scores, clock)
+            cache = ExpertCache(capacity, policy)
+            cache.warm_fill(ranking)
+            return cache
+        if self.prefetching:
+            # Static pinning plus a small scratch ring where prefetched
+            # experts land before use. Like the untracked staging buffers
+            # every baseline uses for on-demand loads, the scratch is not
+            # charged against the expert-cache budget.
+            k = runtime.model_config.num_activated_experts
+            scratch = max(1, 2 * k * runtime.config.prefetch_lookahead)
+            return ExpertCache(scratch, LFUPolicy(), pinned=ranking[:capacity])
+        # Static frequency pinning (the kTransformers cache behaviour).
+        return ExpertCache(0, LFUPolicy(), pinned=ranking[:capacity])
+
+    # ------------------------------------------------------------------
+    def observe_scores(self, ctx: LayerContext) -> None:
+        if self.caching:
+            super().observe_scores(ctx)
+
+    def plan_layer(self, ctx: LayerContext) -> ExecutionPlan:
+        runtime = self._runtime()
+        if self.scheduling:
+            return runtime.scheduler.plan(
+                layer=ctx.layer,
+                activated=list(ctx.activated),
+                cached_experts=set(ctx.cached_experts),
+                n_tokens=ctx.n_tokens,
+                pcie_backlog=ctx.pcie_backlog,
+                inflight=ctx.inflight_dict(),
+            )
+        return fixed_mapping_plan(
+            layer=ctx.layer,
+            activated=list(ctx.activated),
+            cached_experts=set(ctx.cached_experts),
+            n_tokens=ctx.n_tokens,
+            stage=ctx.stage,
+            oracle=runtime.estimated_oracle(ctx.n_tokens),
+        )
+
+    def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
+        if not self.caching:
+            # Static pinning: transferred experts were scratch loads;
+            # the pinned set does not change.
+            return
+        runtime = self._runtime()
+        if ctx.stage == "decode":
+            # Inter-iteration cache management (§IV-D): transferred
+            # experts join the cache, and CPU-computed misses are
+            # *refilled* in the background — an off-critical-path PCIe
+            # copy so the next iterations hit. Both paths are
+            # admission-controlled by MRS priority.
+            for transfer in plan.transfers:
+                runtime.cache.insert_if_better((transfer.layer, transfer.expert))
+            self._refill_decode_misses(ctx, plan)
+        # Prefill loads are transient layer-by-layer traffic, not
+        # iteration-level reuse signal; they bypass the cache.
+
+    def _refill_decode_misses(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
+        """Background-load CPU-computed misses the MRS policy wants kept.
+
+        Strictly opportunistic: refills only run when the PCIe link is
+        idle (a busy link means on-demand loads or prefetches are
+        pending — contending with them would push work *onto* the
+        critical path), and at most one expert per layer, highest
+        routing score first. Adaptation is gradual by design; residency
+        converges over decode iterations rather than thrashing within
+        one.
+        """
+        runtime = self._runtime()
+        cache = runtime.cache
+        if runtime.clock.pcie.available_at > ctx.moe_start:
+            return
+        shape = runtime.model_config.routed_expert_shape
+        scores = ctx.router.mean_scores()
+        misses = sorted(
+            (task for task in plan.cpu_tasks if not task.is_shared),
+            key=lambda task: -scores[task.expert],
+        )
+        for task in misses:
+            key = (task.layer, task.expert)
+            if not cache.would_admit(key):
+                continue
+            duration = runtime.cost_actual.transfer_time(shape)
+            _, finish = runtime.clock.pcie.reserve(
+                ctx.moe_start, duration, f"refill L{task.layer} E{task.expert}"
+            )
+            runtime.arrivals[key] = finish
+            cache.insert_if_better(key)
+            break
+
+    def prefetch_requests(
+        self,
+        ctx: LayerContext,
+        predictions: list[PredictedLayer],
+        budget_s: float,
+        layer_span_s: float = float("inf"),
+        backlog_s: float = 0.0,
+    ) -> list[tuple[int, int]]:
+        if not self.prefetching or self._prefetcher is None:
+            return []
+        if not self.caching:
+            # Without a dynamic cache prefetches land in the small
+            # scratch ring; keep to a single-layer lookahead so scratch
+            # entries are used before they are overwritten.
+            predictions = predictions[:1]
+        decisions = self._prefetcher.select(
+            predictions,
+            ctx.layer,
+            budget_s,
+            layer_span_s=layer_span_s,
+            backlog_s=backlog_s,
+        )
+        if self.caching:
+            # Admission check before paying for the transfer: a prefetch
+            # the MRS policy would immediately evict is pure PCIe waste.
+            # The margin keeps speculative (prediction-driven) inserts
+            # from churning residents of nearly equal priority.
+            runtime = self._runtime()
+            decisions = [
+                d
+                for d in decisions
+                if runtime.cache.would_admit(
+                    (d.layer, d.expert), margin=self.prefetch_admit_margin
+                )
+            ]
+        return [(d.layer, d.expert) for d in decisions]

@@ -1,0 +1,445 @@
+"""The inference engine: simulated hybrid execution of a functional MoE.
+
+:class:`InferenceEngine` runs real numpy forward passes (so outputs are
+bit-comparable with the reference model) while charging every
+operation — attention, expert compute, weight transfers — to a
+three-resource discrete-event clock using paper-scale cost models. A
+pluggable :class:`~repro.engine.strategy_base.Strategy` decides the
+per-layer plans, cache management and prefetching; the engine enforces
+plan validity, lock/arrival semantics and collects TTFT/TBT metrics.
+
+Two cost models are in play, mirroring the real system:
+
+- the **actual** model (analytic roofline, optionally noise-wrapped)
+  drives executed durations;
+- the **estimated** model (fitted by the warmup phase, §IV-A) drives
+  every scheduling decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.manager import ExpertCache
+from repro.core.executor import execute_plan
+from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
+from repro.core.prefetch import PredictedLayer
+from repro.core.tasks import ExecutionPlan, LayerCostOracle
+from repro.engine.metrics import GenerationResult, StepMetrics
+from repro.engine.strategy_base import LayerContext, Strategy
+from repro.errors import ConfigError
+from repro.hardware.cost_model import AnalyticCostModel, CostModel, NoisyCostModel
+from repro.hardware.platform_presets import paper_testbed
+from repro.hardware.simulator import ThreeResourceClock
+from repro.hardware.warmup import WarmupCalibrator
+from repro.models.gating import RouterOutput
+from repro.models.model import ReferenceMoEModel
+from repro.routing.generator import generate_trace
+from repro.routing.statistics import expert_activation_frequency
+from repro.routing.trace import RoutingTrace
+from repro.rng import derive_rng
+
+__all__ = ["EngineConfig", "EngineRuntime", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs shared by all strategies.
+
+    Attributes
+    ----------
+    cache_ratio:
+        Fraction of all routed experts that fit in GPU memory (the
+        paper's "GPU expert cache ratio": 25/50/75%).
+    seed:
+        Root seed for profiling workloads and noise.
+    calibrate:
+        Fit the planner's cost model via the warmup phase; when False
+        the planner sees ground-truth durations (an idealised planner).
+    noise_sigma:
+        Log-normal sigma of execution-time noise (0 = deterministic).
+    profile_prompt_len / profile_decode_steps:
+        Size of the warmup profiling run used for frequency statistics.
+    prefetch_lookahead:
+        Future layers considered by prefetching strategies (paper: 3).
+    prefetch_confidence_decay:
+        Per-distance gain discount of the impact-driven prefetcher.
+    scheduler:
+        Configuration of the hybrid scheduler's search.
+    mrs_alpha:
+        Averaging coefficient of the MRS cache policy (eq. 3).
+    validate_plans:
+        Validate every plan against routing/cache state (cheap; keep on).
+    """
+
+    cache_ratio: float = 0.5
+    seed: int = 0
+    calibrate: bool = True
+    noise_sigma: float = 0.0
+    profile_prompt_len: int = 32
+    profile_decode_steps: int = 8
+    prefetch_lookahead: int = 3
+    prefetch_confidence_decay: float = 0.8
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    mrs_alpha: float = 0.7
+    validate_plans: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_ratio <= 1.0:
+            raise ConfigError(f"cache_ratio must be in [0, 1], got {self.cache_ratio}")
+        if self.noise_sigma < 0:
+            raise ConfigError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
+        if self.prefetch_lookahead < 1:
+            raise ConfigError(
+                f"prefetch_lookahead must be >= 1, got {self.prefetch_lookahead}"
+            )
+
+
+class EngineRuntime:
+    """Shared state handed to strategies when they bind to an engine."""
+
+    def __init__(
+        self,
+        model: ReferenceMoEModel,
+        config: EngineConfig,
+        cost_actual: CostModel,
+        cost_estimated: CostModel,
+    ) -> None:
+        self.model = model
+        self.model_config = model.config
+        self.config = config
+        self.cost_actual = cost_actual
+        self.cost_estimated = cost_estimated
+        self.clock = ThreeResourceClock()
+        self.arrivals: dict[tuple[int, int], float] = {}
+        self.cache: ExpertCache | None = None
+        self.scheduler = HybridScheduler(self.estimated_oracle, config.scheduler)
+        self._warmup_trace: RoutingTrace | None = None
+
+    # ------------------------------------------------------------------
+    # oracles
+    # ------------------------------------------------------------------
+    def estimated_oracle(self, n_tokens: int) -> LayerCostOracle:
+        """Planner-side duration oracle for a step of ``n_tokens``."""
+        return LayerCostOracle.for_model(self.cost_estimated, self.model_config, n_tokens)
+
+    def actual_oracle(self, n_tokens: int) -> LayerCostOracle:
+        """Execution-side duration oracle for a step of ``n_tokens``."""
+        return LayerCostOracle.for_model(self.cost_actual, self.model_config, n_tokens)
+
+    # ------------------------------------------------------------------
+    # capacity & profiling
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """GPU expert slots implied by the cache ratio."""
+        total = self.model_config.total_routed_experts
+        return int(round(self.config.cache_ratio * total))
+
+    @property
+    def warmup_trace(self) -> RoutingTrace:
+        """Profiling trace recorded during the warmup phase (cached)."""
+        if self._warmup_trace is None:
+            rng = derive_rng(self.config.seed, "engine", "profile-tokens")
+            prompt = rng.integers(
+                0, self.model.vocab_size, size=self.config.profile_prompt_len
+            )
+            self._warmup_trace = generate_trace(
+                self.model,
+                prompt,
+                decode_steps=self.config.profile_decode_steps,
+                seed=self.config.seed,
+            )
+        return self._warmup_trace
+
+    def frequency_ranking(self) -> list[tuple[int, int]]:
+        """``(layer, expert)`` keys by warmup activation frequency, desc."""
+        counts = expert_activation_frequency(self.warmup_trace)
+        keys = [
+            (layer, expert)
+            for layer in range(counts.shape[0])
+            for expert in range(counts.shape[1])
+        ]
+        keys.sort(key=lambda k: (-counts[k[0], k[1]], k[0], k[1]))
+        return keys
+
+
+class InferenceEngine:
+    """Simulated hybrid CPU-GPU inference of one functional MoE model.
+
+    Parameters
+    ----------
+    model:
+        The functional model (routing + numerics substrate).
+    strategy:
+        Scheduling strategy instance (HybriMoE or a baseline).
+    hardware_profile:
+        Platform description; defaults to the paper's testbed.
+    config:
+        Engine knobs (cache ratio, seeds, calibration, ...).
+    """
+
+    def __init__(
+        self,
+        model: ReferenceMoEModel,
+        strategy: Strategy,
+        hardware_profile=None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        profile = hardware_profile or paper_testbed()
+        ground_truth = AnalyticCostModel(profile)
+        cost_actual: CostModel = ground_truth
+        if self.config.noise_sigma > 0:
+            cost_actual = NoisyCostModel(
+                ground_truth, self.config.noise_sigma, seed=self.config.seed
+            )
+        if self.config.calibrate:
+            cost_estimated: CostModel = WarmupCalibrator(ground_truth).calibrate(
+                model.config
+            )
+        else:
+            cost_estimated = ground_truth
+
+        self.model = model
+        self.strategy = strategy
+        self.runtime = EngineRuntime(model, self.config, cost_actual, cost_estimated)
+        strategy.bind(self.runtime)
+        self.runtime.cache = strategy.build_cache()
+        self.runtime.cache.validate()
+        self._state = model.new_state()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        prompt_tokens: np.ndarray,
+        decode_steps: int = 0,
+        decode_token_source: str = "sampled",
+    ) -> GenerationResult:
+        """Run one prefill over the prompt plus ``decode_steps`` tokens.
+
+        Decode tokens are the model's own continuations — sampled with
+        a seeded temperature by default (``"greedy"`` collapses the
+        functional model to a fixed point, which makes decode routing
+        unrealistically cache-friendly).
+        """
+        prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+        if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+            raise ConfigError("prompt_tokens must be a non-empty 1-D id array")
+        if decode_token_source not in ("sampled", "greedy"):
+            raise ConfigError(
+                f"decode_token_source must be 'sampled' or 'greedy', got "
+                f"{decode_token_source!r}"
+            )
+        result = GenerationResult(
+            model_name=self.model.config.name,
+            strategy_name=self.strategy.name,
+            cache_ratio=self.config.cache_ratio,
+            prefill=None,
+        )
+        sample_rng = derive_rng(self.config.seed, "engine", "decode-sampling")
+        hidden, metrics = self._run_step(prompt_tokens, "prefill")
+        result.prefill = metrics
+        last_hidden = hidden[-1]
+        for _ in range(decode_steps):
+            if decode_token_source == "greedy":
+                token = self.model.greedy_next_token(last_hidden)
+            else:
+                token = self.model.sample_next_token(last_hidden, sample_rng)
+            hidden, metrics = self._run_step(np.array([token]), "decode")
+            last_hidden = hidden[-1]
+            result.decode_steps.append(metrics)
+        cache = self._cache()
+        result.total_hits = cache.stats.hits
+        result.total_misses = cache.stats.misses
+        return result
+
+    def decode_only(self, num_steps: int, warm_prompt_len: int = 8) -> GenerationResult:
+        """Convenience: tiny prefill then ``num_steps`` decode tokens."""
+        rng = derive_rng(self.config.seed, "engine", "decode-only-prompt")
+        prompt = rng.integers(0, self.model.vocab_size, size=warm_prompt_len)
+        return self.generate(prompt, decode_steps=num_steps)
+
+    # ------------------------------------------------------------------
+    # the per-step pipeline
+    # ------------------------------------------------------------------
+    def _cache(self) -> ExpertCache:
+        cache = self.runtime.cache
+        if cache is None:
+            raise ConfigError("engine runtime has no cache bound")
+        return cache
+
+    def _run_step(
+        self, tokens: np.ndarray, stage: str
+    ) -> tuple[np.ndarray, StepMetrics]:
+        model = self.model
+        cfg = model.config
+        runtime = self.runtime
+        cache = self._cache()
+        clock = runtime.clock
+        n_tokens = int(tokens.size)
+        d_model = cfg.routed_expert_shape.d_model
+
+        step_start = clock.compute_frontier
+        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+
+        x = model.prepare_inputs(tokens, self._state)
+        for layer in range(cfg.num_layers):
+            barrier = clock.compute_frontier
+            attn_device = self.strategy.attention_device(layer)
+            attn_duration = runtime.cost_actual.attention_time(
+                d_model, n_tokens, device=attn_device
+            )
+            timeline = clock.gpu if attn_device == "gpu" else clock.cpu
+            _, attn_end = timeline.reserve(barrier, attn_duration, f"attn L{layer}")
+
+            h = model.attention(x, layer, self._state)
+            z = model.moe_input(h)
+            router = model.route(z, layer)
+            activated = tuple(
+                (expert, int(router.loads[expert]))
+                for expert in router.activated_experts()
+            )
+            cached = frozenset(cache.cached_experts_of_layer(layer))
+            for expert, _ in activated:
+                cache.access((layer, expert))
+
+            pcie_backlog = max(0.0, clock.pcie.available_at - attn_end)
+            inflight_offsets = tuple(
+                (expert, offset)
+                for expert, _ in activated
+                if expert in cached
+                and (
+                    offset := runtime.arrivals.get((layer, expert), 0.0) - attn_end
+                )
+                > 0.0
+            )
+            ctx = LayerContext(
+                layer=layer,
+                stage=stage,
+                n_tokens=n_tokens,
+                router=router,
+                activated=activated,
+                cached_experts=cached,
+                moe_start=attn_end,
+                pcie_backlog=pcie_backlog,
+                inflight_offsets=inflight_offsets,
+            )
+            self.strategy.observe_scores(ctx)
+            plan = self.strategy.plan_layer(ctx)
+            if self.config.validate_plans:
+                plan.validate(dict(activated), set(cached))
+
+            used_keys = {(layer, e) for e, _ in activated if e in cached}
+            used_keys.update((layer, t.expert) for t in plan.transfers)
+            cache.lock(used_keys)
+            execute_plan(
+                plan,
+                clock,
+                runtime.actual_oracle(n_tokens),
+                attn_end,
+                runtime.arrivals,
+            )
+            self.strategy.after_layer(ctx, plan)
+            cache.unlock_all()
+
+            routed_out = self._combine_outputs(z, layer, router, plan)
+            shared_out = model.shared_forward(z, layer)
+            x = h + model.residual_scale * (shared_out + routed_out)
+
+            self._issue_prefetches(ctx, z)
+
+        self._state.position += n_tokens
+        step_end = clock.compute_frontier
+        utilization = clock.utilization_summary(step_start, step_end)
+        metrics = StepMetrics(
+            stage=stage,
+            n_tokens=n_tokens,
+            start=step_start,
+            end=step_end,
+            hits=cache.stats.hits - hits_before,
+            misses=cache.stats.misses - misses_before,
+            utilization=utilization,
+        )
+        return x, metrics
+
+    def _combine_outputs(
+        self,
+        z: np.ndarray,
+        layer: int,
+        router: RouterOutput,
+        plan: ExecutionPlan,
+    ) -> np.ndarray:
+        """Recombine per-task expert outputs (ascending expert id).
+
+        Matches :meth:`ReferenceMoEModel.moe_forward` accumulation order
+        so scheduled execution is numerically identical to the
+        reference forward pass.
+        """
+        out = np.zeros_like(z)
+        model = self.model
+        for task in sorted(plan.routed_compute_tasks(), key=lambda t: t.expert):
+            rows = router.tokens_for_expert(task.expert)
+            weights = router.weights_for_expert(task.expert)
+            expert_out = model.expert_forward(z[rows], layer, task.expert)
+            np.add.at(out, rows, expert_out * weights[:, None].astype(z.dtype))
+        return out
+
+    def _issue_prefetches(self, ctx: LayerContext, z: np.ndarray) -> None:
+        """Build predictions, ask the strategy, and reserve transfers."""
+        runtime = self.runtime
+        cache = self._cache()
+        cfg = self.model.config
+        num_layers = cfg.num_layers
+        predictions: list[PredictedLayer] = []
+        for distance in range(1, self.config.prefetch_lookahead + 1):
+            future = ctx.layer + distance
+            if future >= num_layers:
+                break
+            scores = self.model.gate_scores(z, future).mean(axis=0)
+            predictions.append(
+                PredictedLayer(
+                    layer=future,
+                    scores=scores,
+                    n_tokens=ctx.n_tokens,
+                    cached_experts=frozenset(cache.cached_experts_of_layer(future)),
+                )
+            )
+        if not predictions:
+            return
+        d_model = cfg.routed_expert_shape.d_model
+        attn_est = runtime.cost_estimated.attention_time(d_model, ctx.n_tokens)
+        # A transfer is useful if it lands before its layer's MoE phase:
+        # roughly `distance` layer spans away. The just-executed layer's
+        # span (MoE makespan + one attention window) is the best local
+        # estimate of that span. PCIe work already queued (on-demand
+        # loads, earlier prefetches) eats into the window — when the
+        # link is saturated, prefetching only adds contention.
+        layer_span = (runtime.clock.compute_frontier - ctx.moe_start) + attn_est
+        backlog = max(
+            0.0, runtime.clock.pcie.available_at - runtime.clock.compute_frontier
+        )
+        budget = self.config.prefetch_lookahead * max(layer_span, attn_est) - backlog
+        if budget <= 0:
+            return
+        requests = self.strategy.prefetch_requests(
+            ctx,
+            predictions,
+            budget,
+            layer_span_s=max(layer_span, attn_est),
+            backlog_s=backlog,
+        )
+        for future_layer, expert in requests:
+            key = (future_layer, expert)
+            if key in cache:
+                continue
+            duration = runtime.cost_actual.transfer_time(cfg.routed_expert_shape)
+            _, finish = runtime.clock.pcie.reserve(
+                ctx.moe_start, duration, f"prefetch L{future_layer} E{expert}"
+            )
+            runtime.arrivals[key] = finish
+            cache.insert(key)

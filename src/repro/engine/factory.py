@@ -1,0 +1,96 @@
+"""Convenience constructors for strategies and engines.
+
+The experiment harness, examples and tests all build engines the same
+way; these helpers keep that construction in one place.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.adapmoe import AdapMoEStrategy
+from repro.baselines.ktransformers import KTransformersStrategy
+from repro.baselines.llamacpp import LlamaCppStrategy
+from repro.baselines.ondemand import OnDemandStrategy
+from repro.core.strategy import HybriMoEStrategy
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.strategy_base import Strategy
+from repro.errors import ConfigError
+from repro.hardware.cost_model import HardwareProfile
+from repro.hardware.platform_presets import get_hardware_preset
+from repro.models.model import ReferenceMoEModel
+from repro.models.presets import get_preset
+
+__all__ = ["available_strategies", "make_strategy", "make_engine"]
+
+_STRATEGIES = {
+    "hybrimoe": HybriMoEStrategy,
+    "ktransformers": KTransformersStrategy,
+    "adapmoe": AdapMoEStrategy,
+    "llamacpp": LlamaCppStrategy,
+    "ondemand": OnDemandStrategy,
+}
+
+
+def available_strategies() -> list[str]:
+    """Names accepted by :func:`make_strategy` / :func:`make_engine`."""
+    return sorted(_STRATEGIES)
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by short name.
+
+    Keyword arguments are forwarded (e.g. the HybriMoE ablation toggles
+    ``scheduling=False``).
+    """
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(available_strategies())
+        raise ConfigError(f"unknown strategy {name!r} (known: {known})") from None
+    return cls(**kwargs)
+
+
+def make_engine(
+    model: str | ReferenceMoEModel = "deepseek",
+    strategy: str | Strategy = "hybrimoe",
+    cache_ratio: float = 0.5,
+    hardware: str | HardwareProfile = "paper",
+    num_layers: int | None = None,
+    seed: int = 0,
+    engine_config: EngineConfig | None = None,
+    strategy_kwargs: dict | None = None,
+    model_kwargs: dict | None = None,
+) -> InferenceEngine:
+    """One-call engine construction from preset names.
+
+    Parameters
+    ----------
+    model:
+        Preset name (``"mixtral"``, ``"qwen2"``, ``"deepseek"``) or a
+        ready-made functional model.
+    strategy:
+        Strategy short name or instance.
+    cache_ratio:
+        GPU expert cache ratio (ignored when ``engine_config`` given).
+    hardware:
+        Hardware preset name or profile.
+    num_layers:
+        Optional layer-count override for fast runs.
+    seed:
+        Root seed for the model and engine workloads.
+    engine_config:
+        Full engine configuration; overrides ``cache_ratio``/``seed``.
+    strategy_kwargs / model_kwargs:
+        Extra constructor arguments for strategy / functional model.
+    """
+    if isinstance(model, str):
+        config = get_preset(model, num_layers=num_layers)
+        model = ReferenceMoEModel(config, seed=seed, **(model_kwargs or {}))
+    if isinstance(strategy, str):
+        strategy = make_strategy(strategy, **(strategy_kwargs or {}))
+    elif strategy_kwargs:
+        raise ConfigError("strategy_kwargs only apply when strategy is a name")
+    if isinstance(hardware, str):
+        hardware = get_hardware_preset(hardware)
+    if engine_config is None:
+        engine_config = EngineConfig(cache_ratio=cache_ratio, seed=seed)
+    return InferenceEngine(model, strategy, hardware, engine_config)

@@ -1,0 +1,119 @@
+"""Latency and utilisation metrics (TTFT, TBT, hit rates).
+
+The paper evaluates Time To First Token for the prefill stage and Time
+Between Tokens for decode (§VI-A.4). Both derive from the simulated
+clock: a step's duration is the wall time between its start barrier and
+the moment both compute resources drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["StepMetrics", "GenerationResult"]
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Timing and cache behaviour of one forward step."""
+
+    stage: str  # "prefill" | "decode"
+    n_tokens: int
+    start: float
+    end: float
+    hits: int
+    misses: int
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class GenerationResult:
+    """Full result of one prefill + decode generation run."""
+
+    model_name: str
+    strategy_name: str
+    cache_ratio: float
+    prefill: StepMetrics | None
+    decode_steps: list[StepMetrics] = field(default_factory=list)
+    total_hits: int = 0
+    total_misses: int = 0
+
+    @property
+    def ttft(self) -> float:
+        """Time To First Token: the prefill step's duration."""
+        if self.prefill is None:
+            raise SimulationError("run included no prefill step")
+        return self.prefill.duration
+
+    @property
+    def tbt_values(self) -> np.ndarray:
+        """Per-step decode latencies (Time Between Tokens)."""
+        return np.array([s.duration for s in self.decode_steps], dtype=np.float64)
+
+    @property
+    def mean_tbt(self) -> float:
+        """Mean decode latency per token."""
+        if not self.decode_steps:
+            raise SimulationError("run included no decode steps")
+        return float(self.tbt_values.mean())
+
+    @property
+    def decode_throughput(self) -> float:
+        """Decoded tokens per second."""
+        return 1.0 / self.mean_tbt
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_hits + self.total_misses
+        return self.total_hits / total if total else 0.0
+
+    def decode_hit_rate(self) -> float:
+        """Hit rate over decode steps only (the Fig. 9 metric)."""
+        hits = sum(s.hits for s in self.decode_steps)
+        misses = sum(s.misses for s in self.decode_steps)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def mean_utilization(self, stage: str) -> dict[str, float]:
+        """Average per-resource busy fraction across steps of a stage."""
+        steps = (
+            [self.prefill]
+            if stage == "prefill" and self.prefill is not None
+            else self.decode_steps
+            if stage == "decode"
+            else []
+        )
+        if not steps:
+            return {}
+        keys = steps[0].utilization.keys()
+        return {
+            k: float(np.mean([s.utilization.get(k, 0.0) for s in steps])) for k in keys
+        }
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat record for tabulation in the experiment harness."""
+        record: dict[str, float | str] = {
+            "model": self.model_name,
+            "strategy": self.strategy_name,
+            "cache_ratio": self.cache_ratio,
+            "hit_rate": self.hit_rate,
+        }
+        if self.prefill is not None:
+            record["ttft"] = self.ttft
+        if self.decode_steps:
+            record["mean_tbt"] = self.mean_tbt
+            record["decode_hit_rate"] = self.decode_hit_rate()
+        return record

@@ -1,0 +1,88 @@
+"""Generation sessions: repeatable prompt-to-completion runs.
+
+A :class:`GenerationSession` freezes a full system configuration
+(model, strategy, cache ratio, hardware, seed) and runs independent
+generations against it — each run gets a *fresh* engine so clocks and
+caches start cold, which is what the paper's per-configuration
+measurements assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.engine import EngineConfig
+from repro.engine.factory import make_engine
+from repro.engine.metrics import GenerationResult
+from repro.errors import ConfigError
+from repro.rng import derive_rng
+
+__all__ = ["SessionSpec", "GenerationSession"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Frozen system configuration for a session."""
+
+    model: str = "deepseek"
+    strategy: str = "hybrimoe"
+    cache_ratio: float = 0.5
+    hardware: str = "paper"
+    num_layers: int | None = None
+    seed: int = 0
+    strategy_kwargs: dict = field(default_factory=dict)
+    engine_config: EngineConfig | None = None
+
+
+class GenerationSession:
+    """Run generations against one frozen configuration."""
+
+    def __init__(self, spec: SessionSpec | None = None, **kwargs) -> None:
+        if spec is None:
+            spec = SessionSpec(**kwargs)
+        elif kwargs:
+            raise ConfigError("pass either a SessionSpec or keyword fields, not both")
+        self.spec = spec
+
+    def _fresh_engine(self):
+        return make_engine(
+            model=self.spec.model,
+            strategy=self.spec.strategy,
+            cache_ratio=self.spec.cache_ratio,
+            hardware=self.spec.hardware,
+            num_layers=self.spec.num_layers,
+            seed=self.spec.seed,
+            engine_config=self.spec.engine_config,
+            strategy_kwargs=dict(self.spec.strategy_kwargs),
+        )
+
+    def run(
+        self,
+        prompt_tokens: np.ndarray | None = None,
+        prompt_len: int = 128,
+        decode_steps: int = 32,
+        prompt_seed: int = 0,
+    ) -> GenerationResult:
+        """Run one generation on a fresh engine.
+
+        Parameters
+        ----------
+        prompt_tokens:
+            Explicit prompt ids; when omitted, ``prompt_len`` random
+            ids are drawn deterministically from ``prompt_seed``.
+        prompt_len:
+            Prompt length for the synthetic prompt.
+        decode_steps:
+            Number of decode tokens to generate after prefill.
+        prompt_seed:
+            Seed of the synthetic prompt (vary for repeated trials).
+        """
+        engine = self._fresh_engine()
+        if prompt_tokens is None:
+            if prompt_len <= 0:
+                raise ConfigError(f"prompt_len must be positive, got {prompt_len}")
+            rng = derive_rng(self.spec.seed, "session", "prompt", prompt_seed)
+            prompt_tokens = rng.integers(0, engine.model.vocab_size, size=prompt_len)
+        return engine.generate(np.asarray(prompt_tokens), decode_steps=decode_steps)

@@ -1,0 +1,133 @@
+"""Strategy interface: how a framework schedules one MoE layer.
+
+Every evaluated framework (HybriMoE and the four baselines) implements
+:class:`Strategy`. The engine owns the mechanics — clocks, the cache
+object, plan validation/execution, metric collection — and delegates
+three decisions to the strategy:
+
+- :meth:`Strategy.build_cache` — policy, capacity split, pinning;
+- :meth:`Strategy.plan_layer` — the per-layer execution plan;
+- :meth:`Strategy.prefetch_requests` — which experts of future layers
+  to pull over PCIe during idle windows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cache.manager import ExpertCache
+from repro.core.prefetch import PredictedLayer
+from repro.core.tasks import ExecutionPlan
+from repro.models.gating import RouterOutput
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.engine import EngineRuntime
+
+__all__ = ["LayerContext", "Strategy"]
+
+
+@dataclass(frozen=True)
+class LayerContext:
+    """Everything a strategy may consult when planning one layer."""
+
+    layer: int
+    stage: str  # "prefill" | "decode"
+    n_tokens: int
+    router: RouterOutput
+    activated: tuple[tuple[int, int], ...]
+    cached_experts: frozenset[int]
+    moe_start: float
+    pcie_backlog: float
+    #: Ready-time offsets (relative to moe_start) of cached experts
+    #: whose prefetch transfers are still in flight.
+    inflight_offsets: tuple[tuple[int, float], ...] = ()
+
+    def activated_dict(self) -> dict[int, int]:
+        return dict(self.activated)
+
+    def inflight_dict(self) -> dict[int, float]:
+        return dict(self.inflight_offsets)
+
+
+class Strategy(ABC):
+    """Per-framework scheduling behaviour plugged into the engine."""
+
+    #: Short identifier used in configs and result tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.runtime: "EngineRuntime | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "EngineRuntime") -> None:
+        """Attach the engine runtime, then run strategy setup."""
+        self.runtime = runtime
+        self.setup()
+
+    def setup(self) -> None:
+        """Hook for warmup-trace profiling, pinning decisions, etc."""
+
+    @abstractmethod
+    def build_cache(self) -> ExpertCache:
+        """Create the expert cache this strategy manages."""
+
+    # ------------------------------------------------------------------
+    # per-layer behaviour
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def plan_layer(self, ctx: LayerContext) -> ExecutionPlan:
+        """Produce the execution plan for one routed MoE layer."""
+
+    def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
+        """Post-execution cache maintenance.
+
+        Default behaviour: insert every transferred expert into the
+        cache (dynamic caching). Static-mapping strategies override
+        this with a no-op.
+        """
+        runtime = self._runtime()
+        for transfer in plan.transfers:
+            runtime.cache.insert((transfer.layer, transfer.expert))
+
+    def observe_scores(self, ctx: LayerContext) -> None:
+        """Feed routing scores to the cache policy (MRS signal).
+
+        Called once per layer before planning; default forwards the
+        mean scores so score-aware policies stay current.
+        """
+        runtime = self._runtime()
+        runtime.cache.observe_scores(ctx.layer, ctx.router.mean_scores())
+
+    def prefetch_requests(
+        self,
+        ctx: LayerContext,
+        predictions: list[PredictedLayer],
+        budget_s: float,
+        layer_span_s: float = float("inf"),
+        backlog_s: float = 0.0,
+    ) -> list[tuple[int, int]]:
+        """Experts of future layers to transfer during idle PCIe time.
+
+        ``layer_span_s`` estimates the wall time of one layer and
+        ``backlog_s`` the PCIe link's queued work — together they bound
+        which transfers can land before their target layer. Returns
+        ``(layer, expert)`` keys in issue order; default is no
+        prefetching.
+        """
+        return []
+
+    def attention_device(self, layer: int) -> str:
+        """Device running the layer's attention (llama.cpp overrides)."""
+        return "gpu"
+
+    # ------------------------------------------------------------------
+    def _runtime(self) -> "EngineRuntime":
+        if self.runtime is None:
+            raise RuntimeError(
+                f"strategy {self.name!r} used before being bound to an engine"
+            )
+        return self.runtime

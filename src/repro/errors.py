@@ -1,0 +1,41 @@
+"""Exception hierarchy for the HybriMoE reproduction.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so callers can catch package-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid model, hardware, or system configuration was supplied."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler produced or received an inconsistent state.
+
+    Raised, for example, when an execution plan misses an activated expert,
+    computes an expert twice, or orders a GPU task before the transfer that
+    makes its weights available.
+    """
+
+
+class CacheError(ReproError):
+    """An expert-cache invariant was violated.
+
+    Raised when capacity would be exceeded, a pinned entry would be evicted,
+    or a key is inserted twice.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event hardware simulator detected an impossible state."""
+
+
+class TraceError(ReproError):
+    """A routing trace is malformed or inconsistent with its model config."""

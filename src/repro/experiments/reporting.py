@@ -1,0 +1,125 @@
+"""Result tabulation: ASCII tables, speedups, CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "format_table",
+    "add_speedup_column",
+    "geometric_mean",
+    "save_csv",
+    "save_json",
+]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(
+    rows: list[dict],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render row dictionaries as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def add_speedup_column(
+    rows: list[dict],
+    value_column: str,
+    baseline_strategy: str = "ktransformers",
+    group_columns: tuple[str, ...] = ("model", "cache_ratio"),
+    strategy_column: str = "strategy",
+    speedup_column: str = "speedup",
+) -> list[dict]:
+    """Annotate rows with speedup relative to a baseline strategy.
+
+    Speedup is ``baseline_value / value`` within each group (higher is
+    better for latency metrics), matching the paper's "speedup vs
+    kTransformers" presentation in Figs. 7/8.
+    """
+    baselines: dict[tuple, float] = {}
+    for row in rows:
+        if row.get(strategy_column) == baseline_strategy:
+            key = tuple(row.get(col) for col in group_columns)
+            baselines[key] = float(row[value_column])
+    annotated = []
+    for row in rows:
+        new_row = dict(row)
+        key = tuple(row.get(col) for col in group_columns)
+        base = baselines.get(key)
+        if base is not None and float(row[value_column]) > 0:
+            new_row[speedup_column] = base / float(row[value_column])
+        annotated.append(new_row)
+    return annotated
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the conventional aggregate for speedups)."""
+    if not values:
+        raise ConfigError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def save_json(rows: list[dict], path: str | Path) -> None:
+    """Write rows to a JSON file (numpy scalars coerced to Python)."""
+    def _coerce(value):
+        if hasattr(value, "item"):
+            return value.item()
+        return value
+
+    payload = [{k: _coerce(v) for k, v in row.items()} for row in rows]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def save_csv(rows: list[dict], path: str | Path) -> None:
+    """Write rows to CSV with the union of all keys as header."""
+    if not rows:
+        Path(path).write_text("")
+        return
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)

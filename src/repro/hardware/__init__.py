@@ -1,0 +1,46 @@
+"""Hardware substrate: analytic cost models and resource timelines.
+
+This package replaces the paper's physical testbed (RTX A6000 + 10-core
+Xeon + PCIe) with an analytic roofline cost model and discrete-event
+resource timelines. The cost model is calibrated to the paper's measured
+behaviour (Fig. 3e/f): GPU expert time is roughly constant in the token
+load (weight-bandwidth bound at inference batch sizes), CPU time grows
+linearly with load (FLOP bound) with a first-task warmup penalty, and
+PCIe transfer time is constant per expert.
+"""
+
+from repro.hardware.cost_model import (
+    AnalyticCostModel,
+    CostModel,
+    FittedCostModel,
+    HardwareProfile,
+    NoisyCostModel,
+)
+from repro.hardware.device import ResourceTimeline, TimelineInterval
+from repro.hardware.platform_presets import (
+    HARDWARE_PRESETS,
+    cpu_weak_testbed,
+    get_hardware_preset,
+    paper_testbed,
+    pcie_fast_testbed,
+)
+from repro.hardware.simulator import Resource, ThreeResourceClock
+from repro.hardware.warmup import WarmupCalibrator
+
+__all__ = [
+    "CostModel",
+    "AnalyticCostModel",
+    "FittedCostModel",
+    "NoisyCostModel",
+    "HardwareProfile",
+    "ResourceTimeline",
+    "TimelineInterval",
+    "Resource",
+    "ThreeResourceClock",
+    "WarmupCalibrator",
+    "HARDWARE_PRESETS",
+    "paper_testbed",
+    "cpu_weak_testbed",
+    "pcie_fast_testbed",
+    "get_hardware_preset",
+]

@@ -1,0 +1,113 @@
+"""Resource timelines: append-only busy-interval ledgers per device.
+
+A :class:`ResourceTimeline` records every interval a resource (GPU, CPU
+or the PCIe link) is busy, enforces monotonicity (no overlapping work on
+a serial resource) and answers utilisation queries. It is the audit
+trail of both the planner's schedule simulations and the engine's actual
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["TimelineInterval", "ResourceTimeline"]
+
+_TIME_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class TimelineInterval:
+    """One busy interval on a resource."""
+
+    start: float
+    finish: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class ResourceTimeline:
+    """Serial resource with an append-only schedule.
+
+    Intervals must be reserved in non-decreasing start order; each
+    reservation returns the actual ``(start, finish)`` pair after
+    queueing behind earlier work.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._intervals: list[TimelineInterval] = []
+        self._available_at = 0.0
+
+    @property
+    def available_at(self) -> float:
+        """Earliest time new work can start."""
+        return self._available_at
+
+    @property
+    def intervals(self) -> list[TimelineInterval]:
+        """All reserved intervals, in start order (copy-safe view)."""
+        return list(self._intervals)
+
+    def reserve(self, earliest_start: float, duration: float, label: str) -> tuple[float, float]:
+        """Reserve ``duration`` seconds at or after ``earliest_start``.
+
+        Returns
+        -------
+        tuple
+            The committed ``(start, finish)`` times. Work queues behind
+            any previously reserved interval.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"{self.name}: negative duration {duration} for {label!r}"
+            )
+        if earliest_start < -_TIME_TOLERANCE:
+            raise SimulationError(
+                f"{self.name}: negative start time {earliest_start} for {label!r}"
+            )
+        start = max(self._available_at, earliest_start)
+        finish = start + duration
+        if duration > 0.0:
+            self._intervals.append(TimelineInterval(start, finish, label))
+        self._available_at = max(self._available_at, finish)
+        return start, finish
+
+    def busy_time(self, window_start: float = 0.0, window_end: float | None = None) -> float:
+        """Total busy seconds within ``[window_start, window_end]``."""
+        if window_end is None:
+            window_end = self._available_at
+        if window_end < window_start:
+            raise SimulationError(
+                f"{self.name}: window end {window_end} before start {window_start}"
+            )
+        total = 0.0
+        for interval in self._intervals:
+            lo = max(interval.start, window_start)
+            hi = min(interval.finish, window_end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, window_start: float = 0.0, window_end: float | None = None) -> float:
+        """Busy fraction of the window (0 when the window is empty)."""
+        if window_end is None:
+            window_end = self._available_at
+        span = window_end - window_start
+        if span <= 0:
+            return 0.0
+        return self.busy_time(window_start, window_end) / span
+
+    def validate(self) -> None:
+        """Check the no-overlap invariant; raises on violation."""
+        for prev, curr in zip(self._intervals, self._intervals[1:]):
+            if curr.start < prev.finish - _TIME_TOLERANCE:
+                raise SimulationError(
+                    f"{self.name}: interval {curr.label!r} starts at {curr.start} "
+                    f"before {prev.label!r} finishes at {prev.finish}"
+                )

@@ -1,0 +1,102 @@
+"""Hardware profiles, including the paper's evaluation testbed.
+
+The ``paper_testbed`` profile models the platform of §VI-A: an NVIDIA
+RTX A6000 paired with an Intel Xeon Gold 5220R restricted to 10 cores,
+connected by PCIe. Rates are *effective* values for 4-bit quantised
+kernels, chosen so the per-expert times land in the ranges the paper
+reports in Fig. 3(e)/(f); absolute wall-clock fidelity is not required
+for the reproduction (we compare schedulers on identical hardware), but
+the *ratios* between CPU compute, GPU compute and PCIe transfer are what
+drive every scheduling decision, so they are matched with care:
+
+- transferring a large expert costs several times a single-token CPU
+  computation of the same expert (so decode favours CPU compute — the
+  Fiddler/kTransformers premise);
+- at prefill batch sizes the GPU is one to two orders of magnitude
+  faster per expert than the CPU (so prefill favours transfers);
+- small DeepSeek experts transfer quickly relative to their CPU time,
+  moving the crossover point — which is exactly why the paper evaluates
+  models with heterogeneous expert sizes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hardware.cost_model import HardwareProfile
+
+__all__ = [
+    "paper_testbed",
+    "cpu_weak_testbed",
+    "pcie_fast_testbed",
+    "HARDWARE_PRESETS",
+    "get_hardware_preset",
+]
+
+
+def paper_testbed() -> HardwareProfile:
+    """RTX A6000 + 10-core Xeon Gold 5220R over PCIe 3.0 x16 (the paper's rig)."""
+    return HardwareProfile(
+        name="a6000-xeon10",
+        gpu_flops=25e12,          # effective 4-bit GEMM throughput
+        gpu_mem_bw=450e9,         # effective of 768 GB/s peak
+        gpu_overhead_s=30e-6,
+        cpu_flops=180e9,          # 10 cores, AVX-512, quantised GEMM
+        cpu_mem_bw=60e9,          # shared DDR4 bandwidth for 10 cores
+        cpu_task_overhead_s=15e-6,
+        cpu_warmup_s=120e-6,      # cold-cache first task (Fig. 3e)
+        pcie_bw=20e9,             # PCIe 3.0 x16 effective
+        pcie_latency_s=40e-6,
+        bits_per_param=4.5,       # Marlin 4-bit + scales
+    )
+
+
+def cpu_weak_testbed() -> HardwareProfile:
+    """Variant with half the CPU resources (scalability study)."""
+    base = paper_testbed()
+    return HardwareProfile(
+        name="a6000-xeon5",
+        gpu_flops=base.gpu_flops,
+        gpu_mem_bw=base.gpu_mem_bw,
+        gpu_overhead_s=base.gpu_overhead_s,
+        cpu_flops=base.cpu_flops / 2,
+        cpu_mem_bw=base.cpu_mem_bw / 2,
+        cpu_task_overhead_s=base.cpu_task_overhead_s,
+        cpu_warmup_s=base.cpu_warmup_s,
+        pcie_bw=base.pcie_bw,
+        pcie_latency_s=base.pcie_latency_s,
+        bits_per_param=base.bits_per_param,
+    )
+
+
+def pcie_fast_testbed() -> HardwareProfile:
+    """Variant with PCIe 4.0-class bandwidth (transfer-rich regime)."""
+    base = paper_testbed()
+    return HardwareProfile(
+        name="a6000-pcie4",
+        gpu_flops=base.gpu_flops,
+        gpu_mem_bw=base.gpu_mem_bw,
+        gpu_overhead_s=base.gpu_overhead_s,
+        cpu_flops=base.cpu_flops,
+        cpu_mem_bw=base.cpu_mem_bw,
+        cpu_task_overhead_s=base.cpu_task_overhead_s,
+        cpu_warmup_s=base.cpu_warmup_s,
+        pcie_bw=2 * base.pcie_bw,
+        pcie_latency_s=base.pcie_latency_s / 2,
+        bits_per_param=base.bits_per_param,
+    )
+
+
+HARDWARE_PRESETS = {
+    "paper": paper_testbed,
+    "cpu-weak": cpu_weak_testbed,
+    "pcie-fast": pcie_fast_testbed,
+}
+
+
+def get_hardware_preset(name: str) -> HardwareProfile:
+    """Look up a hardware profile by preset name."""
+    try:
+        return HARDWARE_PRESETS[name]()
+    except KeyError:
+        known = ", ".join(sorted(HARDWARE_PRESETS))
+        raise ConfigError(f"unknown hardware preset {name!r} (known: {known})") from None

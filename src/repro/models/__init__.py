@@ -1,0 +1,47 @@
+"""Model substrate: functional MoE models with Table II architectures.
+
+This package provides the *model side* of the reproduction:
+
+- :mod:`repro.models.config` — architecture descriptions (layer counts,
+  expert counts and shapes) matching Table II of the paper;
+- :mod:`repro.models.presets` — the three evaluated models (Mixtral,
+  Qwen2, DeepSeek) plus scaled-down simulation variants;
+- :mod:`repro.models.gating` — softmax top-K routing;
+- :mod:`repro.models.experts` — SwiGLU expert feed-forward kernels;
+- :mod:`repro.models.model` — :class:`ReferenceMoEModel`, a functional
+  numpy transformer-with-MoE whose hidden states flow through residual
+  layers, so routing statistics (temporal reuse, adjacent-layer
+  similarity, load imbalance) emerge from the same mechanism the paper
+  exploits.
+"""
+
+from repro.models.config import ExpertShape, MoEModelConfig
+from repro.models.experts import ExpertWeights, expert_forward, silu
+from repro.models.gating import RouterOutput, route_tokens, softmax, top_k_indices
+from repro.models.model import DecodeState, ReferenceMoEModel
+from repro.models.presets import (
+    MODEL_PRESETS,
+    deepseek_v2_lite,
+    get_preset,
+    mixtral_8x7b,
+    qwen2_57b_a14b,
+)
+
+__all__ = [
+    "ExpertShape",
+    "MoEModelConfig",
+    "ExpertWeights",
+    "expert_forward",
+    "silu",
+    "RouterOutput",
+    "route_tokens",
+    "softmax",
+    "top_k_indices",
+    "DecodeState",
+    "ReferenceMoEModel",
+    "MODEL_PRESETS",
+    "get_preset",
+    "mixtral_8x7b",
+    "qwen2_57b_a14b",
+    "deepseek_v2_lite",
+]

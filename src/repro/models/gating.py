@@ -1,0 +1,137 @@
+"""Softmax top-K routing for MoE layers.
+
+Implements the gating function of eq. (1) in the paper:
+
+.. math::
+
+    y = \\sum_i \\mathrm{Softmax}(\\mathrm{TopK}(x W_g))_i \\, E_i(x)
+
+Scores are computed with a full softmax over expert logits; the top-K
+experts per token are selected and their weights renormalised so each
+token's expert weights sum to one (the Mixtral convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["softmax", "top_k_indices", "RouterOutput", "route_tokens"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries per row, sorted by score desc.
+
+    Parameters
+    ----------
+    scores:
+        Array of shape ``(n_tokens, n_experts)``.
+    k:
+        Number of experts to select per token.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(n_tokens, k)``. Ties are broken by
+        expert index (lower index wins) so results are deterministic.
+    """
+    if scores.ndim != 2:
+        raise ConfigError(f"scores must be 2-D (tokens, experts), got {scores.ndim}-D")
+    n_experts = scores.shape[1]
+    if not 0 < k <= n_experts:
+        raise ConfigError(f"k must be in [1, {n_experts}], got {k}")
+    # argsort on (-score, index): stable sort on negated scores gives
+    # deterministic tie-breaking by expert index.
+    order = np.argsort(-scores, axis=1, kind="stable")
+    return order[:, :k]
+
+
+@dataclass(frozen=True)
+class RouterOutput:
+    """Routing decision for one MoE layer over a batch of tokens.
+
+    Attributes
+    ----------
+    scores:
+        Full softmax scores, shape ``(n_tokens, n_experts)``.
+    topk_idx:
+        Selected expert indices per token, shape ``(n_tokens, k)``.
+    topk_weights:
+        Renormalised weights per selected expert, shape ``(n_tokens, k)``;
+        rows sum to one.
+    loads:
+        Number of tokens routed to each expert, shape ``(n_experts,)``.
+    """
+
+    scores: np.ndarray
+    topk_idx: np.ndarray
+    topk_weights: np.ndarray
+    loads: np.ndarray
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def n_experts(self) -> int:
+        return int(self.scores.shape[1])
+
+    @property
+    def k(self) -> int:
+        return int(self.topk_idx.shape[1])
+
+    def activated_experts(self) -> list[int]:
+        """Expert ids with at least one routed token, ascending."""
+        return [int(e) for e in np.flatnonzero(self.loads > 0)]
+
+    def mean_scores(self) -> np.ndarray:
+        """Per-expert scores averaged over tokens (used by the MRS cache)."""
+        return self.scores.mean(axis=0)
+
+    def tokens_for_expert(self, expert_id: int) -> np.ndarray:
+        """Row indices of tokens routed to ``expert_id``."""
+        rows, _ = np.nonzero(self.topk_idx == expert_id)
+        return rows
+
+    def weights_for_expert(self, expert_id: int) -> np.ndarray:
+        """Routing weights of the tokens routed to ``expert_id``."""
+        rows, cols = np.nonzero(self.topk_idx == expert_id)
+        return self.topk_weights[rows, cols]
+
+
+def route_tokens(scores: np.ndarray, k: int) -> RouterOutput:
+    """Select the top-``k`` experts per token and renormalise weights.
+
+    Parameters
+    ----------
+    scores:
+        Softmax scores of shape ``(n_tokens, n_experts)``; rows should
+        sum to one (a full softmax output).
+    k:
+        Number of experts activated per token.
+    """
+    topk_idx = top_k_indices(scores, k)
+    rows = np.arange(scores.shape[0])[:, None]
+    selected = scores[rows, topk_idx]
+    total = selected.sum(axis=1, keepdims=True)
+    # Guard against a degenerate all-zero row (cannot happen with softmax
+    # input, but keeps the function total for arbitrary score matrices).
+    total = np.where(total <= 0.0, 1.0, total)
+    topk_weights = selected / total
+    loads = np.bincount(topk_idx.ravel(), minlength=scores.shape[1])
+    return RouterOutput(
+        scores=scores,
+        topk_idx=topk_idx,
+        topk_weights=topk_weights,
+        loads=loads,
+    )

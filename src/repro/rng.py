@@ -1,0 +1,50 @@
+"""Deterministic random-number-generator derivation.
+
+Every stochastic component of the reproduction (model weights, synthetic
+workloads, routing noise) derives its generator from a root seed plus a
+tuple of string/int keys. Deriving rather than sharing generators keeps
+results stable when components are added, removed, or reordered: the
+trace produced for ``("model", "mixtral", layer)`` never changes because an
+unrelated component consumed random numbers first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "derive_rng"]
+
+_HASH_BYTES = 8
+
+
+def derive_seed(root_seed: int, *keys: object) -> int:
+    """Derive a stable 63-bit seed from a root seed and a key path.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.
+    keys:
+        Any hashable path components (strings, ints); they are rendered
+        with ``repr`` so ``1`` and ``"1"`` derive different seeds.
+
+    Examples
+    --------
+    >>> derive_seed(0, "model") != derive_seed(0, "workload")
+    True
+    >>> derive_seed(0, "model") == derive_seed(0, "model")
+    True
+    """
+    digest = hashlib.blake2b(digest_size=_HASH_BYTES)
+    digest.update(repr(int(root_seed)).encode())
+    for key in keys:
+        digest.update(b"/")
+        digest.update(repr(key).encode())
+    return int.from_bytes(digest.digest(), "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def derive_rng(root_seed: int, *keys: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded from a key path."""
+    return np.random.default_rng(derive_seed(root_seed, *keys))

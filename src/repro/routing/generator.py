@@ -1,0 +1,107 @@
+"""Trace capture: run the functional model and record routing decisions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.models.gating import RouterOutput
+from repro.models.model import ReferenceMoEModel
+from repro.routing.trace import LayerRouting, RoutingTrace, StepTrace
+from repro.rng import derive_rng
+
+__all__ = ["generate_trace"]
+
+
+def _router_to_layer_routing(layer: int, router: RouterOutput) -> LayerRouting:
+    return LayerRouting(
+        layer=layer,
+        loads=router.loads.astype(np.int64),
+        mean_scores=router.mean_scores().astype(np.float64),
+    )
+
+
+def generate_trace(
+    model: ReferenceMoEModel,
+    prompt_tokens: np.ndarray,
+    decode_steps: int = 0,
+    seed: int = 0,
+    decode_token_source: str = "sampled",
+) -> RoutingTrace:
+    """Run one prefill (plus optional decode) and record routing per layer.
+
+    Parameters
+    ----------
+    model:
+        The functional model to trace.
+    prompt_tokens:
+        1-D array of prompt token ids (the prefill batch).
+    decode_steps:
+        Number of auto-regressive decode tokens to append.
+    seed:
+        Seed for the ``"random"`` decode token source.
+    decode_token_source:
+        ``"sampled"`` (default) feeds seeded temperature samples of the
+        model's own continuation — the realistic setting; ``"greedy"``
+        feeds argmax continuations (the functional model then collapses
+        to a fixed point, an idealised best case for caching);
+        ``"random"`` feeds uniformly random ids (an adversarial upper
+        bound on routing churn).
+
+    Returns
+    -------
+    RoutingTrace
+        One prefill step followed by ``decode_steps`` decode steps.
+    """
+    prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+    if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+        raise TraceError("prompt_tokens must be a non-empty 1-D id array")
+    if decode_token_source not in ("sampled", "greedy", "random"):
+        raise TraceError(
+            "decode_token_source must be 'sampled', 'greedy' or 'random', "
+            f"got {decode_token_source!r}"
+        )
+
+    rng = derive_rng(seed, "trace", model.config.name, "decode-tokens")
+    steps: list[StepTrace] = []
+
+    hidden, routers, state = model.forward(prompt_tokens)
+    steps.append(
+        StepTrace(
+            kind="prefill",
+            n_tokens=int(prompt_tokens.size),
+            layers=[
+                _router_to_layer_routing(layer, router)
+                for layer, router in enumerate(routers)
+            ],
+        )
+    )
+
+    last_hidden = hidden[-1]
+    for _ in range(decode_steps):
+        if decode_token_source == "greedy":
+            token = model.greedy_next_token(last_hidden)
+        elif decode_token_source == "sampled":
+            token = model.sample_next_token(last_hidden, rng)
+        else:
+            token = int(rng.integers(0, model.vocab_size))
+        hidden, routers, state = model.forward(np.array([token]), state)
+        last_hidden = hidden[-1]
+        steps.append(
+            StepTrace(
+                kind="decode",
+                n_tokens=1,
+                layers=[
+                    _router_to_layer_routing(layer, router)
+                    for layer, router in enumerate(routers)
+                ],
+            )
+        )
+
+    return RoutingTrace(
+        model_name=model.config.name,
+        num_layers=model.config.num_layers,
+        num_experts=model.config.num_routed_experts,
+        num_activated=model.config.num_activated_experts,
+        steps=steps,
+    )

@@ -1,0 +1,204 @@
+"""Routing statistics behind the paper's motivation analyses (Fig. 3a-c).
+
+All functions operate on recorded :class:`~repro.routing.trace.RoutingTrace`
+objects (or, for gate-reuse accuracy, directly on a model) and return
+plain numpy arrays ready for tabulation or plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.models.model import ReferenceMoEModel
+from repro.routing.trace import RoutingTrace
+from repro.rng import derive_rng
+
+__all__ = [
+    "activation_cdf",
+    "synthetic_neuron_activation_cdf",
+    "reuse_probability_by_rank",
+    "prefill_load_distribution",
+    "adjacent_layer_overlap",
+    "expert_activation_frequency",
+    "gate_reuse_accuracy",
+]
+
+
+def expert_activation_frequency(trace: RoutingTrace) -> np.ndarray:
+    """Activation counts per ``(layer, expert)`` across all steps.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(num_layers, num_experts)``. This is the
+        profiling signal the kTransformers baseline pins experts with.
+    """
+    counts = np.zeros((trace.num_layers, trace.num_experts), dtype=np.int64)
+    for step in trace.steps:
+        for routing in step.layers:
+            counts[routing.layer] += (routing.loads > 0).astype(np.int64)
+    return counts
+
+
+def activation_cdf(trace: RoutingTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative activation frequency curve (paper Fig. 3a).
+
+    Experts (pooled over layers) are sorted by activation count
+    descending; the curve maps the top ``x`` fraction of experts to the
+    fraction of all activations they account for. A flat, diagonal-like
+    curve means evenly spread activations (the MoE behaviour that makes
+    static mapping ineffective).
+
+    Returns
+    -------
+    tuple
+        ``(expert_proportion, cumulative_activation)`` both in ``[0, 1]``.
+    """
+    counts = expert_activation_frequency(trace).ravel().astype(np.float64)
+    if counts.sum() == 0:
+        raise TraceError("trace contains no activations")
+    ordered = np.sort(counts)[::-1]
+    cumulative = np.cumsum(ordered) / ordered.sum()
+    proportion = np.arange(1, ordered.size + 1) / ordered.size
+    return proportion, cumulative
+
+
+def synthetic_neuron_activation_cdf(
+    n_neurons: int = 4096, zipf_exponent: float = 1.2, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic stand-in for the OPT neuron-activation CDF of Fig. 3a.
+
+    PowerInfer-style neuron-level sparsity is highly skewed (a few hot
+    neurons dominate). Absent the OPT model, we model neuron activation
+    frequencies with a Zipf law, which reproduces the qualitative
+    contrast against the near-uniform expert curve.
+    """
+    if n_neurons <= 0:
+        raise TraceError(f"n_neurons must be positive, got {n_neurons}")
+    rng = derive_rng(seed, "synthetic-neuron-cdf")
+    ranks = np.arange(1, n_neurons + 1, dtype=np.float64)
+    freqs = ranks ** (-zipf_exponent)
+    freqs *= 1.0 + 0.05 * rng.standard_normal(n_neurons)
+    freqs = np.clip(freqs, 1e-9, None)
+    ordered = np.sort(freqs)[::-1]
+    cumulative = np.cumsum(ordered) / ordered.sum()
+    proportion = ranks / n_neurons
+    return proportion, cumulative
+
+
+def reuse_probability_by_rank(trace: RoutingTrace) -> np.ndarray:
+    """P(expert activated at step t+1) by its score rank at step t (Fig. 3b).
+
+    For every consecutive pair of *decode* steps and every layer, experts
+    are ranked by their step-``t`` mean routing score (rank 0 = highest).
+    The returned array gives, per rank, the empirical probability that
+    the expert at that rank is activated at step ``t+1``. A monotonically
+    decreasing curve is the signal exploited by score-aware caching.
+    """
+    decode = trace.decode_steps()
+    if len(decode) < 2:
+        raise TraceError("need at least two decode steps for reuse probability")
+    hits = np.zeros(trace.num_experts, dtype=np.float64)
+    totals = 0
+    for prev, nxt in zip(decode[:-1], decode[1:]):
+        for layer in range(trace.num_layers):
+            order = np.argsort(-prev.layers[layer].mean_scores, kind="stable")
+            activated_next = nxt.layers[layer].loads > 0
+            hits += activated_next[order]
+            totals += 1
+    return hits / totals
+
+
+def prefill_load_distribution(trace: RoutingTrace, layer: int = 0) -> np.ndarray:
+    """Per-expert token loads in a prefill forward, sorted desc (Fig. 3c)."""
+    prefill = trace.prefill_steps()
+    if not prefill:
+        raise TraceError("trace contains no prefill step")
+    if not 0 <= layer < trace.num_layers:
+        raise TraceError(f"layer {layer} out of range [0, {trace.num_layers})")
+    loads = prefill[0].layers[layer].loads.astype(np.int64)
+    return np.sort(loads)[::-1]
+
+
+def adjacent_layer_overlap(trace: RoutingTrace, distance: int = 1) -> float:
+    """Mean Jaccard overlap of activated sets between layers ``l``/``l+d``.
+
+    High overlap between nearby layers is one of the structural patterns
+    (Opportunity 1) that make cross-layer prefetching worthwhile.
+    """
+    if distance < 1:
+        raise TraceError(f"distance must be >= 1, got {distance}")
+    overlaps: list[float] = []
+    for step in trace.steps:
+        for layer in range(trace.num_layers - distance):
+            a = set(step.layers[layer].activated())
+            b = set(step.layers[layer + distance].activated())
+            union = a | b
+            if union:
+                overlaps.append(len(a & b) / len(union))
+    if not overlaps:
+        raise TraceError("no layer pairs with activations found")
+    return float(np.mean(overlaps))
+
+
+def gate_reuse_accuracy(
+    model: ReferenceMoEModel,
+    prompt_tokens: np.ndarray,
+    max_distance: int = 3,
+) -> np.ndarray:
+    """Accuracy of the paper's gate-reuse prediction (§IV-C, Fig. 6).
+
+    Applies layer ``l+d``'s gate to layer ``l``'s hidden state and
+    measures, *per token*, what fraction of that token's truly selected
+    top-K experts at layer ``l+d`` the prediction recovers, for
+    ``d = 1..max_distance``. This quantifies how quickly prediction
+    quality decays with lookahead depth, which motivates the
+    prefetcher's confidence discounting.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(max_distance,)`` with mean per-token recall in
+        ``[0, 1]`` per distance.
+    """
+    prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+    if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+        raise TraceError("prompt_tokens must be a non-empty 1-D id array")
+    if max_distance < 1:
+        raise TraceError(f"max_distance must be >= 1, got {max_distance}")
+
+    state = model.new_state()
+    x = model.prepare_inputs(prompt_tokens, state)
+    k = model.config.num_activated_experts
+    recalls: list[list[float]] = [[] for _ in range(max_distance)]
+    z_history: list[np.ndarray] = []
+    actual_topk: list[np.ndarray] = []
+
+    for layer in range(model.config.num_layers):
+        h = model.attention(x, layer, state)
+        z = model.moe_input(h)
+        router = model.route(z, layer)
+        z_history.append(z)
+        actual_topk.append(router.topk_idx)
+        moe_out = model.shared_forward(z, layer) + model.moe_forward(z, layer, router)
+        x = h + model.residual_scale * moe_out
+
+    n_tokens = prompt_tokens.size
+    for layer, z in enumerate(z_history):
+        for d in range(1, max_distance + 1):
+            future = layer + d
+            if future >= model.config.num_layers:
+                break
+            predicted_scores = model.gate_scores(z, future)
+            predicted_order = np.argsort(-predicted_scores, axis=1, kind="stable")
+            predicted_topk = predicted_order[:, :k]
+            per_token = [
+                len(set(predicted_topk[t]) & set(actual_topk[future][t])) / k
+                for t in range(n_tokens)
+            ]
+            recalls[d - 1].append(float(np.mean(per_token)))
+
+    return np.array(
+        [float(np.mean(r)) if r else float("nan") for r in recalls], dtype=np.float64
+    )

@@ -1,0 +1,11 @@
+"""Version information for the HybriMoE reproduction package."""
+
+__version__ = "0.1.0"
+
+#: Paper reproduced by this package.
+PAPER_TITLE = (
+    "HybriMoE: Hybrid CPU-GPU Scheduling and Cache Management "
+    "for Efficient MoE Inference"
+)
+PAPER_VENUE = "DAC 2025"
+PAPER_ARXIV = "2504.05897"

@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for the paper's evaluation datasets.
+
+The paper samples prompt traces of different lengths from MT-Bench,
+Vicuna-Bench and ChatGPT-Prompts (§VI-A.5). Only prompt *lengths* (and
+decode step counts) matter to the scheduling system, so this package
+provides seeded length samplers matched to each dataset's published
+length profile, plus the prefill length buckets (32/128/512/1024) used
+in Fig. 7.
+"""
+
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    PREFILL_BUCKETS,
+    DatasetProfile,
+    bucket_length,
+    sample_prompt,
+    sample_prompt_length,
+)
+from repro.workloads.generator import (
+    WorkloadSpec,
+    decode_workload,
+    prefill_workloads,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "PREFILL_BUCKETS",
+    "sample_prompt_length",
+    "sample_prompt",
+    "bucket_length",
+    "WorkloadSpec",
+    "prefill_workloads",
+    "decode_workload",
+]

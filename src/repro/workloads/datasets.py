@@ -1,0 +1,114 @@
+"""Dataset length profiles and prompt samplers.
+
+Each profile models a dataset's prompt-length distribution as a
+truncated log-normal — a good fit for chat-style prompt corpora. The
+medians/shapes below follow the published statistics of the respective
+datasets (MT-Bench turns are short questions; Vicuna-Bench prompts are
+single-sentence tasks; ChatGPT-Prompts are persona instructions with a
+long tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import derive_rng
+
+__all__ = [
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "PREFILL_BUCKETS",
+    "sample_prompt_length",
+    "sample_prompt",
+    "bucket_length",
+]
+
+#: Prefill length buckets evaluated in paper Fig. 7.
+PREFILL_BUCKETS = (32, 128, 512, 1024)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Truncated log-normal prompt-length model for one dataset."""
+
+    name: str
+    median_tokens: float
+    sigma: float
+    min_tokens: int
+    max_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.median_tokens <= 0 or self.sigma <= 0:
+            raise ConfigError(f"invalid length profile for {self.name!r}")
+        if not 0 < self.min_tokens <= self.max_tokens:
+            raise ConfigError(f"invalid length bounds for {self.name!r}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one prompt length."""
+        length = rng.lognormal(mean=np.log(self.median_tokens), sigma=self.sigma)
+        return int(np.clip(round(length), self.min_tokens, self.max_tokens))
+
+
+DATASET_PROFILES = {
+    "mtbench": DatasetProfile("mtbench", median_tokens=55.0, sigma=0.55, min_tokens=8, max_tokens=512),
+    "vicuna": DatasetProfile("vicuna", median_tokens=35.0, sigma=0.45, min_tokens=6, max_tokens=256),
+    "chatgpt-prompts": DatasetProfile(
+        "chatgpt-prompts", median_tokens=120.0, sigma=0.75, min_tokens=12, max_tokens=2048
+    ),
+}
+
+
+def _profile(dataset: str) -> DatasetProfile:
+    try:
+        return DATASET_PROFILES[dataset]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_PROFILES))
+        raise ConfigError(f"unknown dataset {dataset!r} (known: {known})") from None
+
+
+def sample_prompt_length(dataset: str, seed: int = 0, index: int = 0) -> int:
+    """Deterministically sample one prompt length from a dataset profile."""
+    rng = derive_rng(seed, "workload", dataset, "length", index)
+    return _profile(dataset).sample(rng)
+
+
+def bucket_length(bucket: int, seed: int = 0, index: int = 0, jitter: float = 0.1) -> int:
+    """Length "around" a Fig. 7 bucket (the paper samples approximately).
+
+    A +-``jitter`` fraction of uniform noise is applied, matching the
+    paper's "around 32, 128, 512 and 1024 tokens" sampling.
+    """
+    if bucket <= 0:
+        raise ConfigError(f"bucket must be positive, got {bucket}")
+    if not 0.0 <= jitter < 1.0:
+        raise ConfigError(f"jitter must be in [0, 1), got {jitter}")
+    rng = derive_rng(seed, "workload", "bucket", bucket, index)
+    low = max(1, int(round(bucket * (1.0 - jitter))))
+    high = int(round(bucket * (1.0 + jitter)))
+    return int(rng.integers(low, high + 1))
+
+
+def sample_prompt(
+    dataset: str,
+    vocab_size: int,
+    seed: int = 0,
+    index: int = 0,
+    length: int | None = None,
+) -> np.ndarray:
+    """Sample token ids for one prompt (content is synthetic).
+
+    Token *identities* only seed the functional model's hidden-state
+    trajectory; the scheduling system is sensitive to lengths and
+    routing dynamics, not text.
+    """
+    if vocab_size <= 1:
+        raise ConfigError(f"vocab_size must be > 1, got {vocab_size}")
+    if length is None:
+        length = sample_prompt_length(dataset, seed=seed, index=index)
+    if length <= 0:
+        raise ConfigError(f"prompt length must be positive, got {length}")
+    rng = derive_rng(seed, "workload", dataset, "tokens", index)
+    return rng.integers(0, vocab_size, size=length)

@@ -1,0 +1,96 @@
+"""Workload construction for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    bucket_length,
+    sample_prompt,
+)
+
+__all__ = ["WorkloadSpec", "prefill_workloads", "decode_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One runnable workload: a prompt plus a decode budget."""
+
+    kind: str  # "prefill" | "decode"
+    dataset: str
+    prompt_tokens: np.ndarray
+    decode_steps: int
+    bucket: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("prefill", "decode"):
+            raise ConfigError(f"workload kind must be prefill/decode, got {self.kind!r}")
+        if self.decode_steps < 0:
+            raise ConfigError(f"decode_steps must be non-negative, got {self.decode_steps}")
+
+    @property
+    def prompt_len(self) -> int:
+        return int(np.asarray(self.prompt_tokens).size)
+
+
+def prefill_workloads(
+    bucket: int,
+    n_samples: int = 1,
+    vocab_size: int = 512,
+    datasets: tuple[str, ...] = ("mtbench", "vicuna", "chatgpt-prompts"),
+    seed: int = 0,
+) -> list[WorkloadSpec]:
+    """Prefill workloads with lengths around a Fig. 7 bucket.
+
+    Samples cycle through the requested datasets (the paper mixes
+    traces from all three for the prefill evaluation).
+    """
+    if n_samples <= 0:
+        raise ConfigError(f"n_samples must be positive, got {n_samples}")
+    for dataset in datasets:
+        if dataset not in DATASET_PROFILES:
+            raise ConfigError(f"unknown dataset {dataset!r}")
+    specs = []
+    for index in range(n_samples):
+        dataset = datasets[index % len(datasets)]
+        length = bucket_length(bucket, seed=seed, index=index)
+        tokens = sample_prompt(
+            dataset, vocab_size, seed=seed, index=index, length=length
+        )
+        specs.append(
+            WorkloadSpec(
+                kind="prefill",
+                dataset=dataset,
+                prompt_tokens=tokens,
+                decode_steps=0,
+                bucket=bucket,
+            )
+        )
+    return specs
+
+
+def decode_workload(
+    decode_steps: int,
+    vocab_size: int = 512,
+    dataset: str = "chatgpt-prompts",
+    seed: int = 0,
+    index: int = 0,
+) -> WorkloadSpec:
+    """A decode workload: a dataset-typical prompt plus N decode steps.
+
+    The paper evaluates TBT on ChatGPT-Prompts only, as decode latency
+    is insensitive to prompt length (§VI-A.5).
+    """
+    if decode_steps <= 0:
+        raise ConfigError(f"decode_steps must be positive, got {decode_steps}")
+    tokens = sample_prompt(dataset, vocab_size, seed=seed, index=index)
+    return WorkloadSpec(
+        kind="decode",
+        dataset=dataset,
+        prompt_tokens=tokens,
+        decode_steps=decode_steps,
+    )

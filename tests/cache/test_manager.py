@@ -1,0 +1,182 @@
+"""ExpertCache capacity, pinning, locking and admission control."""
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUPolicy
+from repro.cache.manager import ExpertCache
+from repro.cache.mrs import MRSPolicy
+from repro.errors import CacheError
+
+
+def _cache(capacity=2, pinned=()):
+    return ExpertCache(capacity, LRUPolicy(), pinned=pinned)
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        cache = _cache()
+        cache.insert((0, 0))
+        assert (0, 0) in cache
+        assert len(cache) == 1
+
+    def test_insert_duplicate_noop(self):
+        cache = _cache()
+        cache.insert((0, 0))
+        assert cache.insert((0, 0)) == []
+        assert cache.stats.insertions == 1
+
+    def test_eviction_at_capacity(self):
+        cache = _cache(capacity=2)
+        cache.insert((0, 0))
+        cache.insert((0, 1))
+        evicted = cache.insert((0, 2))
+        assert evicted == [(0, 0)]
+        assert len(cache) == 2
+
+    def test_zero_capacity_rejects(self):
+        cache = _cache(capacity=0)
+        assert cache.insert((0, 0)) == []
+        assert cache.stats.rejected_inserts == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            _cache(capacity=-1)
+
+    def test_access_hit_miss_accounting(self):
+        cache = _cache()
+        cache.insert((0, 0))
+        assert cache.access((0, 0)) is True
+        assert cache.access((0, 1)) is False
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_miss_does_not_auto_insert(self):
+        cache = _cache()
+        cache.access((0, 5))
+        assert (0, 5) not in cache
+
+    def test_cached_experts_of_layer(self):
+        cache = _cache(capacity=4)
+        cache.insert((0, 1))
+        cache.insert((1, 2))
+        cache.insert((0, 3))
+        assert cache.cached_experts_of_layer(0) == {1, 3}
+
+
+class TestPinning:
+    def test_pinned_always_resident(self):
+        cache = _cache(capacity=1, pinned=[(0, 9)])
+        assert (0, 9) in cache
+        cache.insert((0, 0))
+        cache.insert((0, 1))  # evicts (0,0), never (0,9)
+        assert (0, 9) in cache
+
+    def test_pinned_outside_capacity_budget(self):
+        cache = _cache(capacity=1, pinned=[(0, 9)])
+        cache.insert((0, 0))
+        assert len(cache) == 2
+        cache.validate()
+
+    def test_insert_pinned_is_noop(self):
+        cache = _cache(capacity=1, pinned=[(0, 9)])
+        assert cache.insert((0, 9)) == []
+
+
+class TestLocking:
+    def test_locked_keys_not_evicted(self):
+        cache = _cache(capacity=2)
+        cache.insert((0, 0))
+        cache.insert((0, 1))
+        cache.lock([(0, 0)])
+        evicted = cache.insert((0, 2))
+        assert (0, 0) not in evicted
+        cache.unlock_all()
+
+    def test_all_locked_rejects_insert(self):
+        cache = _cache(capacity=1)
+        cache.insert((0, 0))
+        cache.lock([(0, 0)])
+        assert cache.insert((0, 1)) == []
+        assert cache.stats.rejected_inserts == 1
+
+
+class TestWarmFill:
+    def test_fills_to_capacity_in_order(self):
+        cache = _cache(capacity=2)
+        cache.warm_fill([(0, 0), (0, 1), (0, 2)])
+        assert (0, 0) in cache and (0, 1) in cache and (0, 2) not in cache
+
+    def test_skips_already_resident(self):
+        cache = _cache(capacity=2)
+        cache.insert((0, 1))
+        cache.warm_fill([(0, 1), (0, 2)])
+        assert len(cache) == 2
+
+
+class TestAdmissionControl:
+    def _mrs_cache(self):
+        policy = MRSPolicy(alpha=1.0, top_p=4)
+        policy.on_scores(0, np.array([0.5, 0.3, 0.15, 0.05]), 1)
+        cache = ExpertCache(2, policy)
+        cache.insert((0, 0))
+        cache.insert((0, 1))
+        return cache
+
+    def test_lower_priority_rejected(self):
+        cache = self._mrs_cache()
+        assert not cache.would_admit((0, 3))
+        assert cache.insert_if_better((0, 3)) == []
+        assert (0, 3) not in cache
+
+    def test_higher_priority_admitted(self):
+        policy = MRSPolicy(alpha=1.0, top_p=4)
+        policy.on_scores(0, np.array([0.05, 0.15, 0.3, 0.5]), 1)
+        cache = ExpertCache(2, policy)
+        cache.insert((0, 0))
+        cache.insert((0, 1))
+        assert cache.would_admit((0, 3))
+        evicted = cache.insert_if_better((0, 3))
+        assert evicted == [(0, 0)]
+        assert (0, 3) in cache
+
+    def test_free_slots_always_admit(self):
+        policy = MRSPolicy(alpha=1.0, top_p=4)
+        cache = ExpertCache(2, policy)
+        assert cache.would_admit((0, 3))
+
+    def test_margin_blocks_marginal_wins(self):
+        policy = MRSPolicy(alpha=1.0, top_p=4)
+        policy.on_scores(0, np.array([0.30, 0.28, 0.22, 0.20]), 1)
+        cache = ExpertCache(1, policy)
+        cache.insert((0, 1))  # S = 0.28
+        assert cache.would_admit((0, 0), margin=0.0)  # 0.30 > 0.28
+        assert not cache.would_admit((0, 0), margin=0.25)
+
+    def test_resident_key_never_admitted(self):
+        cache = self._mrs_cache()
+        assert not cache.would_admit((0, 0))
+
+
+class TestValidation:
+    def test_validate_detects_overflow(self):
+        cache = _cache(capacity=1)
+        cache._resident.add((0, 0))
+        cache._resident.add((0, 1))
+        with pytest.raises(CacheError):
+            cache.validate()
+
+    def test_evict_explicit(self):
+        cache = _cache()
+        cache.insert((0, 0))
+        cache.evict_explicit((0, 0))
+        assert (0, 0) not in cache
+        with pytest.raises(CacheError):
+            cache.evict_explicit((0, 0))
+
+    def test_observe_scores_reaches_policy(self):
+        policy = MRSPolicy(alpha=1.0, top_p=2)
+        cache = ExpertCache(2, policy)
+        cache.observe_scores(0, np.array([0.8, 0.2]))
+        assert policy.score_of((0, 0)) == pytest.approx(0.8)

@@ -1,0 +1,137 @@
+"""Eviction-policy semantics: LRU, LFU and MRS."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import make_policy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.mrs import MRSPolicy
+from repro.errors import CacheError
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        policy.on_insert((0, 0), 1)
+        policy.on_insert((0, 1), 2)
+        policy.on_access((0, 0), 3)
+        assert policy.victim([(0, 0), (0, 1)]) == (0, 1)
+
+    def test_access_unknown_key_raises(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().on_access((0, 0), 1)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().victim([])
+
+    def test_forget_then_reinsert(self):
+        policy = LRUPolicy()
+        policy.on_insert((0, 0), 1)
+        policy.forget((0, 0))
+        policy.on_insert((0, 0), 5)
+        assert policy.priority((0, 0)) == 5.0
+
+    def test_deterministic_tie_break(self):
+        policy = LRUPolicy()
+        policy.on_insert((0, 1), 1)
+        policy.on_insert((0, 0), 1)
+        assert policy.victim([(0, 1), (0, 0)]) == (0, 0)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        for key in [(0, 0), (0, 1)]:
+            policy.on_insert(key, 1)
+        policy.on_access((0, 0), 2)
+        policy.on_access((0, 0), 3)
+        policy.on_access((0, 1), 4)
+        assert policy.victim([(0, 0), (0, 1)]) == (0, 1)
+
+    def test_counts_survive_eviction(self):
+        policy = LFUPolicy()
+        policy.on_insert((0, 0), 1)
+        policy.on_access((0, 0), 2)
+        policy.forget((0, 0))
+        assert policy.priority((0, 0)) == 1.0
+
+    def test_recency_breaks_count_ties(self):
+        policy = LFUPolicy()
+        policy.on_insert((0, 0), 1)
+        policy.on_insert((0, 1), 2)
+        assert policy.victim([(0, 0), (0, 1)]) == (0, 0)
+
+
+class TestMRS:
+    def test_eq3_update(self):
+        """S <- alpha * TopP(s) + (1 - alpha) * S, exactly."""
+        policy = MRSPolicy(alpha=0.5, top_p=2)
+        scores = np.array([0.5, 0.3, 0.15, 0.05])
+        policy.on_scores(0, scores, 1)
+        assert policy.score_of((0, 0)) == pytest.approx(0.25)
+        assert policy.score_of((0, 1)) == pytest.approx(0.15)
+        # Outside top-p: pure decay from zero stays zero.
+        assert policy.score_of((0, 2)) == 0.0
+        policy.on_scores(0, scores, 2)
+        assert policy.score_of((0, 0)) == pytest.approx(0.5 * 0.5 + 0.5 * 0.25)
+
+    def test_non_top_p_decays(self):
+        policy = MRSPolicy(alpha=0.5, top_p=1)
+        policy.on_scores(0, np.array([0.9, 0.1]), 1)
+        policy.on_scores(0, np.array([0.1, 0.9]), 2)
+        # Expert 0 was top once then decayed.
+        assert policy.score_of((0, 0)) == pytest.approx(0.5 * 0.45)
+
+    def test_victim_is_min_score(self):
+        policy = MRSPolicy(alpha=1.0, top_p=4)
+        policy.on_scores(0, np.array([0.4, 0.3, 0.2, 0.1]), 1)
+        for expert in range(4):
+            policy.on_insert((0, expert), 2)
+        assert policy.victim([(0, e) for e in range(4)]) == (0, 3)
+
+    def test_scores_persist_across_eviction(self):
+        policy = MRSPolicy(alpha=1.0, top_p=2)
+        policy.on_scores(0, np.array([0.7, 0.3]), 1)
+        policy.on_insert((0, 0), 2)
+        policy.forget((0, 0))
+        assert policy.score_of((0, 0)) == pytest.approx(0.7)
+
+    def test_top_p_clamped_to_pool(self):
+        policy = MRSPolicy(alpha=1.0, top_p=10)
+        policy.on_scores(0, np.array([0.6, 0.4]), 1)
+        assert policy.score_of((0, 1)) == pytest.approx(0.4)
+
+    def test_invalid_params(self):
+        with pytest.raises(CacheError):
+            MRSPolicy(alpha=0.0)
+        with pytest.raises(CacheError):
+            MRSPolicy(alpha=1.5)
+        with pytest.raises(CacheError):
+            MRSPolicy(top_p=0)
+
+    def test_scores_must_be_1d(self):
+        with pytest.raises(CacheError):
+            MRSPolicy().on_scores(0, np.ones((2, 2)), 1)
+
+    def test_layers_tracked_independently(self):
+        policy = MRSPolicy(alpha=1.0, top_p=1)
+        policy.on_scores(0, np.array([0.9, 0.1]), 1)
+        policy.on_scores(1, np.array([0.2, 0.8]), 2)
+        assert policy.score_of((0, 0)) == pytest.approx(0.9)
+        assert policy.score_of((1, 1)) == pytest.approx(0.8)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRUPolicy), ("lfu", LFUPolicy), ("mrs", MRSPolicy)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("mrs", alpha=0.9, top_p=7)
+        assert policy.alpha == 0.9 and policy.top_p == 7
+
+    def test_unknown_policy(self):
+        with pytest.raises(CacheError):
+            make_policy("belady")

@@ -1,0 +1,89 @@
+"""Shared fixtures: small models, toy cost models, standard oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import LayerCostOracle
+from repro.hardware.cost_model import AnalyticCostModel
+from repro.hardware.platform_presets import paper_testbed
+from repro.models.config import ExpertShape, MoEModelConfig
+from repro.models.model import ReferenceMoEModel
+
+
+@pytest.fixture
+def tiny_config() -> MoEModelConfig:
+    """A DeepSeek-shaped miniature: 3 layers, 8 experts, top-2, 1 shared."""
+    return MoEModelConfig(
+        name="tiny",
+        num_layers=3,
+        num_shared_experts=1,
+        num_routed_experts=8,
+        num_activated_experts=2,
+        routed_expert_shape=ExpertShape(256, 512),
+        shared_expert_shape=ExpertShape(256, 512),
+    )
+
+
+@pytest.fixture
+def tiny_model(tiny_config) -> ReferenceMoEModel:
+    return ReferenceMoEModel(
+        tiny_config, d_model=16, d_ff=32, vocab_size=128, seed=0
+    )
+
+
+@pytest.fixture
+def paper_cost() -> AnalyticCostModel:
+    return AnalyticCostModel(paper_testbed())
+
+
+class ToyCostModel:
+    """Deterministic unit-scale cost model mirroring the Fig. 5 example.
+
+    GPU compute is constant (2), CPU compute is 1.5 per unit load,
+    transfers take 3, shared blocks take 2 per shared expert. The CPU
+    warmup penalty is configurable for first-task tests.
+    """
+
+    def __init__(self, cpu_warmup: float = 0.0) -> None:
+        self.cpu_warmup = cpu_warmup
+
+    def expert_bytes(self, shape) -> float:
+        return float(shape.param_count)
+
+    def gpu_expert_time(self, shape, tokens: int) -> float:
+        return 2.0 if tokens > 0 else 0.0
+
+    def cpu_expert_time(self, shape, tokens: int, first_task: bool = False) -> float:
+        if tokens == 0:
+            return 0.0
+        return 1.5 * tokens + (self.cpu_warmup if first_task else 0.0)
+
+    def transfer_time(self, shape) -> float:
+        return 3.0
+
+    def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
+        if tokens == 0:
+            return 0.0
+        return 0.5 if device == "gpu" else 2.0
+
+
+@pytest.fixture
+def toy_cost() -> ToyCostModel:
+    return ToyCostModel()
+
+
+@pytest.fixture
+def toy_oracle_factory(tiny_config, toy_cost):
+    """``(n_tokens) -> LayerCostOracle`` over the toy cost model."""
+
+    def factory(n_tokens: int) -> LayerCostOracle:
+        return LayerCostOracle.for_model(toy_cost, tiny_config, n_tokens)
+
+    return factory
+
+
+@pytest.fixture
+def prompt_tokens() -> np.ndarray:
+    return np.arange(24, dtype=np.int64)

@@ -1,0 +1,134 @@
+"""Plan executor: dependency and timeline semantics."""
+
+import pytest
+
+from repro.core.executor import execute_plan
+from repro.core.hybrid_scheduler import HybridScheduler
+from repro.core.tasks import (
+    SHARED_BLOCK,
+    ComputeTask,
+    Device,
+    ExecutionPlan,
+    TransferTask,
+)
+from repro.errors import SchedulingError
+from repro.hardware.simulator import ThreeResourceClock
+
+
+@pytest.fixture
+def oracle(toy_oracle_factory):
+    return toy_oracle_factory(1)
+
+
+class TestExecutePlan:
+    def test_gpu_task_waits_for_transfer(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            gpu_tasks=[ComputeTask(0, 1, 2, Device.GPU, after_transfer=True)],
+            transfers=[TransferTask(0, 1, 2)],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=0.0)
+        gpu = result.records_on("gpu")[0]
+        pcie = result.records_on("pcie")[0]
+        assert gpu.start == pytest.approx(pcie.finish)
+
+    def test_cpu_first_task_warmup(self, tiny_config):
+        from tests.conftest import ToyCostModel
+        from repro.core.tasks import LayerCostOracle
+
+        oracle = LayerCostOracle.for_model(ToyCostModel(cpu_warmup=1.0), tiny_config, 1)
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            cpu_tasks=[ComputeTask(0, 0, 2, Device.CPU), ComputeTask(0, 1, 2, Device.CPU)],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=0.0)
+        first, second = result.records_on("cpu")
+        assert first.duration == pytest.approx(second.duration + 1.0)
+
+    def test_serial_order_preserved(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            gpu_tasks=[
+                ComputeTask(0, 0, 3, Device.GPU),
+                ComputeTask(0, 1, 1, Device.GPU),
+            ],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=0.0)
+        first, second = result.records_on("gpu")
+        assert second.start >= first.finish
+
+    def test_external_arrival_gates_gpu(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            gpu_tasks=[ComputeTask(0, 5, 2, Device.GPU)],
+        )
+        result = execute_plan(
+            plan, clock, oracle, start_time=0.0, external_arrivals={(0, 5): 7.0}
+        )
+        assert result.records_on("gpu")[0].start == pytest.approx(7.0)
+
+    def test_start_time_respected_everywhere(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            gpu_tasks=[ComputeTask(0, 0, 1, Device.GPU)],
+            cpu_tasks=[ComputeTask(0, 1, 1, Device.CPU)],
+            transfers=[TransferTask(0, 2, 1)],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=4.0)
+        for record in result.records:
+            assert record.start >= 4.0
+
+    def test_shared_block_on_cpu(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            cpu_tasks=[ComputeTask(0, SHARED_BLOCK, 1, Device.CPU)],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=0.0)
+        assert result.records_on("cpu")[0].kind == "shared"
+
+    def test_negative_start_rejected(self, oracle):
+        with pytest.raises(SchedulingError):
+            execute_plan(
+                ExecutionPlan(layer=0, n_tokens=1),
+                ThreeResourceClock(),
+                oracle,
+                start_time=-1.0,
+            )
+
+    def test_makespan_accounting(self, oracle):
+        clock = ThreeResourceClock()
+        plan = ExecutionPlan(
+            layer=0,
+            n_tokens=1,
+            gpu_tasks=[ComputeTask(0, 0, 1, Device.GPU)],
+        )
+        result = execute_plan(plan, clock, oracle, start_time=2.0)
+        assert result.makespan == pytest.approx(2.0)  # toy GPU time
+        assert result.compute_end == pytest.approx(4.0)
+
+
+class TestPlannerExecutorAgreement:
+    def test_executed_makespan_matches_estimate_with_same_cost(
+        self, toy_oracle_factory
+    ):
+        """With identical planner/executor cost models and an idle clock,
+        executed duration equals the simulated makespan."""
+        scheduler = HybridScheduler(toy_oracle_factory)
+        activated = [(0, 1), (1, 1), (2, 3), (3, 4), (4, 1)]
+        cached = {3, 4}
+        plan = scheduler.plan(0, activated, cached, n_tokens=1)
+        clock = ThreeResourceClock()
+        result = execute_plan(plan, clock, toy_oracle_factory(1), start_time=0.0)
+        assert result.makespan == pytest.approx(plan.estimated_makespan)

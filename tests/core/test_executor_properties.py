@@ -1,0 +1,115 @@
+"""Property-based tests: executed timelines honour all dependencies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid_scheduler import HybridScheduler
+from repro.core.tasks import LayerCostOracle
+from repro.core.executor import execute_plan
+from repro.hardware.simulator import ThreeResourceClock
+from repro.models.config import ExpertShape, MoEModelConfig
+
+
+class _Cost:
+    def __init__(self, gpu, cpu, transfer):
+        self.gpu, self.cpu, self.transfer_s = gpu, cpu, transfer
+
+    def expert_bytes(self, shape):
+        return 1.0
+
+    def gpu_expert_time(self, shape, tokens):
+        return self.gpu if tokens else 0.0
+
+    def cpu_expert_time(self, shape, tokens, first_task=False):
+        return self.cpu * tokens if tokens else 0.0
+
+    def transfer_time(self, shape):
+        return self.transfer_s
+
+    def attention_time(self, d_model, tokens, device="gpu"):
+        return 0.1
+
+
+def _setup(gpu, cpu, transfer):
+    config = MoEModelConfig(
+        name="prop",
+        num_layers=1,
+        num_shared_experts=1,
+        num_routed_experts=16,
+        num_activated_experts=2,
+        routed_expert_shape=ExpertShape(8, 8),
+        shared_expert_shape=ExpertShape(8, 8),
+    )
+    cost = _Cost(gpu, cpu, transfer)
+
+    def factory(n):
+        return LayerCostOracle.for_model(cost, config, n)
+
+    return HybridScheduler(factory), factory
+
+
+@given(
+    loads=st.dictionaries(st.integers(0, 15), st.integers(1, 20), min_size=1, max_size=10),
+    cached_mask=st.sets(st.integers(0, 15), max_size=8),
+    gpu=st.floats(0.1, 3.0),
+    cpu=st.floats(0.1, 3.0),
+    transfer=st.floats(0.1, 5.0),
+    start=st.floats(0.0, 10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_executed_schedule_respects_all_dependencies(
+    loads, cached_mask, gpu, cpu, transfer, start
+):
+    """For any scheduler-produced plan and start time:
+
+    - no two tasks overlap on a serial resource;
+    - each transferred expert's GPU compute starts at/after its transfer;
+    - nothing starts before the layer's start time;
+    - the layer result's makespan matches the timeline frontier.
+    """
+    scheduler, factory = _setup(gpu, cpu, transfer)
+    activated = sorted(loads.items())
+    cached = cached_mask & set(loads)
+    plan = scheduler.plan(0, activated, cached, n_tokens=4)
+    clock = ThreeResourceClock()
+    result = execute_plan(plan, clock, factory(4), start_time=start)
+
+    clock.validate()
+    for record in result.records:
+        assert record.start >= start - 1e-9
+
+    transfer_finish = {
+        (r.layer, r.expert): r.finish
+        for r in result.records
+        if r.kind == "transfer"
+    }
+    for record in result.records:
+        if record.resource == "gpu" and record.kind == "compute":
+            key = (record.layer, record.expert)
+            if key in transfer_finish:
+                assert record.start >= transfer_finish[key] - 1e-9
+
+    compute_finishes = [
+        r.finish for r in result.records if r.resource in ("gpu", "cpu")
+    ]
+    if compute_finishes:
+        assert result.compute_end == max(compute_finishes)
+
+
+@given(
+    loads=st.dictionaries(st.integers(0, 15), st.integers(1, 20), min_size=1, max_size=10),
+    gpu=st.floats(0.1, 3.0),
+    cpu=st.floats(0.1, 3.0),
+    transfer=st.floats(0.1, 5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_planner_estimate_matches_execution_on_idle_clock(loads, gpu, cpu, transfer):
+    """When planner and executor share one cost model and the clock is
+    idle, the executed makespan equals the simulated estimate — the
+    schedule simulation *is* the execution model."""
+    scheduler, factory = _setup(gpu, cpu, transfer)
+    activated = sorted(loads.items())
+    plan = scheduler.plan(0, activated, set(), n_tokens=4)
+    clock = ThreeResourceClock()
+    result = execute_plan(plan, clock, factory(4), start_time=0.0)
+    assert abs(result.makespan - plan.estimated_makespan) < 1e-9

@@ -1,0 +1,64 @@
+"""Fixed-mapping and GPU-only plan builders (prior-art behaviour)."""
+
+import pytest
+
+from repro.core.fixed_plan import fixed_mapping_plan, gpu_only_plan
+from repro.core.tasks import Device
+
+ACTIVATED = [(0, 3), (1, 1), (2, 5), (3, 2)]
+CACHED = {0, 2}
+
+
+class TestFixedMappingPlan:
+    def test_decode_uncached_on_cpu(self, toy_oracle_factory):
+        plan = fixed_mapping_plan(0, ACTIVATED, CACHED, 4, "decode", toy_oracle_factory(4))
+        cpu_experts = [t.expert for t in plan.cpu_tasks]
+        assert cpu_experts == [1, 3]  # id order, no load awareness
+        assert plan.transfers == []
+        plan.validate(dict(ACTIVATED), CACHED)
+
+    def test_prefill_uncached_transferred(self, toy_oracle_factory):
+        plan = fixed_mapping_plan(0, ACTIVATED, CACHED, 4, "prefill", toy_oracle_factory(4))
+        assert plan.cpu_tasks == []
+        assert [t.expert for t in plan.transfers] == [1, 3] or [
+            t.expert for t in plan.transfers
+        ] == [3, 1]
+        plan.validate(dict(ACTIVATED), CACHED)
+
+    def test_gpu_cached_descending_load(self, toy_oracle_factory):
+        plan = fixed_mapping_plan(0, ACTIVATED, CACHED, 4, "decode", toy_oracle_factory(4))
+        cached_tasks = [t for t in plan.gpu_tasks if not t.is_shared]
+        assert [t.expert for t in cached_tasks] == [2, 0]
+
+    def test_shared_block_first_on_gpu(self, toy_oracle_factory):
+        plan = fixed_mapping_plan(0, ACTIVATED, CACHED, 4, "decode", toy_oracle_factory(4))
+        assert plan.gpu_tasks[0].is_shared
+
+    def test_estimate_positive(self, toy_oracle_factory):
+        plan = fixed_mapping_plan(0, ACTIVATED, CACHED, 4, "decode", toy_oracle_factory(4))
+        assert plan.estimated_makespan > 0
+
+
+class TestGpuOnlyPlan:
+    def test_no_cpu_tasks_ever(self, toy_oracle_factory):
+        plan = gpu_only_plan(0, ACTIVATED, CACHED, 4, toy_oracle_factory(4))
+        assert plan.cpu_tasks == []
+        plan.validate(dict(ACTIVATED), CACHED)
+
+    def test_all_uncached_transferred(self, toy_oracle_factory):
+        plan = gpu_only_plan(0, ACTIVATED, CACHED, 4, toy_oracle_factory(4))
+        assert sorted(plan.transferred_experts()) == [1, 3]
+
+    def test_cached_before_transferred_in_gpu_order(self, toy_oracle_factory):
+        plan = gpu_only_plan(0, ACTIVATED, CACHED, 4, toy_oracle_factory(4))
+        routed = [t for t in plan.gpu_tasks if not t.is_shared]
+        transferred_positions = [
+            i for i, t in enumerate(routed) if t.after_transfer
+        ]
+        cached_positions = [i for i, t in enumerate(routed) if not t.after_transfer]
+        assert max(cached_positions) < min(transferred_positions)
+
+    def test_empty_cache_all_transferred(self, toy_oracle_factory):
+        plan = gpu_only_plan(0, ACTIVATED, set(), 4, toy_oracle_factory(4))
+        assert len(plan.transfers) == len(ACTIVATED)
+        plan.validate(dict(ACTIVATED), set())

@@ -1,0 +1,154 @@
+"""Hybrid scheduler unit tests, including the paper's Fig. 5 example."""
+
+import pytest
+
+from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
+from repro.core.tasks import SHARED_BLOCK, Device
+from repro.errors import SchedulingError
+
+# The Fig. 5 scenario: A=0:1, B=1:1, C=2:3 uncached; D=3:4, E=4:1 cached.
+FIG5_ACTIVATED = [(0, 1), (1, 1), (2, 3), (3, 4), (4, 1)]
+FIG5_CACHED = {3, 4}
+
+
+@pytest.fixture
+def scheduler(toy_oracle_factory) -> HybridScheduler:
+    return HybridScheduler(toy_oracle_factory)
+
+
+class TestFig5Example:
+    """The worked example of paper §IV-B / Fig. 5."""
+
+    def test_transfers_high_load_uncached(self, scheduler):
+        plan = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, n_tokens=1)
+        assert plan.transferred_experts() == [2]
+
+    def test_cpu_computes_low_load_then_steals_cached(self, scheduler):
+        plan = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, n_tokens=1)
+        assert [t.expert for t in plan.cpu_tasks] == [0, 1, 4]
+        assert plan.metadata["stolen"] == [4]
+
+    def test_gpu_runs_shared_then_high_load(self, scheduler):
+        plan = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, n_tokens=1)
+        experts = [t.expert for t in plan.gpu_tasks]
+        assert experts[0] == SHARED_BLOCK
+        assert experts[1] == 3  # D, the high-load cached expert
+        assert experts[2] == 2  # C, after its transfer lands
+
+    def test_plan_validates(self, scheduler):
+        plan = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, n_tokens=1)
+        plan.validate(dict(FIG5_ACTIVATED), FIG5_CACHED)
+
+    def test_makespan_beats_no_transfer(self, scheduler, toy_oracle_factory):
+        chosen = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, 1).estimated_makespan
+        no_transfer = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(allow_cpu_steal=True)
+        )._simulate(
+            dict(FIG5_ACTIVATED), FIG5_CACHED, toy_oracle_factory(1), 0, 0.0, True
+        )
+        assert chosen < no_transfer.makespan
+
+
+class TestDegenerateInputs:
+    def test_all_cached(self, scheduler):
+        plan = scheduler.plan(0, [(0, 2), (1, 1)], {0, 1}, n_tokens=1)
+        assert plan.transfers == []
+        plan.validate({0: 2, 1: 1}, {0, 1})
+
+    def test_none_cached(self, scheduler):
+        plan = scheduler.plan(0, [(0, 2), (1, 1)], set(), n_tokens=1)
+        plan.validate({0: 2, 1: 1}, set())
+
+    def test_single_expert(self, scheduler):
+        plan = scheduler.plan(0, [(5, 4)], set(), n_tokens=1)
+        assert plan.computed_experts() == [5]
+
+    def test_duplicate_activation_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.plan(0, [(0, 1), (0, 2)], set(), n_tokens=1)
+
+    def test_zero_load_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.plan(0, [(0, 0)], set(), n_tokens=1)
+
+    def test_negative_backlog_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.plan(0, [(0, 1)], set(), n_tokens=1, pcie_backlog=-1.0)
+
+
+class TestPriorityRules:
+    def test_gpu_descending_load_order(self, scheduler):
+        plan = scheduler.plan(
+            0, [(0, 1), (1, 5), (2, 3)], {0, 1, 2}, n_tokens=1
+        )
+        routed = [t for t in plan.gpu_tasks if not t.is_shared]
+        loads = [t.load for t in routed]
+        # CPU stealing may take low-load tasks, but GPU order must stay desc.
+        assert loads == sorted(loads, reverse=True)
+
+    def test_cpu_ascending_load_order(self, toy_oracle_factory):
+        scheduler = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(allow_cpu_steal=False)
+        )
+        plan = scheduler.plan(0, [(0, 3), (1, 1), (2, 2)], set(), n_tokens=1)
+        cpu_loads = [t.load for t in plan.cpu_tasks]
+        assert cpu_loads == sorted(cpu_loads)
+
+    def test_transfer_descending_load(self, scheduler):
+        plan = scheduler.plan(
+            0, [(0, 1), (1, 8), (2, 4), (3, 9)], set(), n_tokens=1
+        )
+        loads = [t.load for t in plan.transfers]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_steal_disabled_respected(self, toy_oracle_factory):
+        scheduler = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(allow_cpu_steal=False)
+        )
+        plan = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, n_tokens=1)
+        assert plan.metadata["stolen"] == []
+
+    def test_pcie_backlog_delays_arrivals(self, scheduler):
+        fast = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, 1, pcie_backlog=0.0)
+        slow = scheduler.plan(0, FIG5_ACTIVATED, FIG5_CACHED, 1, pcie_backlog=10.0)
+        assert slow.estimated_makespan >= fast.estimated_makespan
+
+    def test_inflight_expert_delays_gpu(self, scheduler):
+        base = scheduler.plan(0, [(0, 4)], {0}, n_tokens=1)
+        delayed = scheduler.plan(0, [(0, 4)], {0}, n_tokens=1, inflight={0: 5.0})
+        assert delayed.estimated_makespan > base.estimated_makespan
+
+    def test_inflight_of_unactivated_ignored(self, scheduler):
+        base = scheduler.plan(0, [(0, 4)], {0}, n_tokens=1)
+        same = scheduler.plan(0, [(0, 4)], {0}, n_tokens=1, inflight={7: 99.0})
+        assert same.estimated_makespan == base.estimated_makespan
+
+
+class TestSearch:
+    def test_quick_mode_subset_of_full(self, toy_oracle_factory):
+        full = HybridScheduler(toy_oracle_factory)
+        activated = [(e, e + 1) for e in range(6)]
+        best_full = full.simulate_makespan(activated, {0, 1}, 1)
+        best_quick = full.simulate_makespan(activated, {0, 1}, 1, quick=True)
+        assert best_full <= best_quick + 1e-12
+
+    def test_max_search_width_keeps_extremes(self, toy_oracle_factory):
+        scheduler = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(max_search_width=3)
+        )
+        counts = scheduler._candidate_transfer_counts(10, force_quick=False)
+        assert 0 in counts and 10 in counts and len(counts) <= 4
+
+    def test_invalid_config(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(steal_margin=1.5)
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(max_search_width=1)
+
+    def test_search_beats_or_matches_extremes(self, toy_oracle_factory):
+        scheduler = HybridScheduler(toy_oracle_factory)
+        activated = [(e, (e * 7) % 5 + 1) for e in range(8)]
+        cached = {1, 4}
+        full = scheduler.simulate_makespan(activated, cached, 1)
+        quick = scheduler.simulate_makespan(activated, cached, 1, quick=True)
+        assert full <= quick + 1e-12

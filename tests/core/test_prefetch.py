@@ -1,0 +1,133 @@
+"""Impact-driven prefetcher: impact ranking, budget and lead time."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid_scheduler import HybridScheduler
+from repro.core.prefetch import ImpactDrivenPrefetcher, PredictedLayer
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def scheduler(toy_oracle_factory):
+    return HybridScheduler(toy_oracle_factory)
+
+
+@pytest.fixture
+def prefetcher(scheduler):
+    return ImpactDrivenPrefetcher(
+        scheduler=scheduler,
+        transfer_time_fn=lambda: 3.0,
+        num_activated=2,
+        lookahead=3,
+        confidence_decay=0.8,
+    )
+
+
+def _prediction(layer, scores, cached=(), n_tokens=4):
+    return PredictedLayer(
+        layer=layer,
+        scores=np.asarray(scores, dtype=np.float64),
+        n_tokens=n_tokens,
+        cached_experts=frozenset(cached),
+    )
+
+
+class TestPredictedActivation:
+    def test_top_k_selected(self, prefetcher):
+        activation = prefetcher.predicted_activation(
+            _prediction(1, [0.05, 0.5, 0.05, 0.4])
+        )
+        experts = {e for e, _ in activation}
+        assert experts == {1, 3}
+
+    def test_loads_positive_and_bounded(self, prefetcher):
+        activation = prefetcher.predicted_activation(
+            _prediction(1, [0.7, 0.1, 0.1, 0.1], n_tokens=8)
+        )
+        for _, load in activation:
+            assert 1 <= load <= 8
+
+    def test_degenerate_scores_fall_back_to_uniform(self, prefetcher):
+        activation = prefetcher.predicted_activation(
+            _prediction(1, [0.0, 0.0, 0.0, 0.0])
+        )
+        assert len(activation) == 2
+
+
+class TestImpactRanking:
+    def test_cached_experts_not_candidates(self, prefetcher):
+        decisions = prefetcher.evaluate_candidates(
+            [_prediction(1, [0.6, 0.4, 0.0, 0.0], cached={0, 1})], current_layer=0
+        )
+        assert decisions == []
+
+    def test_gains_sorted_descending(self, prefetcher):
+        decisions = prefetcher.evaluate_candidates(
+            [
+                _prediction(1, [0.5, 0.3, 0.1, 0.1]),
+                _prediction(2, [0.4, 0.4, 0.1, 0.1]),
+            ],
+            current_layer=0,
+        )
+        gains = [d.gain for d in decisions]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_distance_confidence_discount(self, scheduler):
+        eager = ImpactDrivenPrefetcher(scheduler, lambda: 3.0, 2, 3, 1.0)
+        discounted = ImpactDrivenPrefetcher(scheduler, lambda: 3.0, 2, 3, 0.5)
+        prediction = _prediction(3, [0.5, 0.3, 0.1, 0.1])
+        gain_eager = eager.evaluate_candidates([prediction], 0)[0].gain
+        gain_disc = discounted.evaluate_candidates([prediction], 0)[0].gain
+        assert gain_disc == pytest.approx(gain_eager * 0.25)
+
+    def test_beyond_lookahead_ignored(self, prefetcher):
+        decisions = prefetcher.evaluate_candidates(
+            [_prediction(9, [0.5, 0.3, 0.1, 0.1])], current_layer=0
+        )
+        assert decisions == []
+
+
+class TestSelection:
+    def test_budget_limits_count(self, prefetcher):
+        predictions = [
+            _prediction(1, [0.5, 0.3, 0.1, 0.1]),
+            _prediction(2, [0.4, 0.3, 0.2, 0.1]),
+        ]
+        within = prefetcher.select(predictions, 0, budget_s=3.5)
+        assert len(within) == 1  # one 3.0-unit transfer fits
+
+    def test_zero_budget_selects_nothing(self, prefetcher):
+        assert prefetcher.select([_prediction(1, [1, 0, 0, 0])], 0, 0.0) == []
+
+    def test_lead_time_gating(self, prefetcher):
+        """A transfer that cannot land before its layer is skipped."""
+        predictions = [_prediction(1, [0.5, 0.3, 0.1, 0.1])]
+        allowed = prefetcher.select(
+            predictions, 0, budget_s=100.0, layer_span_s=5.0, backlog_s=0.0
+        )
+        blocked = prefetcher.select(
+            predictions, 0, budget_s=100.0, layer_span_s=1.0, backlog_s=0.0
+        )
+        assert allowed and not blocked
+
+    def test_backlog_consumes_lead_time(self, prefetcher):
+        predictions = [_prediction(1, [0.5, 0.3, 0.1, 0.1])]
+        blocked = prefetcher.select(
+            predictions, 0, budget_s=100.0, layer_span_s=4.0, backlog_s=3.0
+        )
+        assert blocked == []
+
+    def test_negative_backlog_rejected(self, prefetcher):
+        with pytest.raises(SchedulingError):
+            prefetcher.select([], 0, 1.0, backlog_s=-1.0)
+
+
+class TestValidation:
+    def test_invalid_construction(self, scheduler):
+        with pytest.raises(SchedulingError):
+            ImpactDrivenPrefetcher(scheduler, lambda: 1.0, 2, lookahead=0)
+        with pytest.raises(SchedulingError):
+            ImpactDrivenPrefetcher(scheduler, lambda: 1.0, 2, confidence_decay=0.0)
+        with pytest.raises(SchedulingError):
+            ImpactDrivenPrefetcher(scheduler, lambda: 1.0, 0)

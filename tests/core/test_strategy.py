@@ -1,0 +1,120 @@
+"""HybriMoE strategy: toggles, cache construction and refill behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cache.mrs import MRSPolicy
+from repro.core.strategy import HybriMoEStrategy
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.hardware.platform_presets import paper_testbed
+from repro.models.model import ReferenceMoEModel
+
+
+@pytest.fixture
+def engine_factory(tiny_config):
+    def build(**strategy_kwargs):
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        strategy = HybriMoEStrategy(**strategy_kwargs)
+        config = EngineConfig(cache_ratio=0.5, seed=0, profile_prompt_len=8,
+                              profile_decode_steps=2)
+        return InferenceEngine(model, strategy, paper_testbed(), config)
+
+    return build
+
+
+class TestNames:
+    def test_full_name(self):
+        assert HybriMoEStrategy().name == "hybrimoe"
+
+    def test_partial_names(self):
+        assert HybriMoEStrategy(True, False, False).name == "hybrimoe[sched]"
+        assert (
+            HybriMoEStrategy(False, False, False).name == "hybrimoe[baseline]"
+        )
+
+
+class TestCacheConstruction:
+    def test_caching_true_builds_mrs(self, engine_factory):
+        engine = engine_factory(caching=True)
+        assert isinstance(engine.runtime.cache.policy, MRSPolicy)
+        assert engine.runtime.cache.capacity == engine.runtime.capacity
+        assert len(engine.runtime.cache.pinned_keys) == 0
+
+    def test_caching_false_pins_by_frequency(self, engine_factory):
+        engine = engine_factory(caching=False, prefetching=False)
+        cache = engine.runtime.cache
+        assert cache.capacity == 0
+        assert len(cache.pinned_keys) == engine.runtime.capacity
+
+    def test_prefetch_without_caching_gets_scratch(self, engine_factory):
+        engine = engine_factory(caching=False, prefetching=True)
+        cache = engine.runtime.cache
+        assert cache.capacity > 0  # the scratch ring
+        assert len(cache.pinned_keys) == engine.runtime.capacity
+
+    def test_mrs_primed_from_warmup(self, engine_factory):
+        engine = engine_factory(caching=True)
+        policy = engine.runtime.cache.policy
+        primed = [s for s in policy.priority_snapshot().values() if s > 0]
+        assert primed  # warmup scores flowed into priorities
+
+    def test_warm_fill_uses_frequency_ranking(self, engine_factory):
+        engine = engine_factory(caching=True)
+        ranking = engine.runtime.frequency_ranking()
+        expected = set(ranking[: engine.runtime.capacity])
+        assert engine.runtime.cache.resident_keys == expected
+
+
+class TestToggleBehaviour:
+    def test_baseline_matches_ktransformers_latency(self, tiny_config):
+        """All toggles off must reproduce the kTransformers baseline."""
+        from repro.baselines.ktransformers import KTransformersStrategy
+
+        results = {}
+        for name, strategy in (
+            ("baseline", HybriMoEStrategy(False, False, False)),
+            ("ktrans", KTransformersStrategy()),
+        ):
+            model = ReferenceMoEModel(tiny_config, seed=0)
+            config = EngineConfig(cache_ratio=0.5, seed=0, profile_prompt_len=8,
+                                  profile_decode_steps=2)
+            engine = InferenceEngine(model, strategy, paper_testbed(), config)
+            results[name] = engine.generate(np.arange(16), decode_steps=4)
+        assert results["baseline"].ttft == pytest.approx(results["ktrans"].ttft)
+        assert results["baseline"].mean_tbt == pytest.approx(
+            results["ktrans"].mean_tbt
+        )
+
+    def test_scheduling_off_produces_fixed_plans(self, engine_factory):
+        engine = engine_factory(scheduling=False, prefetching=False, caching=False)
+        result = engine.generate(np.arange(16), decode_steps=2)
+        assert result.mean_tbt > 0
+
+    def test_prefetch_off_never_reserves_prefetch(self, engine_factory):
+        engine = engine_factory(prefetching=False)
+        engine.generate(np.arange(16), decode_steps=2)
+        labels = [iv.label for iv in engine.runtime.clock.pcie.intervals]
+        assert not any("prefetch" in label for label in labels)
+
+    def test_prefetch_on_reserves_prefetch(self, engine_factory):
+        engine = engine_factory(prefetching=True)
+        engine.generate(np.arange(16), decode_steps=4)
+        labels = [iv.label for iv in engine.runtime.clock.pcie.intervals]
+        assert any("prefetch" in label for label in labels)
+
+    def test_refill_only_during_decode(self, engine_factory):
+        engine = engine_factory(scheduling=False, prefetching=False, caching=True)
+        engine.generate(np.arange(16), decode_steps=0)
+        labels = [iv.label for iv in engine.runtime.clock.pcie.intervals]
+        assert not any("refill" in label for label in labels)
+
+    def test_decode_refills_appear(self, tiny_config):
+        # Low ratio so decode misses exist to refill.
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        strategy = HybriMoEStrategy(scheduling=False, prefetching=False, caching=True)
+        config = EngineConfig(cache_ratio=0.25, seed=0, profile_prompt_len=8,
+                              profile_decode_steps=2)
+        engine = InferenceEngine(model, strategy, paper_testbed(), config)
+        engine.generate(np.arange(16), decode_steps=8)
+        labels = [iv.label for iv in engine.runtime.clock.pcie.intervals]
+        assert any("refill" in label for label in labels)

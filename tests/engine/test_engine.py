@@ -1,0 +1,150 @@
+"""Engine integration: clock integrity, cache accounting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.factory import make_engine, make_strategy
+from repro.errors import ConfigError
+from repro.hardware.platform_presets import paper_testbed
+from repro.models.model import ReferenceMoEModel
+
+
+@pytest.fixture
+def small_engine(tiny_config):
+    model = ReferenceMoEModel(tiny_config, seed=0)
+    config = EngineConfig(
+        cache_ratio=0.5, seed=0, profile_prompt_len=8, profile_decode_steps=2
+    )
+    return InferenceEngine(
+        model, make_strategy("hybrimoe"), paper_testbed(), config
+    )
+
+
+class TestGenerate:
+    def test_result_structure(self, small_engine, prompt_tokens):
+        result = small_engine.generate(prompt_tokens, decode_steps=3)
+        assert result.prefill is not None
+        assert len(result.decode_steps) == 3
+        assert result.ttft > 0
+        assert result.mean_tbt > 0
+
+    def test_empty_prompt_rejected(self, small_engine):
+        with pytest.raises(ConfigError):
+            small_engine.generate(np.array([], dtype=np.int64))
+
+    def test_bad_token_source_rejected(self, small_engine, prompt_tokens):
+        with pytest.raises(ConfigError):
+            small_engine.generate(prompt_tokens, decode_token_source="beam")
+
+    def test_timeline_invariants_after_run(self, small_engine, prompt_tokens):
+        small_engine.generate(prompt_tokens, decode_steps=4)
+        small_engine.runtime.clock.validate()
+        small_engine.runtime.cache.validate()
+
+    def test_steps_monotone_in_time(self, small_engine, prompt_tokens):
+        result = small_engine.generate(prompt_tokens, decode_steps=4)
+        cursor = result.prefill.end
+        for step in result.decode_steps:
+            assert step.start >= result.prefill.start
+            assert step.end >= cursor - 1e-9
+            cursor = step.end
+
+    def test_hit_accounting_totals(self, small_engine, prompt_tokens):
+        result = small_engine.generate(prompt_tokens, decode_steps=2)
+        step_hits = result.prefill.hits + sum(s.hits for s in result.decode_steps)
+        step_misses = result.prefill.misses + sum(
+            s.misses for s in result.decode_steps
+        )
+        # Engine totals come from cache stats, which include only the
+        # generation's accesses (profiling traces never touch the cache).
+        assert result.total_hits == step_hits
+        assert result.total_misses == step_misses
+
+    def test_decode_only_convenience(self, small_engine):
+        result = small_engine.decode_only(num_steps=3)
+        assert len(result.decode_steps) == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_latency(self, tiny_config, prompt_tokens):
+        def run():
+            model = ReferenceMoEModel(tiny_config, seed=0)
+            config = EngineConfig(
+                cache_ratio=0.5, seed=0, profile_prompt_len=8, profile_decode_steps=2
+            )
+            engine = InferenceEngine(
+                model, make_strategy("hybrimoe"), paper_testbed(), config
+            )
+            return engine.generate(prompt_tokens, decode_steps=3)
+
+        a, b = run(), run()
+        assert a.ttft == b.ttft
+        np.testing.assert_array_equal(a.tbt_values, b.tbt_values)
+        assert a.total_hits == b.total_hits
+
+
+class TestEngineConfigValidation:
+    def test_cache_ratio_bounds(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(cache_ratio=1.5)
+
+    def test_noise_sigma_bounds(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(noise_sigma=-0.5)
+
+    def test_lookahead_bounds(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(prefetch_lookahead=0)
+
+
+class TestNoiseRobustness:
+    def test_noisy_execution_still_valid(self, tiny_config, prompt_tokens):
+        """Estimate-vs-reality gaps must not break any invariant."""
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        config = EngineConfig(
+            cache_ratio=0.5,
+            seed=0,
+            noise_sigma=0.3,
+            profile_prompt_len=8,
+            profile_decode_steps=2,
+        )
+        engine = InferenceEngine(
+            model, make_strategy("hybrimoe"), paper_testbed(), config
+        )
+        result = engine.generate(prompt_tokens, decode_steps=4)
+        engine.runtime.clock.validate()
+        assert result.ttft > 0
+
+
+class TestUncalibratedPlanner:
+    def test_ground_truth_planner_runs(self, tiny_config, prompt_tokens):
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        config = EngineConfig(
+            cache_ratio=0.5,
+            seed=0,
+            calibrate=False,
+            profile_prompt_len=8,
+            profile_decode_steps=2,
+        )
+        engine = InferenceEngine(
+            model, make_strategy("hybrimoe"), paper_testbed(), config
+        )
+        result = engine.generate(prompt_tokens, decode_steps=2)
+        assert result.ttft > 0
+
+
+class TestRuntime:
+    def test_capacity_from_ratio(self, small_engine):
+        runtime = small_engine.runtime
+        expected = round(0.5 * runtime.model_config.total_routed_experts)
+        assert runtime.capacity == expected
+
+    def test_frequency_ranking_covers_all_experts(self, small_engine):
+        ranking = small_engine.runtime.frequency_ranking()
+        config = small_engine.model.config
+        assert len(ranking) == config.total_routed_experts
+        assert len(set(ranking)) == len(ranking)
+
+    def test_warmup_trace_cached(self, small_engine):
+        assert small_engine.runtime.warmup_trace is small_engine.runtime.warmup_trace

@@ -1,0 +1,80 @@
+"""Factory and session construction paths."""
+
+import numpy as np
+import pytest
+
+from repro.engine.factory import available_strategies, make_engine, make_strategy
+from repro.engine.session import GenerationSession, SessionSpec
+from repro.errors import ConfigError
+
+
+class TestMakeStrategy:
+    def test_all_names_constructible(self):
+        for name in available_strategies():
+            assert make_strategy(name).name in (name, "hybrimoe")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_strategy("vllm")
+
+    def test_kwargs_forwarded(self):
+        strategy = make_strategy("hybrimoe", scheduling=False)
+        assert strategy.scheduling is False
+
+
+class TestMakeEngine:
+    def test_defaults(self):
+        engine = make_engine(num_layers=2)
+        assert engine.model.config.name.startswith("deepseek")
+        assert engine.strategy.name == "hybrimoe"
+
+    def test_model_instance_passthrough(self, tiny_model):
+        engine = make_engine(model=tiny_model, num_layers=None)
+        assert engine.model is tiny_model
+
+    def test_strategy_kwargs_with_instance_rejected(self, tiny_model):
+        strategy = make_strategy("ondemand")
+        with pytest.raises(ConfigError):
+            make_engine(
+                model=tiny_model, strategy=strategy, strategy_kwargs={"x": 1}
+            )
+
+    def test_hardware_preset_by_name(self):
+        engine = make_engine(num_layers=2, hardware="pcie-fast")
+        assert engine.runtime is not None
+
+    def test_generation_runs(self):
+        engine = make_engine(model="mixtral", num_layers=2, cache_ratio=0.25, seed=1)
+        result = engine.generate(np.arange(8), decode_steps=2)
+        assert result.ttft > 0
+
+
+class TestGenerationSession:
+    def test_spec_or_kwargs_exclusive(self):
+        with pytest.raises(ConfigError):
+            GenerationSession(SessionSpec(), model="deepseek")
+
+    def test_run_with_synthetic_prompt(self):
+        session = GenerationSession(
+            model="deepseek", strategy="ktransformers", num_layers=2,
+            cache_ratio=0.25,
+        )
+        result = session.run(prompt_len=12, decode_steps=2)
+        assert result.prefill.n_tokens == 12
+        assert len(result.decode_steps) == 2
+
+    def test_runs_are_independent(self):
+        session = GenerationSession(model="deepseek", num_layers=2, cache_ratio=0.25)
+        a = session.run(prompt_len=8, decode_steps=1)
+        b = session.run(prompt_len=8, decode_steps=1)
+        assert a.ttft == pytest.approx(b.ttft)
+
+    def test_invalid_prompt_len(self):
+        session = GenerationSession(model="deepseek", num_layers=2)
+        with pytest.raises(ConfigError):
+            session.run(prompt_len=0, decode_steps=1)
+
+    def test_explicit_prompt_used(self):
+        session = GenerationSession(model="deepseek", num_layers=2)
+        result = session.run(prompt_tokens=np.arange(5), decode_steps=1)
+        assert result.prefill.n_tokens == 5

@@ -1,0 +1,79 @@
+"""Metric container semantics."""
+
+import pytest
+
+from repro.engine.metrics import GenerationResult, StepMetrics
+from repro.errors import SimulationError
+
+
+def _step(stage="decode", start=0.0, end=1.0, hits=3, misses=1):
+    return StepMetrics(
+        stage=stage,
+        n_tokens=1,
+        start=start,
+        end=end,
+        hits=hits,
+        misses=misses,
+        utilization={"gpu": 0.5, "cpu": 0.25, "pcie": 0.0},
+    )
+
+
+class TestStepMetrics:
+    def test_duration(self):
+        assert _step(start=1.0, end=3.5).duration == pytest.approx(2.5)
+
+    def test_hit_rate(self):
+        assert _step(hits=3, misses=1).hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_no_accesses(self):
+        assert _step(hits=0, misses=0).hit_rate == 0.0
+
+
+class TestGenerationResult:
+    def _result(self):
+        return GenerationResult(
+            model_name="tiny",
+            strategy_name="hybrimoe",
+            cache_ratio=0.5,
+            prefill=_step(stage="prefill", start=0.0, end=2.0),
+            decode_steps=[
+                _step(start=2.0, end=2.5),
+                _step(start=2.5, end=3.5),
+            ],
+            total_hits=9,
+            total_misses=3,
+        )
+
+    def test_ttft(self):
+        assert self._result().ttft == pytest.approx(2.0)
+
+    def test_mean_tbt(self):
+        assert self._result().mean_tbt == pytest.approx(0.75)
+
+    def test_throughput_inverse_of_tbt(self):
+        result = self._result()
+        assert result.decode_throughput == pytest.approx(1.0 / result.mean_tbt)
+
+    def test_hit_rates(self):
+        result = self._result()
+        assert result.hit_rate == pytest.approx(0.75)
+        assert result.decode_hit_rate() == pytest.approx(0.75)
+
+    def test_missing_prefill_raises(self):
+        result = GenerationResult("t", "s", 0.5, prefill=None)
+        with pytest.raises(SimulationError):
+            _ = result.ttft
+
+    def test_missing_decode_raises(self):
+        result = GenerationResult("t", "s", 0.5, prefill=_step("prefill"))
+        with pytest.raises(SimulationError):
+            _ = result.mean_tbt
+
+    def test_mean_utilization(self):
+        util = self._result().mean_utilization("decode")
+        assert util["gpu"] == pytest.approx(0.5)
+
+    def test_summary_fields(self):
+        summary = self._result().summary()
+        assert summary["model"] == "tiny"
+        assert "ttft" in summary and "mean_tbt" in summary

@@ -1,0 +1,114 @@
+"""Experiment harness smoke tests with miniature scales.
+
+These assert structure and the paper's headline *orderings*, not
+absolute values; the benchmarks regenerate the real tables.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ExperimentScale,
+    fig3a_activation_cdf,
+    fig3e_expert_count_sweep,
+    fig3f_workload_sweep,
+    fig7_prefill,
+    fig8_decode,
+    fig9_cache_hit_rate,
+    replay_cache_hit_rate,
+    table3_ablation,
+)
+from repro.errors import ConfigError
+
+TINY = ExperimentScale(
+    num_layers=3, prefill_buckets=(32,), decode_steps=6, trace_decode_steps=24
+)
+
+
+class TestFig3Analyses:
+    def test_fig3a_rows_monotone(self):
+        rows = fig3a_activation_cdf(scale=TINY, curve_points=5)
+        values = [r["deepseek-expert"] for r in rows]
+        assert values == sorted(values)
+        assert rows[-1]["opt-neuron"] == pytest.approx(1.0)
+
+    def test_fig3e_cpu_overlap_effect(self):
+        rows = fig3e_expert_count_sweep(max_experts=4)
+        # CPU marginal cost of expert 2..n is below the first (warmup).
+        first = rows[0]["cpu_time_s"]
+        marginal = rows[1]["cpu_time_s"] - rows[0]["cpu_time_s"]
+        assert marginal < first
+
+    def test_fig3f_gpu_flat_cpu_linear(self):
+        rows = fig3f_workload_sweep(workloads=(1, 64, 512))
+        gpu_ratio = rows[-1]["gpu_time_s"] / rows[0]["gpu_time_s"]
+        cpu_ratio = rows[-1]["cpu_time_s"] / rows[0]["cpu_time_s"]
+        assert cpu_ratio > 10 * gpu_ratio
+
+
+class TestEndToEndGrids:
+    def test_fig7_structure_and_ordering(self):
+        rows = fig7_prefill(
+            models=("deepseek",),
+            ratios=(0.25,),
+            strategies=("llamacpp", "ktransformers", "hybrimoe"),
+            scale=TINY,
+        )
+        assert len(rows) == 3
+        by_strategy = {r["strategy"]: r["ttft_s"] for r in rows}
+        assert by_strategy["llamacpp"] > by_strategy["hybrimoe"]
+
+    def test_fig8_structure(self):
+        rows = fig8_decode(
+            models=("deepseek",),
+            ratios=(0.5,),
+            strategies=("ktransformers", "hybrimoe"),
+            scale=TINY,
+        )
+        assert {r["strategy"] for r in rows} == {"ktransformers", "hybrimoe"}
+        assert all(r["mean_tbt_s"] > 0 for r in rows)
+
+    def test_table3_baseline_normalised(self):
+        rows = table3_ablation(model_name="deepseek", scale=TINY, prefill_len=24)
+        assert rows[0]["config"] == "baseline"
+        assert rows[0]["prefill_speedup"] == pytest.approx(1.0)
+        assert rows[0]["decode_speedup"] == pytest.approx(1.0)
+        assert {r["config"] for r in rows} == {
+            "baseline",
+            "baseline+scheduling",
+            "baseline+prefetching",
+            "baseline+caching",
+            "all",
+        }
+
+
+class TestFig9:
+    def test_mrs_beats_lru_at_low_capacity(self):
+        rows = fig9_cache_hit_rate(
+            models=("deepseek",), percentages=(0.3,), scale=TINY
+        )
+        by_policy = {r["policy"]: r["hit_rate"] for r in rows}
+        assert by_policy["mrs"] >= by_policy["lru"] - 0.02
+
+    def test_hit_rate_increases_with_capacity(self):
+        rows = fig9_cache_hit_rate(
+            models=("deepseek",), percentages=(0.3, 0.7), policies=("lru",),
+            scale=TINY,
+        )
+        small, large = rows[0]["hit_rate"], rows[1]["hit_rate"]
+        assert large >= small
+
+    def test_replay_requires_capacity(self, tiny_model, prompt_tokens):
+        from repro.routing.generator import generate_trace
+
+        trace = generate_trace(tiny_model, prompt_tokens, decode_steps=4, seed=0)
+        with pytest.raises(ConfigError):
+            replay_cache_hit_rate(trace, 0, "lru")
+
+
+class TestScaleValidation:
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale(
+                num_layers=2, prefill_buckets=(32,), decode_steps=0,
+                trace_decode_steps=8,
+            )

@@ -1,0 +1,74 @@
+"""Experiment runner: model memoisation and configuration plumbing."""
+
+import pytest
+
+from repro.engine.engine import EngineConfig
+from repro.experiments.runner import cached_model, run_workload
+from repro.workloads import decode_workload, prefill_workloads
+
+
+class TestCachedModel:
+    def test_same_key_same_instance(self):
+        a = cached_model("deepseek", 2, 0)
+        b = cached_model("deepseek", 2, 0)
+        assert a is b
+
+    def test_different_seed_different_instance(self):
+        a = cached_model("deepseek", 2, 0)
+        b = cached_model("deepseek", 2, 1)
+        assert a is not b
+
+    def test_layer_override_respected(self):
+        model = cached_model("mixtral", 3, 0)
+        assert model.config.num_layers == 3
+
+
+class TestRunWorkload:
+    def test_prefill_workload(self):
+        workload = prefill_workloads(32, seed=0)[0]
+        result = run_workload(
+            "deepseek", "ktransformers", 0.5, workload, num_layers=2, seed=0
+        )
+        assert result.prefill.n_tokens == workload.prompt_len
+        assert result.decode_steps == []
+
+    def test_decode_workload(self):
+        workload = decode_workload(3, seed=0)
+        result = run_workload(
+            "deepseek", "hybrimoe", 0.5, workload, num_layers=2, seed=0
+        )
+        assert len(result.decode_steps) == 3
+
+    def test_engine_config_overrides(self):
+        workload = decode_workload(2, seed=0)
+        config = EngineConfig(cache_ratio=0.25, seed=0, prefetch_lookahead=1)
+        result = run_workload(
+            "deepseek",
+            "hybrimoe",
+            cache_ratio=0.9,  # ignored: engine_config wins
+            workload=workload,
+            num_layers=2,
+            seed=0,
+            engine_config=config,
+        )
+        assert result.cache_ratio == pytest.approx(0.25)
+
+    def test_strategy_kwargs_reach_strategy(self):
+        workload = decode_workload(2, seed=0)
+        result = run_workload(
+            "deepseek",
+            "hybrimoe",
+            0.5,
+            workload,
+            num_layers=2,
+            seed=0,
+            strategy_kwargs={"scheduling": False, "prefetching": False, "caching": False},
+        )
+        assert result.strategy_name == "hybrimoe[baseline]"
+
+    def test_runs_are_reproducible(self):
+        workload = decode_workload(2, seed=0)
+        a = run_workload("deepseek", "hybrimoe", 0.5, workload, num_layers=2, seed=0)
+        b = run_workload("deepseek", "hybrimoe", 0.5, workload, num_layers=2, seed=0)
+        assert a.ttft == pytest.approx(b.ttft)
+        assert a.mean_tbt == pytest.approx(b.mean_tbt)

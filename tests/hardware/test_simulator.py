@@ -1,0 +1,34 @@
+"""Three-resource clock semantics."""
+
+import pytest
+
+from repro.hardware.simulator import Resource, ThreeResourceClock
+
+
+class TestClock:
+    def test_compute_frontier_ignores_pcie(self):
+        clock = ThreeResourceClock()
+        clock.gpu.reserve(0.0, 1.0, "g")
+        clock.cpu.reserve(0.0, 2.0, "c")
+        clock.pcie.reserve(0.0, 10.0, "x")
+        assert clock.compute_frontier == pytest.approx(2.0)
+        assert clock.frontier == pytest.approx(10.0)
+
+    def test_timeline_lookup(self):
+        clock = ThreeResourceClock()
+        assert clock.timeline(Resource.GPU) is clock.gpu
+        assert clock.timeline(Resource.CPU) is clock.cpu
+        assert clock.timeline(Resource.PCIE) is clock.pcie
+
+    def test_utilization_summary_keys(self):
+        clock = ThreeResourceClock()
+        clock.gpu.reserve(0.0, 1.0, "g")
+        summary = clock.utilization_summary(0.0, 2.0)
+        assert set(summary) == {"gpu", "cpu", "pcie"}
+        assert summary["gpu"] == pytest.approx(0.5)
+        assert summary["cpu"] == 0.0
+
+    def test_validate_passes_on_clean_clock(self):
+        clock = ThreeResourceClock()
+        clock.gpu.reserve(0.0, 1.0, "a")
+        clock.validate()

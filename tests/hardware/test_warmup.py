@@ -1,0 +1,103 @@
+"""Warmup calibration: fitted model must track ground truth."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.cost_model import AnalyticCostModel, NoisyCostModel
+from repro.hardware.platform_presets import paper_testbed
+from repro.hardware.warmup import WarmupCalibrator
+from repro.models.config import ExpertShape
+from repro.models.presets import get_preset
+
+
+@pytest.fixture
+def truth():
+    return AnalyticCostModel(paper_testbed())
+
+
+class TestCalibration:
+    def test_fit_accuracy_within_probe_range(self, truth):
+        config = get_preset("deepseek")
+        fitted = WarmupCalibrator(truth).calibrate(config)
+        shape = config.routed_expert_shape
+        for tokens in (1, 8, 64, 512):
+            assert fitted.cpu_expert_time(shape, tokens) == pytest.approx(
+                truth.cpu_expert_time(shape, tokens), rel=0.35, abs=1e-4
+            )
+
+    def test_transfer_time_exact(self, truth):
+        config = get_preset("mixtral")
+        fitted = WarmupCalibrator(truth).calibrate(config)
+        shape = config.routed_expert_shape
+        assert fitted.transfer_time(shape) == pytest.approx(
+            truth.transfer_time(shape)
+        )
+
+    def test_warmup_penalty_recovered(self, truth):
+        config = get_preset("deepseek")
+        fitted = WarmupCalibrator(truth).calibrate(config)
+        shape = config.routed_expert_shape
+        penalty = fitted.cpu_expert_time(shape, 1, first_task=True) - fitted.cpu_expert_time(
+            shape, 1
+        )
+        assert penalty == pytest.approx(paper_testbed().cpu_warmup_s, rel=0.01)
+
+    def test_shared_shape_also_calibrated(self, truth):
+        config = get_preset("qwen2")
+        fitted = WarmupCalibrator(truth).calibrate(config)
+        assert fitted.gpu_expert_time(config.shared_expert_shape, 4) > 0
+
+    def test_attention_fits_both_devices(self, truth):
+        config = get_preset("deepseek")
+        fitted = WarmupCalibrator(truth).calibrate(config)
+        d_model = config.routed_expert_shape.d_model
+        assert fitted.attention_time(d_model, 16, "cpu") > fitted.attention_time(
+            d_model, 16, "gpu"
+        )
+
+    def test_uncalibrated_shape_rejected(self, truth):
+        fitted = WarmupCalibrator(truth).calibrate(get_preset("deepseek"))
+        with pytest.raises(ConfigError, match="calibration"):
+            fitted.gpu_expert_time(ExpertShape(123, 456), 4)
+
+    def test_noisy_truth_with_repeats_converges(self, truth):
+        noisy = NoisyCostModel(truth, sigma=0.05, seed=0)
+        fitted = WarmupCalibrator(noisy, repeats=16).calibrate(get_preset("deepseek"))
+        shape = get_preset("deepseek").routed_expert_shape
+        assert fitted.cpu_expert_time(shape, 64) == pytest.approx(
+            truth.cpu_expert_time(shape, 64), rel=0.4
+        )
+
+    def test_invalid_probe_config(self, truth):
+        with pytest.raises(ConfigError):
+            WarmupCalibrator(truth, probe_tokens=())
+        with pytest.raises(ConfigError):
+            WarmupCalibrator(truth, probe_tokens=(0,))
+        with pytest.raises(ConfigError):
+            WarmupCalibrator(truth, repeats=0)
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        from repro.hardware.platform_presets import HARDWARE_PRESETS, get_hardware_preset
+
+        for name in HARDWARE_PRESETS:
+            assert get_hardware_preset(name).name
+
+    def test_unknown_preset(self):
+        from repro.hardware.platform_presets import get_hardware_preset
+
+        with pytest.raises(ConfigError):
+            get_hardware_preset("tpu-pod")
+
+    def test_cpu_weak_halves_cpu(self):
+        from repro.hardware.platform_presets import cpu_weak_testbed, paper_testbed
+
+        assert cpu_weak_testbed().cpu_flops == pytest.approx(
+            paper_testbed().cpu_flops / 2
+        )
+
+    def test_pcie_fast_doubles_bandwidth(self):
+        from repro.hardware.platform_presets import paper_testbed, pcie_fast_testbed
+
+        assert pcie_fast_testbed().pcie_bw == pytest.approx(2 * paper_testbed().pcie_bw)

@@ -1,0 +1,91 @@
+"""Unit tests for SwiGLU expert kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.experts import ExpertWeights, expert_forward, init_expert, silu
+from repro.rng import derive_rng
+
+
+class TestSilu:
+    def test_zero_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_approaches_identity_for_large_positive(self):
+        np.testing.assert_allclose(silu(np.array([50.0]))[0], 50.0, rtol=1e-6)
+
+    def test_no_overflow_for_large_negative(self):
+        out = silu(np.array([-1e6]))
+        assert np.isfinite(out).all()
+        assert abs(out[0]) < 1e-3 or out[0] <= 0.0
+
+
+class TestExpertWeights:
+    def test_shape_validation_w_up(self):
+        rng = derive_rng(0, "t")
+        with pytest.raises(ConfigError):
+            ExpertWeights(
+                w_gate=rng.normal(size=(4, 8)),
+                w_up=rng.normal(size=(4, 7)),
+                w_down=rng.normal(size=(8, 4)),
+            )
+
+    def test_shape_validation_w_down(self):
+        rng = derive_rng(0, "t")
+        with pytest.raises(ConfigError):
+            ExpertWeights(
+                w_gate=rng.normal(size=(4, 8)),
+                w_up=rng.normal(size=(4, 8)),
+                w_down=rng.normal(size=(4, 8)),
+            )
+
+    def test_param_count(self):
+        weights = init_expert(derive_rng(0, "t"), 4, 8)
+        assert weights.param_count == 3 * 4 * 8
+
+
+class TestInitExpert:
+    def test_deterministic_given_rng_seed(self):
+        a = init_expert(derive_rng(7, "e"), 8, 16)
+        b = init_expert(derive_rng(7, "e"), 8, 16)
+        np.testing.assert_array_equal(a.w_gate, b.w_gate)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigError):
+            init_expert(derive_rng(0, "e"), 0, 4)
+
+    def test_output_magnitude_bounded(self):
+        """Unit-RMS input must map to O(1) output (stable residuals)."""
+        weights = init_expert(derive_rng(3, "e"), 64, 128)
+        x = derive_rng(4, "x").normal(size=(32, 64))
+        x /= np.sqrt(np.mean(x**2, axis=-1, keepdims=True))
+        out = expert_forward(x, weights)
+        rms = float(np.sqrt(np.mean(out**2)))
+        assert 0.05 < rms < 5.0
+
+
+class TestExpertForward:
+    def test_matches_manual_swiglu(self):
+        weights = init_expert(derive_rng(5, "e"), 4, 8)
+        x = derive_rng(6, "x").normal(size=(3, 4))
+        expected = (silu(x @ weights.w_gate) * (x @ weights.w_up)) @ weights.w_down
+        np.testing.assert_allclose(expert_forward(x, weights), expected)
+
+    def test_batch_consistency(self):
+        """Row-wise application equals batched application."""
+        weights = init_expert(derive_rng(8, "e"), 4, 8)
+        x = derive_rng(9, "x").normal(size=(5, 4))
+        batched = expert_forward(x, weights)
+        rows = np.vstack([expert_forward(x[i : i + 1], weights) for i in range(5)])
+        np.testing.assert_allclose(batched, rows, rtol=1e-12)
+
+    def test_wrong_width_rejected(self):
+        weights = init_expert(derive_rng(10, "e"), 4, 8)
+        with pytest.raises(ConfigError):
+            expert_forward(np.ones((2, 5)), weights)
+
+    def test_one_dim_input_rejected(self):
+        weights = init_expert(derive_rng(11, "e"), 4, 8)
+        with pytest.raises(ConfigError):
+            expert_forward(np.ones(4), weights)

@@ -1,0 +1,112 @@
+"""Unit and property tests for softmax top-K routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigError
+from repro.models.gating import route_tokens, softmax, top_k_indices
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        out = softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_handles_large_logits_without_overflow(self):
+        out = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] > 0.999
+
+    def test_invariant_to_constant_shift(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(x), softmax(x + 5.0), rtol=1e-6)
+
+
+class TestTopK:
+    def test_selects_largest(self):
+        scores = np.array([[0.1, 0.5, 0.2, 0.2]])
+        idx = top_k_indices(scores, 2)
+        assert idx[0, 0] == 1
+
+    def test_tie_break_prefers_lower_index(self):
+        scores = np.array([[0.3, 0.3, 0.4]])
+        idx = top_k_indices(scores, 2)
+        assert list(idx[0]) == [2, 0]
+
+    def test_k_equals_n(self):
+        scores = np.array([[0.2, 0.3, 0.5]])
+        idx = top_k_indices(scores, 3)
+        assert sorted(idx[0]) == [0, 1, 2]
+
+    @pytest.mark.parametrize("k", [0, 5, -1])
+    def test_invalid_k_rejected(self, k):
+        with pytest.raises(ConfigError):
+            top_k_indices(np.ones((2, 4)), k)
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigError):
+            top_k_indices(np.ones(4), 1)
+
+
+class TestRouteTokens:
+    def test_weights_sum_to_one_per_token(self):
+        scores = softmax(np.random.default_rng(2).normal(size=(6, 8)))
+        router = route_tokens(scores, 3)
+        np.testing.assert_allclose(router.topk_weights.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_loads_count_assignments(self):
+        scores = softmax(np.random.default_rng(3).normal(size=(10, 4)))
+        router = route_tokens(scores, 2)
+        assert router.loads.sum() == 10 * 2
+
+    def test_tokens_for_expert_matches_topk(self):
+        scores = softmax(np.random.default_rng(4).normal(size=(8, 5)))
+        router = route_tokens(scores, 2)
+        for expert in router.activated_experts():
+            rows = router.tokens_for_expert(expert)
+            assert len(rows) == router.loads[expert]
+            for row in rows:
+                assert expert in router.topk_idx[row]
+
+    def test_weights_for_expert_positive(self):
+        scores = softmax(np.random.default_rng(5).normal(size=(8, 5)))
+        router = route_tokens(scores, 2)
+        for expert in router.activated_experts():
+            assert (router.weights_for_expert(expert) > 0).all()
+
+    def test_mean_scores_shape(self):
+        scores = softmax(np.random.default_rng(6).normal(size=(4, 9)))
+        router = route_tokens(scores, 2)
+        assert router.mean_scores().shape == (9,)
+
+    @given(
+        logits=arrays(
+            np.float64,
+            (7, 6),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        k=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_token_gets_k_distinct_experts(self, logits, k):
+        router = route_tokens(softmax(logits), k)
+        for row in router.topk_idx:
+            assert len(set(int(e) for e in row)) == k
+
+    @given(
+        logits=arrays(
+            np.float64,
+            (5, 8),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_load_conservation(self, logits, k):
+        router = route_tokens(softmax(logits), k)
+        assert int(router.loads.sum()) == 5 * k
+        assert len(router.activated_experts()) <= min(8, 5 * k)

@@ -1,0 +1,56 @@
+"""Table II presets must match the paper exactly."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import ExpertShape
+from repro.models.presets import MODEL_PRESETS, get_preset
+
+
+class TestTableII:
+    """Each assertion mirrors one cell of paper Table II."""
+
+    def test_mixtral_architecture(self):
+        config = get_preset("mixtral")
+        assert config.num_layers == 32
+        assert config.num_shared_experts == 0
+        assert config.num_routed_experts == 8
+        assert config.num_activated_experts == 2
+        assert config.routed_expert_shape == ExpertShape(4096, 14336)
+        assert config.shared_expert_shape is None
+
+    def test_qwen2_architecture(self):
+        config = get_preset("qwen2")
+        assert config.num_layers == 28
+        assert config.num_shared_experts == 1
+        assert config.num_routed_experts == 64
+        assert config.num_activated_experts == 8
+        assert config.routed_expert_shape == ExpertShape(3584, 18944)
+        assert config.shared_expert_shape == ExpertShape(3584, 20480)
+
+    def test_deepseek_architecture(self):
+        config = get_preset("deepseek")
+        assert config.num_layers == 26
+        assert config.num_shared_experts == 2
+        assert config.num_routed_experts == 64
+        assert config.num_activated_experts == 6
+        assert config.routed_expert_shape == ExpertShape(2048, 1408)
+        assert config.shared_expert_shape == ExpertShape(2048, 1408)
+
+
+class TestRegistry:
+    def test_all_presets_constructible(self):
+        for name in MODEL_PRESETS:
+            assert get_preset(name).name == name
+
+    def test_layer_override(self):
+        assert get_preset("mixtral", num_layers=4).num_layers == 4
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigError, match="unknown model preset"):
+            get_preset("gpt5")
+
+    def test_mixtral_expert_is_largest(self):
+        mixtral = get_preset("mixtral").routed_expert_shape.param_count
+        deepseek = get_preset("deepseek").routed_expert_shape.param_count
+        assert mixtral > 20 * deepseek

@@ -1,0 +1,62 @@
+"""Trace generation from the functional model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.routing.generator import generate_trace
+
+
+class TestGenerateTrace:
+    def test_structure(self, tiny_model, prompt_tokens):
+        trace = generate_trace(tiny_model, prompt_tokens, decode_steps=4, seed=1)
+        assert trace.num_steps == 5
+        assert trace.steps[0].kind == "prefill"
+        assert all(s.kind == "decode" for s in trace.steps[1:])
+        assert trace.num_layers == tiny_model.config.num_layers
+        assert trace.num_experts == tiny_model.config.num_routed_experts
+
+    def test_prefill_load_conservation(self, tiny_model, prompt_tokens):
+        trace = generate_trace(tiny_model, prompt_tokens, seed=1)
+        k = tiny_model.config.num_activated_experts
+        for routing in trace.steps[0].layers:
+            assert routing.loads.sum() == prompt_tokens.size * k
+
+    def test_decode_load_conservation(self, tiny_model, prompt_tokens):
+        trace = generate_trace(tiny_model, prompt_tokens, decode_steps=3, seed=1)
+        k = tiny_model.config.num_activated_experts
+        for step in trace.decode_steps():
+            for routing in step.layers:
+                assert routing.loads.sum() == k
+
+    def test_deterministic(self, tiny_model, prompt_tokens):
+        a = generate_trace(tiny_model, prompt_tokens, decode_steps=3, seed=5)
+        b = generate_trace(tiny_model, prompt_tokens, decode_steps=3, seed=5)
+        for sa, sb in zip(a.steps, b.steps):
+            for la, lb in zip(sa.layers, sb.layers):
+                np.testing.assert_array_equal(la.loads, lb.loads)
+
+    def test_token_sources_differ(self, tiny_model, prompt_tokens):
+        sampled = generate_trace(
+            tiny_model, prompt_tokens, decode_steps=6, seed=5,
+            decode_token_source="sampled",
+        )
+        random = generate_trace(
+            tiny_model, prompt_tokens, decode_steps=6, seed=5,
+            decode_token_source="random",
+        )
+        any_diff = any(
+            not np.array_equal(sa.layers[0].loads, sr.layers[0].loads)
+            for sa, sr in zip(sampled.decode_steps(), random.decode_steps())
+        )
+        assert any_diff
+
+    def test_empty_prompt_rejected(self, tiny_model):
+        with pytest.raises(TraceError):
+            generate_trace(tiny_model, np.array([], dtype=np.int64))
+
+    def test_bad_source_rejected(self, tiny_model, prompt_tokens):
+        with pytest.raises(TraceError):
+            generate_trace(
+                tiny_model, prompt_tokens, decode_token_source="beam"
+            )

@@ -1,0 +1,125 @@
+"""Routing statistics behind the Fig. 3 motivation analyses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.routing.generator import generate_trace
+from repro.routing.statistics import (
+    activation_cdf,
+    adjacent_layer_overlap,
+    expert_activation_frequency,
+    gate_reuse_accuracy,
+    prefill_load_distribution,
+    reuse_probability_by_rank,
+    synthetic_neuron_activation_cdf,
+)
+
+
+@pytest.fixture
+def trace(tiny_model, prompt_tokens):
+    return generate_trace(tiny_model, prompt_tokens, decode_steps=16, seed=2)
+
+
+class TestActivationCdf:
+    def test_monotone_and_normalised(self, trace):
+        proportion, cumulative = activation_cdf(trace)
+        assert np.all(np.diff(cumulative) >= -1e-12)
+        assert cumulative[-1] == pytest.approx(1.0)
+        assert proportion[-1] == pytest.approx(1.0)
+
+    def test_neuron_cdf_more_skewed_than_experts(self, trace):
+        """The Fig. 3a contrast: neurons concentrate, experts spread."""
+        prop_e, cum_e = activation_cdf(trace)
+        prop_n, cum_n = synthetic_neuron_activation_cdf(seed=0)
+        at = 0.2
+        assert np.interp(at, prop_n, cum_n) > np.interp(at, prop_e, cum_e)
+
+    def test_neuron_cdf_invalid_size(self):
+        with pytest.raises(TraceError):
+            synthetic_neuron_activation_cdf(n_neurons=0)
+
+
+class TestReuseProbability:
+    def test_shape_and_range(self, trace):
+        reuse = reuse_probability_by_rank(trace)
+        assert reuse.shape == (trace.num_experts,)
+        assert ((0.0 <= reuse) & (reuse <= 1.0)).all()
+
+    def test_top_ranks_beat_bottom_ranks(self, trace):
+        """The Fig. 3b signal that justifies score-aware caching."""
+        reuse = reuse_probability_by_rank(trace)
+        k = trace.num_activated
+        assert reuse[:k].mean() > reuse[-k:].mean()
+
+    def test_needs_two_decode_steps(self, tiny_model, prompt_tokens):
+        short = generate_trace(tiny_model, prompt_tokens, decode_steps=1, seed=0)
+        with pytest.raises(TraceError):
+            reuse_probability_by_rank(short)
+
+
+class TestLoadDistribution:
+    def test_sorted_descending(self, trace):
+        loads = prefill_load_distribution(trace, layer=1)
+        assert np.all(np.diff(loads) <= 0)
+
+    def test_conserves_assignments(self, trace, prompt_tokens):
+        loads = prefill_load_distribution(trace)
+        assert loads.sum() == prompt_tokens.size * trace.num_activated
+
+    def test_layer_out_of_range(self, trace):
+        with pytest.raises(TraceError):
+            prefill_load_distribution(trace, layer=99)
+
+    def test_requires_prefill(self, trace):
+        from repro.routing.trace import RoutingTrace
+
+        decode_only = RoutingTrace(
+            trace.model_name,
+            trace.num_layers,
+            trace.num_experts,
+            trace.num_activated,
+            trace.decode_steps(),
+        )
+        with pytest.raises(TraceError):
+            prefill_load_distribution(decode_only)
+
+
+class TestLayerOverlap:
+    def test_in_unit_interval(self, trace):
+        overlap = adjacent_layer_overlap(trace)
+        assert 0.0 <= overlap <= 1.0
+
+    def test_distance_validation(self, trace):
+        with pytest.raises(TraceError):
+            adjacent_layer_overlap(trace, distance=0)
+
+
+class TestFrequency:
+    def test_counts_bounded_by_steps(self, trace):
+        counts = expert_activation_frequency(trace)
+        assert counts.shape == (trace.num_layers, trace.num_experts)
+        assert counts.max() <= trace.num_steps
+
+
+class TestGateReuse:
+    def test_accuracy_beats_chance(self, tiny_model, prompt_tokens):
+        """Gate reuse must beat random guessing, else prefetch is noise."""
+        recall = gate_reuse_accuracy(tiny_model, prompt_tokens, max_distance=2)
+        chance = (
+            tiny_model.config.num_activated_experts
+            / tiny_model.config.num_routed_experts
+        )
+        assert recall[0] > 2 * chance
+
+    def test_accuracy_decays_with_distance(self, tiny_model, prompt_tokens):
+        recall = gate_reuse_accuracy(tiny_model, prompt_tokens, max_distance=2)
+        assert recall[0] >= recall[1] - 0.05
+
+    def test_invalid_distance(self, tiny_model, prompt_tokens):
+        with pytest.raises(TraceError):
+            gate_reuse_accuracy(tiny_model, prompt_tokens, max_distance=0)
+
+    def test_empty_prompt(self, tiny_model):
+        with pytest.raises(TraceError):
+            gate_reuse_accuracy(tiny_model, np.array([], dtype=np.int64))

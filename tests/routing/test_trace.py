@@ -1,0 +1,92 @@
+"""Trace container invariants and npz round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.routing.trace import LayerRouting, RoutingTrace, StepTrace
+
+
+def _layer(layer=0, n_experts=4, loads=None, scores=None):
+    loads = np.array(loads if loads is not None else [2, 0, 1, 0], dtype=np.int64)
+    scores = np.array(
+        scores if scores is not None else [0.4, 0.1, 0.3, 0.2], dtype=np.float64
+    )
+    return LayerRouting(layer=layer, loads=loads, mean_scores=scores)
+
+
+def _trace(num_layers=2, steps=2):
+    step_list = [
+        StepTrace(
+            kind="prefill" if s == 0 else "decode",
+            n_tokens=3 if s == 0 else 1,
+            layers=[_layer(layer=l) for l in range(num_layers)],
+        )
+        for s in range(steps)
+    ]
+    return RoutingTrace(
+        model_name="tiny",
+        num_layers=num_layers,
+        num_experts=4,
+        num_activated=2,
+        steps=step_list,
+    )
+
+
+class TestLayerRouting:
+    def test_activated_lists_nonzero_loads(self):
+        assert _layer().activated() == [0, 2]
+
+    def test_activated_with_loads(self):
+        assert _layer().activated_with_loads() == [(0, 2), (2, 1)]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            LayerRouting(0, np.zeros(3, dtype=np.int64), np.zeros(4))
+
+
+class TestStepTrace:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TraceError):
+            StepTrace(kind="warmup", n_tokens=1, layers=[_layer()])
+
+    def test_zero_tokens_rejected(self):
+        with pytest.raises(TraceError):
+            StepTrace(kind="decode", n_tokens=0, layers=[_layer()])
+
+    def test_layer_index_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            StepTrace(kind="decode", n_tokens=1, layers=[_layer(layer=3)])
+
+
+class TestRoutingTrace:
+    def test_wrong_layer_count_rejected(self):
+        with pytest.raises(TraceError):
+            RoutingTrace("t", 3, 4, 2, steps=_trace().steps)
+
+    def test_wrong_expert_count_rejected(self):
+        with pytest.raises(TraceError):
+            RoutingTrace("t", 2, 5, 2, steps=_trace().steps)
+
+    def test_step_filters(self):
+        trace = _trace()
+        assert len(trace.prefill_steps()) == 1
+        assert len(trace.decode_steps()) == 1
+
+    def test_roundtrip(self, tmp_path):
+        trace = _trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RoutingTrace.load(path)
+        assert loaded.model_name == trace.model_name
+        assert loaded.num_steps == trace.num_steps
+        for orig, new in zip(trace.steps, loaded.steps):
+            assert orig.kind == new.kind
+            assert orig.n_tokens == new.n_tokens
+            for a, b in zip(orig.layers, new.layers):
+                np.testing.assert_array_equal(a.loads, b.loads)
+                np.testing.assert_allclose(a.mean_scores, b.mean_scores)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            RoutingTrace.load(tmp_path / "absent.npz")

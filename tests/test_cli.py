@@ -1,0 +1,59 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "gpt5"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mixtral" in out and "hybrimoe" in out
+
+    def test_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--model",
+                "deepseek",
+                "--num-layers",
+                "2",
+                "--prompt-len",
+                "8",
+                "--decode-steps",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "ttft" in capsys.readouterr().out
+
+    def test_compare_decode(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model",
+                "deepseek",
+                "--num-layers",
+                "2",
+                "--decode-steps",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hybrimoe" in out and "llamacpp" in out
+
+    def test_figure_fig3e(self, capsys):
+        assert main(["figure", "fig3e"]) == 0
+        assert "cpu_time_s" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Package-level smoke tests: public API surface and versioning."""
+
+import repro
+
+
+def test_version_is_semver_like():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_available_strategies_lists_all_five():
+    assert repro.available_strategies() == [
+        "adapmoe",
+        "hybrimoe",
+        "ktransformers",
+        "llamacpp",
+        "ondemand",
+    ]
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.ConfigError, repro.ReproError)
+    assert issubclass(repro.SchedulingError, repro.ReproError)
+    assert issubclass(repro.CacheError, repro.ReproError)
+    assert issubclass(repro.SimulationError, repro.ReproError)
+    assert issubclass(repro.TraceError, repro.ReproError)
+
+
+def test_rng_derivation_stable():
+    from repro.rng import derive_seed
+
+    assert derive_seed(0, "a", 1) == derive_seed(0, "a", 1)
+    assert derive_seed(0, "a", 1) != derive_seed(0, "a", 2)
+    assert derive_seed(0, "a") != derive_seed(1, "a")
+    assert derive_seed(0, 1) != derive_seed(0, "1")

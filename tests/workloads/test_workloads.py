@@ -1,0 +1,120 @@
+"""Workload samplers: determinism, bounds, dataset profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    PREFILL_BUCKETS,
+    bucket_length,
+    sample_prompt,
+    sample_prompt_length,
+)
+from repro.workloads.generator import WorkloadSpec, decode_workload, prefill_workloads
+
+
+class TestDatasetProfiles:
+    def test_buckets_match_paper(self):
+        assert PREFILL_BUCKETS == (32, 128, 512, 1024)
+
+    def test_three_datasets(self):
+        assert set(DATASET_PROFILES) == {"mtbench", "vicuna", "chatgpt-prompts"}
+
+    @pytest.mark.parametrize("dataset", sorted(DATASET_PROFILES))
+    def test_lengths_within_bounds(self, dataset):
+        profile = DATASET_PROFILES[dataset]
+        for index in range(50):
+            length = sample_prompt_length(dataset, seed=0, index=index)
+            assert profile.min_tokens <= length <= profile.max_tokens
+
+    def test_deterministic_by_seed_and_index(self):
+        a = sample_prompt_length("mtbench", seed=1, index=3)
+        b = sample_prompt_length("mtbench", seed=1, index=3)
+        c = sample_prompt_length("mtbench", seed=1, index=4)
+        assert a == b
+        assert isinstance(c, int)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            sample_prompt_length("sharegpt")
+
+    def test_chatgpt_longer_than_vicuna_on_average(self):
+        chatgpt = np.mean(
+            [sample_prompt_length("chatgpt-prompts", 0, i) for i in range(100)]
+        )
+        vicuna = np.mean([sample_prompt_length("vicuna", 0, i) for i in range(100)])
+        assert chatgpt > vicuna
+
+
+class TestBucketLength:
+    @pytest.mark.parametrize("bucket", PREFILL_BUCKETS)
+    def test_within_jitter(self, bucket):
+        for index in range(20):
+            length = bucket_length(bucket, seed=0, index=index, jitter=0.1)
+            assert 0.89 * bucket <= length <= 1.11 * bucket
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ConfigError):
+            bucket_length(0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ConfigError):
+            bucket_length(32, jitter=1.0)
+
+
+class TestSamplePrompt:
+    def test_tokens_in_vocab(self):
+        tokens = sample_prompt("mtbench", vocab_size=64, seed=0)
+        assert ((0 <= tokens) & (tokens < 64)).all()
+
+    def test_explicit_length(self):
+        tokens = sample_prompt("mtbench", vocab_size=64, length=17)
+        assert tokens.size == 17
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ConfigError):
+            sample_prompt("mtbench", vocab_size=1)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            sample_prompt("mtbench", vocab_size=64, length=0)
+
+
+class TestGenerators:
+    def test_prefill_workloads_cycle_datasets(self):
+        specs = prefill_workloads(32, n_samples=3, seed=0)
+        assert [s.dataset for s in specs] == [
+            "mtbench",
+            "vicuna",
+            "chatgpt-prompts",
+        ]
+        for spec in specs:
+            assert spec.kind == "prefill"
+            assert spec.bucket == 32
+            assert spec.decode_steps == 0
+
+    def test_prefill_invalid_samples(self):
+        with pytest.raises(ConfigError):
+            prefill_workloads(32, n_samples=0)
+
+    def test_prefill_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            prefill_workloads(32, datasets=("imagenet",))
+
+    def test_decode_workload_defaults(self):
+        spec = decode_workload(16, seed=0)
+        assert spec.kind == "decode"
+        assert spec.dataset == "chatgpt-prompts"
+        assert spec.decode_steps == 16
+        assert spec.prompt_len > 0
+
+    def test_decode_invalid_steps(self):
+        with pytest.raises(ConfigError):
+            decode_workload(0)
+
+    def test_workload_spec_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("train", "mtbench", np.arange(4), 0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec("decode", "mtbench", np.arange(4), -1)
