@@ -14,9 +14,12 @@ Scheduling and Cache Management for Efficient MoE Inference* (DAC
 - four baseline frameworks re-implemented on the same substrate
   (:mod:`repro.baselines`);
 - an inference engine with TTFT/TBT metrics (:mod:`repro.engine`),
-  synthetic workloads (:mod:`repro.workloads`) and the experiment
-  harness regenerating every paper table and figure
-  (:mod:`repro.experiments`).
+  synthetic workloads with Poisson/trace arrival processes
+  (:mod:`repro.workloads`) and the experiment harness regenerating
+  every paper table and figure (:mod:`repro.experiments`);
+- a multi-request serving layer — request queueing, FCFS admission,
+  continuous batching of decode steps through one shared expert cache,
+  and per-request serving metrics (:mod:`repro.serving`).
 
 Quickstart::
 
@@ -25,6 +28,14 @@ Quickstart::
                          cache_ratio=0.25, num_layers=8)
     result = engine.decode_only(num_steps=16)
     print(result.mean_tbt, result.hit_rate)
+
+Serving quickstart::
+
+    from repro import make_serving_engine
+    from repro.workloads import serving_workload
+    serving = make_serving_engine(strategy="hybrimoe", num_layers=8)
+    report = serving.serve_trace(serving_workload(8, arrival_rate=2.0))
+    print(report.summary())
 """
 
 from repro.engine import (
@@ -32,10 +43,13 @@ from repro.engine import (
     GenerationResult,
     GenerationSession,
     InferenceEngine,
+    ServingReport,
     available_strategies,
     make_engine,
+    make_serving_engine,
     make_strategy,
 )
+from repro.serving import Request, ServingConfig, ServingEngine
 from repro.errors import (
     CacheError,
     ConfigError,
@@ -51,8 +65,13 @@ __all__ = [
     "__version__",
     "make_engine",
     "make_strategy",
+    "make_serving_engine",
     "available_strategies",
     "InferenceEngine",
+    "ServingEngine",
+    "ServingConfig",
+    "ServingReport",
+    "Request",
     "EngineConfig",
     "GenerationResult",
     "GenerationSession",

@@ -3,13 +3,18 @@
 Subcommands::
 
     python -m repro.cli run      --model deepseek --strategy hybrimoe ...
+    python -m repro.cli serve    --strategy hybrimoe --arrival-rate 4 --num-requests 32
     python -m repro.cli compare  --model qwen2 --cache-ratio 0.25 ...
     python -m repro.cli figure   fig8 [--full]
     python -m repro.cli info
 
-``run`` executes one generation and prints its metrics; ``compare``
-races all five frameworks on one workload; ``figure`` regenerates one
-paper artifact (quick scale by default); ``info`` lists presets.
+``run`` executes one generation and prints its metrics; ``serve`` runs
+a multi-request continuous-batching serving trace (Poisson arrivals at
+``--arrival-rate`` requests/s, or an explicit ``--arrival-trace``) and
+prints per-request queueing delay, TTFT and TBT percentiles plus the
+fleet aggregate (goodput, pooled percentiles); ``compare`` races all
+five frameworks on one workload; ``figure`` regenerates one paper
+artifact (quick scale by default); ``info`` lists presets.
 """
 
 from __future__ import annotations
@@ -17,14 +22,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.engine.factory import available_strategies, make_engine
+from repro.engine.factory import (
+    available_strategies,
+    make_engine,
+    make_serving_engine,
+)
 from repro.experiments import figures
 from repro.experiments.reporting import add_speedup_column, format_table
 from repro.experiments.runner import run_workload
 from repro.hardware.platform_presets import HARDWARE_PRESETS
 from repro.models.presets import MODEL_PRESETS, get_preset
 from repro.rng import derive_rng
-from repro.workloads.generator import decode_workload, prefill_workloads
+from repro.workloads.generator import (
+    decode_workload,
+    prefill_workloads,
+    serving_workload,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--num-layers", type=int, default=None)
     run.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="serve a multi-request arrival trace with continuous batching"
+    )
+    serve.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
+    serve.add_argument("--strategy", default="hybrimoe", choices=available_strategies())
+    serve.add_argument("--cache-ratio", type=float, default=0.5)
+    serve.add_argument("--hardware", default="paper", choices=sorted(HARDWARE_PRESETS))
+    serve.add_argument("--num-layers", type=int, default=None)
+    serve.add_argument(
+        "--num-requests",
+        type=int,
+        default=None,
+        help="number of requests (default 8; inferred from --arrival-trace)",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        help="Poisson arrival rate in requests/s",
+    )
+    serve.add_argument(
+        "--arrival-trace",
+        default=None,
+        help="comma-separated arrival instants (overrides --arrival-rate)",
+    )
+    serve.add_argument("--decode-steps", type=int, default=16)
+    serve.add_argument("--max-batch-size", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
     compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
     compare.add_argument("--cache-ratio", type=float, default=0.25)
@@ -89,6 +131,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
     result = engine.generate(prompt, decode_steps=args.decode_steps)
     print(format_table([result.summary()], title="run result"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    serving = make_serving_engine(
+        model=args.model,
+        strategy=args.strategy,
+        cache_ratio=args.cache_ratio,
+        hardware=args.hardware,
+        num_layers=args.num_layers,
+        seed=args.seed,
+        max_batch_size=args.max_batch_size,
+    )
+    arrival_times = None
+    arrival_rate: float | None = args.arrival_rate
+    if args.arrival_trace is not None:
+        arrival_times = [float(t) for t in args.arrival_trace.split(",")]
+        arrival_rate = None
+    trace = serving_workload(
+        num_requests=args.num_requests,
+        arrival_rate=arrival_rate,
+        arrival_times=arrival_times,
+        decode_steps=args.decode_steps,
+        vocab_size=serving.engine.model.vocab_size,
+        seed=args.seed,
+    )
+    report = serving.serve_trace(trace)
+    print(
+        format_table(
+            report.per_request_rows(),
+            title=f"serving report: {args.strategy} on {args.model} @ "
+            f"{args.cache_ratio:.0%} cache, batch<={args.max_batch_size}",
+        )
+    )
+    print(format_table([report.summary()], title="aggregate"))
     return 0
 
 
@@ -152,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "figure":

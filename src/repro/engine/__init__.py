@@ -9,8 +9,20 @@ baselines in :mod:`repro.baselines`.
 """
 
 from repro.engine.engine import EngineConfig, EngineRuntime, InferenceEngine
-from repro.engine.factory import available_strategies, make_engine, make_strategy
-from repro.engine.metrics import GenerationResult, StepMetrics
+from repro.engine.factory import (
+    available_strategies,
+    make_engine,
+    make_serving_engine,
+    make_strategy,
+)
+from repro.engine.metrics import (
+    GenerationResult,
+    RequestRecord,
+    ServingReport,
+    StepMetrics,
+    latency_percentiles,
+)
+from repro.engine.pipeline import BatchStepResult, SequenceStep, StepPipeline
 from repro.engine.session import GenerationSession
 from repro.engine.strategy_base import LayerContext, Strategy
 
@@ -22,8 +34,15 @@ __all__ = [
     "LayerContext",
     "StepMetrics",
     "GenerationResult",
+    "RequestRecord",
+    "ServingReport",
+    "latency_percentiles",
+    "StepPipeline",
+    "SequenceStep",
+    "BatchStepResult",
     "GenerationSession",
     "make_engine",
     "make_strategy",
+    "make_serving_engine",
     "available_strategies",
 ]

@@ -23,19 +23,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.manager import ExpertCache
-from repro.core.executor import execute_plan
 from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
-from repro.core.prefetch import PredictedLayer
-from repro.core.tasks import ExecutionPlan, LayerCostOracle
+from repro.core.tasks import LayerCostOracle
 from repro.engine.metrics import GenerationResult, StepMetrics
-from repro.engine.strategy_base import LayerContext, Strategy
+from repro.engine.pipeline import StepPipeline
+from repro.engine.strategy_base import Strategy
 from repro.errors import ConfigError
 from repro.hardware.cost_model import AnalyticCostModel, CostModel, NoisyCostModel
 from repro.hardware.platform_presets import paper_testbed
 from repro.hardware.simulator import ThreeResourceClock
 from repro.hardware.warmup import WarmupCalibrator
-from repro.models.gating import RouterOutput
-from repro.models.model import ReferenceMoEModel
+from repro.models.model import ReferenceMoEModel, SequenceStateStore
 from repro.routing.generator import generate_trace
 from repro.routing.statistics import expert_activation_frequency
 from repro.routing.trace import RoutingTrace
@@ -95,6 +93,16 @@ class EngineConfig:
             raise ConfigError(
                 f"prefetch_lookahead must be >= 1, got {self.prefetch_lookahead}"
             )
+        if self.profile_prompt_len <= 0:
+            raise ConfigError(
+                f"profile_prompt_len must be positive, got {self.profile_prompt_len}"
+            )
+        if self.profile_decode_steps <= 0:
+            raise ConfigError(
+                f"profile_decode_steps must be positive, got {self.profile_decode_steps}"
+            )
+        if not 0.0 <= self.mrs_alpha <= 1.0:
+            raise ConfigError(f"mrs_alpha must be in [0, 1], got {self.mrs_alpha}")
 
 
 class EngineRuntime:
@@ -209,6 +217,12 @@ class InferenceEngine:
         strategy.bind(self.runtime)
         self.runtime.cache = strategy.build_cache()
         self.runtime.cache.validate()
+        #: Batch-capable step executor; the serving layer drives it
+        #: directly with many concurrent sequence states.
+        self.pipeline = StepPipeline(model, strategy, self.runtime)
+        #: Per-sequence decode states keyed by request id (multi-request
+        #: serving); :meth:`generate` keeps its own private state below.
+        self.states = SequenceStateStore(model)
         self._state = model.new_state()
 
     # ------------------------------------------------------------------
@@ -268,178 +282,15 @@ class InferenceEngine:
     # the per-step pipeline
     # ------------------------------------------------------------------
     def _cache(self) -> ExpertCache:
-        cache = self.runtime.cache
-        if cache is None:
-            raise ConfigError("engine runtime has no cache bound")
-        return cache
+        return self.pipeline._cache()
 
     def _run_step(
         self, tokens: np.ndarray, stage: str
     ) -> tuple[np.ndarray, StepMetrics]:
-        model = self.model
-        cfg = model.config
-        runtime = self.runtime
-        cache = self._cache()
-        clock = runtime.clock
-        n_tokens = int(tokens.size)
-        d_model = cfg.routed_expert_shape.d_model
+        """One forward step of the engine's private generation sequence.
 
-        step_start = clock.compute_frontier
-        hits_before, misses_before = cache.stats.hits, cache.stats.misses
-
-        x = model.prepare_inputs(tokens, self._state)
-        for layer in range(cfg.num_layers):
-            barrier = clock.compute_frontier
-            attn_device = self.strategy.attention_device(layer)
-            attn_duration = runtime.cost_actual.attention_time(
-                d_model, n_tokens, device=attn_device
-            )
-            timeline = clock.gpu if attn_device == "gpu" else clock.cpu
-            _, attn_end = timeline.reserve(barrier, attn_duration, f"attn L{layer}")
-
-            h = model.attention(x, layer, self._state)
-            z = model.moe_input(h)
-            router = model.route(z, layer)
-            activated = tuple(
-                (expert, int(router.loads[expert]))
-                for expert in router.activated_experts()
-            )
-            cached = frozenset(cache.cached_experts_of_layer(layer))
-            for expert, _ in activated:
-                cache.access((layer, expert))
-
-            pcie_backlog = max(0.0, clock.pcie.available_at - attn_end)
-            inflight_offsets = tuple(
-                (expert, offset)
-                for expert, _ in activated
-                if expert in cached
-                and (
-                    offset := runtime.arrivals.get((layer, expert), 0.0) - attn_end
-                )
-                > 0.0
-            )
-            ctx = LayerContext(
-                layer=layer,
-                stage=stage,
-                n_tokens=n_tokens,
-                router=router,
-                activated=activated,
-                cached_experts=cached,
-                moe_start=attn_end,
-                pcie_backlog=pcie_backlog,
-                inflight_offsets=inflight_offsets,
-            )
-            self.strategy.observe_scores(ctx)
-            plan = self.strategy.plan_layer(ctx)
-            if self.config.validate_plans:
-                plan.validate(dict(activated), set(cached))
-
-            used_keys = {(layer, e) for e, _ in activated if e in cached}
-            used_keys.update((layer, t.expert) for t in plan.transfers)
-            cache.lock(used_keys)
-            execute_plan(
-                plan,
-                clock,
-                runtime.actual_oracle(n_tokens),
-                attn_end,
-                runtime.arrivals,
-            )
-            self.strategy.after_layer(ctx, plan)
-            cache.unlock_all()
-
-            routed_out = self._combine_outputs(z, layer, router, plan)
-            shared_out = model.shared_forward(z, layer)
-            x = h + model.residual_scale * (shared_out + routed_out)
-
-            self._issue_prefetches(ctx, z)
-
-        self._state.position += n_tokens
-        step_end = clock.compute_frontier
-        utilization = clock.utilization_summary(step_start, step_end)
-        metrics = StepMetrics(
-            stage=stage,
-            n_tokens=n_tokens,
-            start=step_start,
-            end=step_end,
-            hits=cache.stats.hits - hits_before,
-            misses=cache.stats.misses - misses_before,
-            utilization=utilization,
-        )
-        return x, metrics
-
-    def _combine_outputs(
-        self,
-        z: np.ndarray,
-        layer: int,
-        router: RouterOutput,
-        plan: ExecutionPlan,
-    ) -> np.ndarray:
-        """Recombine per-task expert outputs (ascending expert id).
-
-        Matches :meth:`ReferenceMoEModel.moe_forward` accumulation order
-        so scheduled execution is numerically identical to the
-        reference forward pass.
+        The mechanics live in :class:`~repro.engine.pipeline.StepPipeline`
+        (which also fuses steps across many sequences for serving); this
+        wrapper binds it to ``generate``'s single decode state.
         """
-        out = np.zeros_like(z)
-        model = self.model
-        for task in sorted(plan.routed_compute_tasks(), key=lambda t: t.expert):
-            rows = router.tokens_for_expert(task.expert)
-            weights = router.weights_for_expert(task.expert)
-            expert_out = model.expert_forward(z[rows], layer, task.expert)
-            np.add.at(out, rows, expert_out * weights[:, None].astype(z.dtype))
-        return out
-
-    def _issue_prefetches(self, ctx: LayerContext, z: np.ndarray) -> None:
-        """Build predictions, ask the strategy, and reserve transfers."""
-        runtime = self.runtime
-        cache = self._cache()
-        cfg = self.model.config
-        num_layers = cfg.num_layers
-        predictions: list[PredictedLayer] = []
-        for distance in range(1, self.config.prefetch_lookahead + 1):
-            future = ctx.layer + distance
-            if future >= num_layers:
-                break
-            scores = self.model.gate_scores(z, future).mean(axis=0)
-            predictions.append(
-                PredictedLayer(
-                    layer=future,
-                    scores=scores,
-                    n_tokens=ctx.n_tokens,
-                    cached_experts=frozenset(cache.cached_experts_of_layer(future)),
-                )
-            )
-        if not predictions:
-            return
-        d_model = cfg.routed_expert_shape.d_model
-        attn_est = runtime.cost_estimated.attention_time(d_model, ctx.n_tokens)
-        # A transfer is useful if it lands before its layer's MoE phase:
-        # roughly `distance` layer spans away. The just-executed layer's
-        # span (MoE makespan + one attention window) is the best local
-        # estimate of that span. PCIe work already queued (on-demand
-        # loads, earlier prefetches) eats into the window — when the
-        # link is saturated, prefetching only adds contention.
-        layer_span = (runtime.clock.compute_frontier - ctx.moe_start) + attn_est
-        backlog = max(
-            0.0, runtime.clock.pcie.available_at - runtime.clock.compute_frontier
-        )
-        budget = self.config.prefetch_lookahead * max(layer_span, attn_est) - backlog
-        if budget <= 0:
-            return
-        requests = self.strategy.prefetch_requests(
-            ctx,
-            predictions,
-            budget,
-            layer_span_s=max(layer_span, attn_est),
-            backlog_s=backlog,
-        )
-        for future_layer, expert in requests:
-            key = (future_layer, expert)
-            if key in cache:
-                continue
-            duration = runtime.cost_actual.transfer_time(cfg.routed_expert_shape)
-            _, finish = runtime.clock.pcie.reserve(
-                ctx.moe_start, duration, f"prefetch L{future_layer} E{expert}"
-            )
-            runtime.arrivals[key] = finish
-            cache.insert(key)
+        return self.pipeline.run_step(tokens, self._state, stage)

@@ -19,7 +19,12 @@ from repro.hardware.platform_presets import get_hardware_preset
 from repro.models.model import ReferenceMoEModel
 from repro.models.presets import get_preset
 
-__all__ = ["available_strategies", "make_strategy", "make_engine"]
+__all__ = [
+    "available_strategies",
+    "make_strategy",
+    "make_engine",
+    "make_serving_engine",
+]
 
 _STRATEGIES = {
     "hybrimoe": HybriMoEStrategy,
@@ -94,3 +99,43 @@ def make_engine(
     if engine_config is None:
         engine_config = EngineConfig(cache_ratio=cache_ratio, seed=seed)
     return InferenceEngine(model, strategy, hardware, engine_config)
+
+
+def make_serving_engine(
+    model: str | ReferenceMoEModel = "deepseek",
+    strategy: str | Strategy = "hybrimoe",
+    cache_ratio: float = 0.5,
+    hardware: str | HardwareProfile = "paper",
+    num_layers: int | None = None,
+    seed: int = 0,
+    max_batch_size: int = 8,
+    serving_config=None,
+    engine_config: EngineConfig | None = None,
+    strategy_kwargs: dict | None = None,
+    model_kwargs: dict | None = None,
+):
+    """One-call construction of a continuous-batching serving engine.
+
+    Builds a fresh :func:`make_engine` (cold clock, warm cache) and
+    wraps it in a :class:`~repro.serving.engine.ServingEngine`.
+    ``serving_config`` overrides ``max_batch_size`` when given.
+    """
+    # Imported lazily: repro.serving builds on repro.engine, so a
+    # top-level import here would be circular.
+    from repro.serving.engine import ServingEngine
+    from repro.serving.scheduler import ServingConfig
+
+    engine = make_engine(
+        model=model,
+        strategy=strategy,
+        cache_ratio=cache_ratio,
+        hardware=hardware,
+        num_layers=num_layers,
+        seed=seed,
+        engine_config=engine_config,
+        strategy_kwargs=strategy_kwargs,
+        model_kwargs=model_kwargs,
+    )
+    if serving_config is None:
+        serving_config = ServingConfig(max_batch_size=max_batch_size)
+    return ServingEngine(engine, serving_config)

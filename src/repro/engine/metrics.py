@@ -1,9 +1,13 @@
-"""Latency and utilisation metrics (TTFT, TBT, hit rates).
+"""Latency and utilisation metrics (TTFT, TBT, hit rates, serving).
 
 The paper evaluates Time To First Token for the prefill stage and Time
 Between Tokens for decode (§VI-A.4). Both derive from the simulated
 clock: a step's duration is the wall time between its start barrier and
 the moment both compute resources drained.
+
+Multi-request serving adds per-request records (queueing delay, TTFT
+measured from *arrival*, TBT percentiles) and the fleet-level
+:class:`ServingReport` (goodput, pooled latency percentiles).
 """
 
 from __future__ import annotations
@@ -14,7 +18,31 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["StepMetrics", "GenerationResult"]
+__all__ = [
+    "StepMetrics",
+    "GenerationResult",
+    "latency_percentiles",
+    "RequestRecord",
+    "ServingReport",
+]
+
+#: Percentiles reported for every latency distribution.
+PERCENTILES = (50, 95, 99)
+
+
+def latency_percentiles(values: np.ndarray | list[float]) -> dict[str, float]:
+    """p50/p95/p99 of a latency sample as a flat ``{"p50": ...}`` dict."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("cannot take percentiles of an empty latency sample")
+    return {f"p{q}": float(np.percentile(arr, q)) for q in PERCENTILES}
+
+
+def _sample_percentile(values, q: int, empty_message: str) -> float:
+    """One percentile of a latency sample, with a contextual empty error."""
+    if len(values) == 0:
+        raise SimulationError(empty_message)
+    return latency_percentiles(values)[f"p{q}"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +56,9 @@ class StepMetrics:
     hits: int
     misses: int
     utilization: dict[str, float] = field(default_factory=dict)
+    #: Number of sequences fused into this step (1 for solo generation;
+    #: continuous batching merges one decode token per running request).
+    batch_size: int = 1
 
     @property
     def duration(self) -> float:
@@ -75,6 +106,26 @@ class GenerationResult:
         """Decoded tokens per second."""
         return 1.0 / self.mean_tbt
 
+    def _tbt_percentile(self, q: int) -> float:
+        return _sample_percentile(
+            self.tbt_values, q, "run included no decode steps"
+        )
+
+    @property
+    def p50_tbt(self) -> float:
+        """Median decode latency per token."""
+        return self._tbt_percentile(50)
+
+    @property
+    def p95_tbt(self) -> float:
+        """95th-percentile decode latency per token."""
+        return self._tbt_percentile(95)
+
+    @property
+    def p99_tbt(self) -> float:
+        """99th-percentile decode latency per token (tail latency)."""
+        return self._tbt_percentile(99)
+
     @property
     def hit_rate(self) -> float:
         total = self.total_hits + self.total_misses
@@ -115,5 +166,182 @@ class GenerationResult:
             record["ttft"] = self.ttft
         if self.decode_steps:
             record["mean_tbt"] = self.mean_tbt
+            record["p50_tbt"] = self.p50_tbt
+            record["p95_tbt"] = self.p95_tbt
+            record["p99_tbt"] = self.p99_tbt
             record["decode_hit_rate"] = self.decode_hit_rate()
+        return record
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Frozen serving-side lifecycle record of one finished request.
+
+    All times are absolute simulated seconds on the shared clock; TTFT
+    is measured from *arrival* (the serving convention), so it includes
+    queueing delay on top of the prefill computation itself.
+    """
+
+    request_id: int
+    prompt_len: int
+    decode_tokens: int
+    arrival_time: float
+    prefill_start: float
+    first_token_time: float
+    finish_time: float
+    tbt_values: tuple[float, ...]
+    result: "GenerationResult | None" = None
+
+    @property
+    def queueing_delay(self) -> float:
+        """Seconds the request waited before its prefill started."""
+        return self.prefill_start - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Arrival-to-first-token latency (queueing + prefill)."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.finish_time - self.arrival_time
+
+    def _tbt_percentile(self, q: int) -> float:
+        return _sample_percentile(
+            self.tbt_values,
+            q,
+            f"request {self.request_id} generated no decode tokens",
+        )
+
+    @property
+    def p50_tbt(self) -> float:
+        return self._tbt_percentile(50)
+
+    @property
+    def p95_tbt(self) -> float:
+        return self._tbt_percentile(95)
+
+    @property
+    def p99_tbt(self) -> float:
+        return self._tbt_percentile(99)
+
+    def summary(self) -> dict[str, float | int]:
+        """Flat per-request row for the serving report table."""
+        # Keys are emitted unconditionally (NaN for a prefill-only
+        # request): table renderers derive columns from the first row,
+        # so a variable key set would silently drop columns for every
+        # other request.
+        has_tbt = bool(self.tbt_values)
+        return {
+            "request": self.request_id,
+            "prompt_len": self.prompt_len,
+            "tokens": self.decode_tokens,
+            "arrival_s": self.arrival_time,
+            "queue_delay_s": self.queueing_delay,
+            "ttft_s": self.ttft,
+            "p50_tbt_s": self.p50_tbt if has_tbt else float("nan"),
+            "p95_tbt_s": self.p95_tbt if has_tbt else float("nan"),
+            "p99_tbt_s": self.p99_tbt if has_tbt else float("nan"),
+            "e2e_s": self.e2e_latency,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one multi-request serving run."""
+
+    model_name: str
+    strategy_name: str
+    cache_ratio: float
+    max_batch_size: int
+    requests: list[RequestRecord] = field(default_factory=list)
+    total_hits: int = 0
+    total_misses: int = 0
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def first_arrival(self) -> float:
+        if not self.requests:
+            raise SimulationError("serving run completed no requests")
+        return min(r.arrival_time for r in self.requests)
+
+    @property
+    def last_finish(self) -> float:
+        if not self.requests:
+            raise SimulationError("serving run completed no requests")
+        return max(r.finish_time for r in self.requests)
+
+    @property
+    def makespan(self) -> float:
+        """Wall time from first arrival to last completion."""
+        return self.last_finish - self.first_arrival
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per simulated second of the serving window."""
+        span = self.makespan
+        if span <= 0.0:
+            raise SimulationError("serving window is empty")
+        return self.num_requests / span
+
+    @property
+    def token_throughput(self) -> float:
+        """Generated decode tokens per simulated second."""
+        span = self.makespan
+        if span <= 0.0:
+            raise SimulationError("serving window is empty")
+        return sum(r.decode_tokens for r in self.requests) / span
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_hits + self.total_misses
+        return self.total_hits / total if total else 0.0
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        if not self.requests:
+            raise SimulationError("serving run completed no requests")
+        return float(np.mean([r.queueing_delay for r in self.requests]))
+
+    def ttft_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of arrival-to-first-token across requests."""
+        return latency_percentiles([r.ttft for r in self.requests])
+
+    def tbt_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 over every decode token of every request."""
+        pooled = [tbt for r in self.requests for tbt in r.tbt_values]
+        return latency_percentiles(pooled)
+
+    def per_request_rows(self) -> list[dict[str, float | int]]:
+        """Per-request table rows, ordered by request id."""
+        return [r.summary() for r in sorted(self.requests, key=lambda r: r.request_id)]
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat aggregate record for tabulation and benchmarks."""
+        record: dict[str, float | int | str] = {
+            "model": self.model_name,
+            "strategy": self.strategy_name,
+            "cache_ratio": self.cache_ratio,
+            "requests": self.num_requests,
+            "makespan_s": self.makespan,
+            "goodput_rps": self.goodput,
+            "token_throughput": self.token_throughput,
+            "mean_queue_delay_s": self.mean_queueing_delay,
+            "hit_rate": self.hit_rate,
+        }
+        for name, value in self.ttft_percentiles().items():
+            record[f"{name}_ttft_s"] = value
+        # Fixed key set (NaN for an all-prefill run): table renderers
+        # derive columns from the first row, and sweep code indexes
+        # summary["p99_tbt_s"] unconditionally.
+        if any(r.tbt_values for r in self.requests):
+            tbt = self.tbt_percentiles()
+        else:
+            tbt = {f"p{q}": float("nan") for q in PERCENTILES}
+        for name, value in tbt.items():
+            record[f"{name}_tbt_s"] = value
         return record

@@ -1,0 +1,343 @@
+"""The batch-capable per-step executor shared by generation and serving.
+
+:class:`StepPipeline` is the per-step pipeline formerly inlined in
+``InferenceEngine._run_step``, generalised to run **one fused forward
+step over a batch of independent sequences**. Each sequence keeps its
+own :class:`~repro.models.model.DecodeState` (attention context,
+coherence chain, position), so per-sequence numerics are exactly those
+of a solo run; the *scheduling* side — routing union, cache accesses,
+plan search, transfers, prefetching — sees the merged batch:
+
+- attention is charged once for the batch's total token count;
+- the router runs over the concatenated token rows, so per-layer
+  ``activated`` is the union of the batch's experts with summed loads;
+- the shared expert cache records one access per activated expert of
+  the fused step, exactly as a solo step would for its own union.
+
+With a single sequence the pipeline performs the same numpy operations
+in the same order as the historical ``_run_step``, so hidden states are
+bit-identical — the property the serving equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.cache.manager import ExpertCache
+from repro.core.executor import execute_plan
+from repro.core.prefetch import PredictedLayer
+from repro.core.tasks import ExecutionPlan
+from repro.engine.metrics import StepMetrics
+from repro.engine.strategy_base import LayerContext, Strategy
+from repro.errors import ConfigError
+from repro.models.gating import RouterOutput
+from repro.models.model import DecodeState, ReferenceMoEModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.engine import EngineRuntime
+
+__all__ = ["SequenceStep", "BatchStepResult", "StepPipeline"]
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """One sequence's contribution to a fused step: its tokens + state."""
+
+    tokens: np.ndarray
+    state: DecodeState
+
+
+@dataclass(frozen=True)
+class BatchStepResult:
+    """Outcome of one fused step over a batch of sequences.
+
+    Attributes
+    ----------
+    hidden:
+        Per-sequence final hidden-state blocks, in input order; entry
+        ``i`` has shape ``(len(tokens_i), d_model)``.
+    metrics:
+        Timing/cache metrics of the fused step (``n_tokens`` is the
+        batch total; ``batch_size`` the number of sequences).
+    """
+
+    hidden: tuple[np.ndarray, ...]
+    metrics: StepMetrics
+
+
+class StepPipeline:
+    """Reusable per-step executor over the engine's clock and cache.
+
+    Parameters
+    ----------
+    model:
+        The functional model (routing + numerics substrate).
+    strategy:
+        The bound scheduling strategy.
+    runtime:
+        The engine runtime carrying clock, cache, cost models, config.
+    """
+
+    def __init__(
+        self,
+        model: ReferenceMoEModel,
+        strategy: Strategy,
+        runtime: "EngineRuntime",
+    ) -> None:
+        self.model = model
+        self.strategy = strategy
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------
+    def _cache(self) -> ExpertCache:
+        cache = self.runtime.cache
+        if cache is None:
+            raise ConfigError("engine runtime has no cache bound")
+        return cache
+
+    @property
+    def config(self):
+        return self.runtime.config
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self, tokens: np.ndarray, state: DecodeState, stage: str
+    ) -> tuple[np.ndarray, StepMetrics]:
+        """Single-sequence convenience wrapper around :meth:`run_batch`."""
+        result = self.run_batch([SequenceStep(tokens, state)], stage)
+        return result.hidden[0], result.metrics
+
+    def run_batch(
+        self,
+        sequences: Sequence[SequenceStep],
+        stage: str,
+        not_before: float = 0.0,
+    ) -> BatchStepResult:
+        """Run one fused forward step for a batch of sequences.
+
+        Parameters
+        ----------
+        sequences:
+            Per-sequence token blocks and decode states, in a stable
+            order (the serving layer uses admission order).
+        stage:
+            ``"prefill"`` or ``"decode"`` — recorded in metrics and
+            exposed to the strategy via :class:`LayerContext`.
+        not_before:
+            Earliest simulated time the step may start (a request's
+            arrival time); the clock idles up to it when the platform
+            is otherwise drained.
+        """
+        if not sequences:
+            raise ConfigError("run_batch requires at least one sequence")
+        if not_before < 0:
+            raise ConfigError(f"not_before must be non-negative, got {not_before}")
+        model = self.model
+        cfg = model.config
+        runtime = self.runtime
+        cache = self._cache()
+        clock = runtime.clock
+
+        tokens_list: list[np.ndarray] = []
+        states: list[DecodeState] = []
+        for seq in sequences:
+            tokens = np.asarray(seq.tokens, dtype=np.int64)
+            if tokens.ndim != 1 or tokens.size == 0:
+                raise ConfigError("each sequence needs a non-empty 1-D token array")
+            tokens_list.append(tokens)
+            states.append(seq.state)
+        sizes = [int(t.size) for t in tokens_list]
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        n_tokens = int(bounds[-1])
+        batch_size = len(sizes)
+        d_model = cfg.routed_expert_shape.d_model
+
+        step_start = max(clock.compute_frontier, not_before)
+        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+
+        blocks = [
+            model.prepare_inputs(tokens, state)
+            for tokens, state in zip(tokens_list, states)
+        ]
+        x = blocks[0] if batch_size == 1 else np.concatenate(blocks, axis=0)
+        for layer in range(cfg.num_layers):
+            barrier = max(clock.compute_frontier, step_start)
+            attn_device = self.strategy.attention_device(layer)
+            attn_duration = runtime.cost_actual.attention_time(
+                d_model, n_tokens, device=attn_device
+            )
+            timeline = clock.gpu if attn_device == "gpu" else clock.cpu
+            _, attn_end = timeline.reserve(barrier, attn_duration, f"attn L{layer}")
+
+            if batch_size == 1:
+                h = model.attention(x, layer, states[0])
+            else:
+                h = np.concatenate(
+                    [
+                        model.attention(
+                            x[bounds[i] : bounds[i + 1]], layer, states[i]
+                        )
+                        for i in range(batch_size)
+                    ],
+                    axis=0,
+                )
+            z = model.moe_input(h)
+            router = model.route(z, layer)
+            activated = tuple(
+                (expert, int(router.loads[expert]))
+                for expert in router.activated_experts()
+            )
+            cached = frozenset(cache.cached_experts_of_layer(layer))
+            for expert, _ in activated:
+                cache.access((layer, expert))
+
+            pcie_backlog = max(0.0, clock.pcie.available_at - attn_end)
+            inflight_offsets = tuple(
+                (expert, offset)
+                for expert, _ in activated
+                if expert in cached
+                and (
+                    offset := runtime.arrivals.get((layer, expert), 0.0) - attn_end
+                )
+                > 0.0
+            )
+            ctx = LayerContext(
+                layer=layer,
+                stage=stage,
+                n_tokens=n_tokens,
+                router=router,
+                activated=activated,
+                cached_experts=cached,
+                moe_start=attn_end,
+                pcie_backlog=pcie_backlog,
+                inflight_offsets=inflight_offsets,
+            )
+            self.strategy.observe_scores(ctx)
+            plan = self.strategy.plan_layer(ctx)
+            if self.config.validate_plans:
+                plan.validate(dict(activated), set(cached))
+
+            used_keys = {(layer, e) for e, _ in activated if e in cached}
+            used_keys.update((layer, t.expert) for t in plan.transfers)
+            cache.lock(used_keys)
+            execute_plan(
+                plan,
+                clock,
+                runtime.actual_oracle(n_tokens),
+                attn_end,
+                runtime.arrivals,
+            )
+            self.strategy.after_layer(ctx, plan)
+            cache.unlock_all()
+
+            routed_out = self._combine_outputs(z, layer, router, plan)
+            shared_out = model.shared_forward(z, layer)
+            x = h + model.residual_scale * (shared_out + routed_out)
+
+            self._issue_prefetches(ctx, z)
+
+        for state, size in zip(states, sizes):
+            state.position += size
+        step_end = clock.compute_frontier
+        utilization = clock.utilization_summary(step_start, step_end)
+        metrics = StepMetrics(
+            stage=stage,
+            n_tokens=n_tokens,
+            start=step_start,
+            end=step_end,
+            hits=cache.stats.hits - hits_before,
+            misses=cache.stats.misses - misses_before,
+            utilization=utilization,
+            batch_size=batch_size,
+        )
+        if batch_size == 1:
+            hidden = (x,)
+        else:
+            hidden = tuple(x[bounds[i] : bounds[i + 1]] for i in range(batch_size))
+        return BatchStepResult(hidden=hidden, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def _combine_outputs(
+        self,
+        z: np.ndarray,
+        layer: int,
+        router: RouterOutput,
+        plan: ExecutionPlan,
+    ) -> np.ndarray:
+        """Recombine per-task expert outputs (ascending expert id).
+
+        Matches :meth:`ReferenceMoEModel.moe_forward` accumulation order
+        so scheduled execution is numerically identical to the
+        reference forward pass.
+        """
+        out = np.zeros_like(z)
+        model = self.model
+        for task in sorted(plan.routed_compute_tasks(), key=lambda t: t.expert):
+            rows = router.tokens_for_expert(task.expert)
+            weights = router.weights_for_expert(task.expert)
+            expert_out = model.expert_forward(z[rows], layer, task.expert)
+            np.add.at(out, rows, expert_out * weights[:, None].astype(z.dtype))
+        return out
+
+    def _issue_prefetches(self, ctx: LayerContext, z: np.ndarray) -> None:
+        """Build predictions, ask the strategy, and reserve transfers.
+
+        Predictions pool gate scores over every token row of the fused
+        batch, so the prefetcher optimises for the *merged* near-future
+        routing of all concurrent requests.
+        """
+        runtime = self.runtime
+        cache = self._cache()
+        cfg = self.model.config
+        num_layers = cfg.num_layers
+        predictions: list[PredictedLayer] = []
+        for distance in range(1, self.config.prefetch_lookahead + 1):
+            future = ctx.layer + distance
+            if future >= num_layers:
+                break
+            scores = self.model.gate_scores(z, future).mean(axis=0)
+            predictions.append(
+                PredictedLayer(
+                    layer=future,
+                    scores=scores,
+                    n_tokens=ctx.n_tokens,
+                    cached_experts=frozenset(cache.cached_experts_of_layer(future)),
+                )
+            )
+        if not predictions:
+            return
+        d_model = cfg.routed_expert_shape.d_model
+        attn_est = runtime.cost_estimated.attention_time(d_model, ctx.n_tokens)
+        # A transfer is useful if it lands before its layer's MoE phase:
+        # roughly `distance` layer spans away. The just-executed layer's
+        # span (MoE makespan + one attention window) is the best local
+        # estimate of that span. PCIe work already queued (on-demand
+        # loads, earlier prefetches) eats into the window — when the
+        # link is saturated, prefetching only adds contention.
+        layer_span = (runtime.clock.compute_frontier - ctx.moe_start) + attn_est
+        backlog = max(
+            0.0, runtime.clock.pcie.available_at - runtime.clock.compute_frontier
+        )
+        budget = self.config.prefetch_lookahead * max(layer_span, attn_est) - backlog
+        if budget <= 0:
+            return
+        requests = self.strategy.prefetch_requests(
+            ctx,
+            predictions,
+            budget,
+            layer_span_s=max(layer_span, attn_est),
+            backlog_s=backlog,
+        )
+        for future_layer, expert in requests:
+            key = (future_layer, expert)
+            if key in cache:
+                continue
+            duration = runtime.cost_actual.transfer_time(cfg.routed_expert_shape)
+            _, finish = runtime.clock.pcie.reserve(
+                ctx.moe_start, duration, f"prefetch L{future_layer} E{expert}"
+            )
+            runtime.arrivals[key] = finish
+            cache.insert(key)

@@ -2,9 +2,15 @@
 
 A :class:`GenerationSession` freezes a full system configuration
 (model, strategy, cache ratio, hardware, seed) and runs independent
-generations against it — each run gets a *fresh* engine so clocks and
+workloads against it — each run gets a *fresh* engine so clocks and
 caches start cold, which is what the paper's per-configuration
 measurements assume.
+
+Since the multi-request refactor, a session is a thin wrapper over the
+serving loop: :meth:`GenerationSession.run` serves a single request
+(bit-identical to ``InferenceEngine.generate`` by the serving
+equivalence contract), and :meth:`GenerationSession.serve` runs a full
+arrival trace under continuous batching.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import numpy as np
 
 from repro.engine.engine import EngineConfig
 from repro.engine.factory import make_engine
-from repro.engine.metrics import GenerationResult
+from repro.engine.metrics import GenerationResult, ServingReport
 from repro.errors import ConfigError
 from repro.rng import derive_rng
 
@@ -65,7 +71,11 @@ class GenerationSession:
         decode_steps: int = 32,
         prompt_seed: int = 0,
     ) -> GenerationResult:
-        """Run one generation on a fresh engine.
+        """Run one generation on a fresh engine via the serving loop.
+
+        The single request arrives at time zero with the engine-default
+        sampling stream, so the result is bit-identical to calling
+        ``InferenceEngine.generate`` directly.
 
         Parameters
         ----------
@@ -79,10 +89,57 @@ class GenerationSession:
         prompt_seed:
             Seed of the synthetic prompt (vary for repeated trials).
         """
+        from repro.serving.engine import ServingEngine
+        from repro.serving.request import Request
+
         engine = self._fresh_engine()
         if prompt_tokens is None:
             if prompt_len <= 0:
                 raise ConfigError(f"prompt_len must be positive, got {prompt_len}")
             rng = derive_rng(self.spec.seed, "session", "prompt", prompt_seed)
             prompt_tokens = rng.integers(0, engine.model.vocab_size, size=prompt_len)
-        return engine.generate(np.asarray(prompt_tokens), decode_steps=decode_steps)
+        request = Request(
+            request_id=0,
+            prompt_tokens=np.asarray(prompt_tokens),
+            decode_steps=decode_steps,
+            arrival_time=0.0,
+            sample_seed=None,
+        )
+        ServingEngine(engine).serve([request])
+        assert request.result is not None
+        return request.result
+
+    def serve(
+        self,
+        num_requests: int | None = None,
+        arrival_rate: float | None = 2.0,
+        arrival_times=None,
+        decode_steps: int = 16,
+        max_batch_size: int = 8,
+        datasets: tuple[str, ...] = ("mtbench", "vicuna", "chatgpt-prompts"),
+    ) -> ServingReport:
+        """Serve an arrival trace on a fresh engine under load.
+
+        Arrivals come from a Poisson process at ``arrival_rate``
+        requests/s (seeded by the session seed) or from the explicit
+        ``arrival_times`` trace. ``num_requests`` defaults to the trace
+        length when ``arrival_times`` is given, else to 8.
+        """
+        from repro.serving.engine import ServingEngine
+        from repro.serving.scheduler import ServingConfig
+        from repro.workloads.generator import serving_workload
+
+        engine = self._fresh_engine()
+        if arrival_times is not None:
+            arrival_rate = None
+        trace = serving_workload(
+            num_requests=num_requests,
+            arrival_rate=arrival_rate,
+            arrival_times=arrival_times,
+            decode_steps=decode_steps,
+            vocab_size=engine.model.vocab_size,
+            datasets=datasets,
+            seed=self.spec.seed,
+        )
+        serving = ServingEngine(engine, ServingConfig(max_batch_size=max_batch_size))
+        return serving.serve_trace(trace)

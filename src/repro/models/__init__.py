@@ -18,7 +18,7 @@ This package provides the *model side* of the reproduction:
 from repro.models.config import ExpertShape, MoEModelConfig
 from repro.models.experts import ExpertWeights, expert_forward, silu
 from repro.models.gating import RouterOutput, route_tokens, softmax, top_k_indices
-from repro.models.model import DecodeState, ReferenceMoEModel
+from repro.models.model import DecodeState, ReferenceMoEModel, SequenceStateStore
 from repro.models.presets import (
     MODEL_PRESETS,
     deepseek_v2_lite,
@@ -39,6 +39,7 @@ __all__ = [
     "top_k_indices",
     "DecodeState",
     "ReferenceMoEModel",
+    "SequenceStateStore",
     "MODEL_PRESETS",
     "get_preset",
     "mixtral_8x7b",

@@ -36,7 +36,12 @@ from repro.models.experts import ExpertWeights, expert_forward, init_expert
 from repro.models.gating import RouterOutput, route_tokens, softmax
 from repro.rng import derive_rng
 
-__all__ = ["DecodeState", "LayerWeights", "ReferenceMoEModel"]
+__all__ = [
+    "DecodeState",
+    "LayerWeights",
+    "ReferenceMoEModel",
+    "SequenceStateStore",
+]
 
 _EPS = 1e-6
 
@@ -390,6 +395,53 @@ class ReferenceMoEModel:
         probs = np.exp(logits)
         probs /= probs.sum()
         return int(rng.choice(self.vocab_size, p=probs))
+
+
+class SequenceStateStore:
+    """Per-sequence :class:`DecodeState` registry keyed by request id.
+
+    Multi-request serving interleaves many independent sequences through
+    one model; each needs its own attention context, coherence chain and
+    position. The store owns that mapping and enforces the lifecycle:
+    a sequence id is created once, consulted while its request decodes,
+    and popped when the request finishes.
+    """
+
+    def __init__(self, model: "ReferenceMoEModel") -> None:
+        self._model = model
+        self._states: dict[object, DecodeState] = {}
+
+    def __contains__(self, seq_id: object) -> bool:
+        return seq_id in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def ids(self) -> list[object]:
+        """Live sequence ids, in creation order."""
+        return list(self._states)
+
+    def create(self, seq_id: object) -> DecodeState:
+        """Register a fresh decode state for ``seq_id``."""
+        if seq_id in self._states:
+            raise ConfigError(f"sequence {seq_id!r} already has a decode state")
+        state = self._model.new_state()
+        self._states[seq_id] = state
+        return state
+
+    def get(self, seq_id: object) -> DecodeState:
+        """The live decode state of ``seq_id``."""
+        try:
+            return self._states[seq_id]
+        except KeyError:
+            raise ConfigError(f"no decode state for sequence {seq_id!r}") from None
+
+    def pop(self, seq_id: object) -> DecodeState:
+        """Remove and return the decode state of a finished sequence."""
+        try:
+            return self._states.pop(seq_id)
+        except KeyError:
+            raise ConfigError(f"no decode state for sequence {seq_id!r}") from None
 
 
 def _as_float32(weights: ExpertWeights) -> ExpertWeights:

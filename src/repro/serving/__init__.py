@@ -1,0 +1,40 @@
+"""Multi-request serving: request lifecycle, admission, fused batching.
+
+This package turns the single-generation engine into a serving system:
+
+- :mod:`repro.serving.request` — the queued → prefill → decoding →
+  finished request lifecycle;
+- :mod:`repro.serving.scheduler` — FCFS admission + iteration-level
+  continuous batching policy;
+- :mod:`repro.serving.engine` — the serving loop fusing concurrent
+  decode steps through one shared cache/scheduler/clock.
+
+Quickstart::
+
+    from repro import make_engine
+    from repro.serving import ServingEngine
+    from repro.workloads import serving_workload
+
+    engine = make_engine(strategy="hybrimoe", cache_ratio=0.25, num_layers=8)
+    trace = serving_workload(num_requests=8, arrival_rate=2.0)
+    report = ServingEngine(engine).serve_trace(trace)
+    print(report.summary())
+"""
+
+from repro.serving.engine import ServingEngine, requests_from_trace
+from repro.serving.request import Request, RequestStatus
+from repro.serving.scheduler import (
+    Action,
+    ContinuousBatchingScheduler,
+    ServingConfig,
+)
+
+__all__ = [
+    "Request",
+    "RequestStatus",
+    "ServingConfig",
+    "Action",
+    "ContinuousBatchingScheduler",
+    "ServingEngine",
+    "requests_from_trace",
+]

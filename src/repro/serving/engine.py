@@ -1,0 +1,286 @@
+"""The multi-request serving loop: continuous batching over one engine.
+
+:class:`ServingEngine` drives an :class:`~repro.engine.engine.InferenceEngine`'s
+batch-capable :class:`~repro.engine.pipeline.StepPipeline` for many
+concurrent requests against **one** shared expert cache, hybrid
+scheduler and CPU/GPU/PCIe clock. Each iteration either admits the
+head-of-line request (running its prefill as a dedicated step) or
+advances every running request one token in a single fused decode step,
+so per-layer routing is the union of the batch's activated experts —
+the realistic multi-request contention the cache and prefetcher face in
+production serving.
+
+Numerical contract: serving a single request reproduces
+``InferenceEngine.generate`` **bit-identically** — same hidden states,
+same sampled tokens, same step metrics — because the fused pipeline
+degenerates to the historical single-sequence step and the decode
+sampler derives from the same stream. The serving equivalence tests
+enforce this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.metrics import GenerationResult, ServingReport
+from repro.engine.pipeline import SequenceStep
+from repro.errors import ConfigError
+from repro.rng import derive_rng
+from repro.serving.request import Request, RequestStatus
+from repro.serving.scheduler import ContinuousBatchingScheduler, ServingConfig
+from repro.workloads.generator import ArrivedWorkload
+
+__all__ = ["ServingEngine", "requests_from_trace"]
+
+
+def requests_from_trace(entries: Iterable[ArrivedWorkload]) -> list[Request]:
+    """Materialise serving-trace entries as requests (ids = trace order)."""
+    return [
+        Request.from_workload(index, entry) for index, entry in enumerate(entries)
+    ]
+
+
+class ServingEngine:
+    """Continuous-batching serving loop over one inference engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose pipeline, cache and clock are shared by all
+        requests. A fresh engine gives cold-start reports; serving on a
+        warm engine (a prior serve or generate) is supported — arrival
+        times shift onto the warm clock and cache stats are reported as
+        deltas — but residency carries over, by design.
+    config:
+        Serving knobs (batch ceiling, decode token source).
+    """
+
+    def __init__(
+        self, engine: InferenceEngine, config: ServingConfig | None = None
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServingConfig()
+        self.scheduler = ContinuousBatchingScheduler(self.config)
+        #: Cache counters at the current serve()'s start; report and
+        #: per-request totals are deltas against it, so a warm engine
+        #: (prior serve/generate) does not pollute a later report.
+        self._stats_baseline: tuple[int, int] = (0, 0)
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Iterable[Request]) -> ServingReport:
+        """Serve all requests to completion; returns the serving report.
+
+        Requests are admitted FCFS by ``(arrival_time, request_id)``.
+        The loop is fully deterministic under fixed seeds: identical
+        request sets produce identical reports.
+
+        Requests are single-use and owned by the loop once submitted:
+        on a warm engine each admitted request's ``arrival_time`` is
+        shifted in place onto the clock frontier at serve start, so
+        records report effective arrivals on the shared clock, not the
+        original trace offsets.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        if not pending:
+            raise ConfigError("serve() needs at least one request")
+        ids = [r.request_id for r in pending]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate request ids in batch: {sorted(ids)}")
+        for request in pending:
+            if request.status is not RequestStatus.QUEUED:
+                raise ConfigError(
+                    f"request {request.request_id} was already served "
+                    f"(status {request.status.value})"
+                )
+
+        engine = self.engine
+        # Arrival times are trace-relative; on a warm engine (a second
+        # serve, or a prior generate) they are shifted onto the clock's
+        # frontier at serve start, so queueing delays stay meaningful.
+        # The shift is applied to each request once, at admission —
+        # still-queued requests are never mutated, so a serve retried
+        # after a mid-run failure cannot double-shift them. A fresh
+        # engine has origin 0 (the bit-equivalence path).
+        origin = engine.runtime.clock.compute_frontier
+        cache = engine.runtime.cache
+        assert cache is not None  # always bound by InferenceEngine.__init__
+        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+        self._stats_baseline = (hits_before, misses_before)
+        queue: deque[Request] = deque(pending)
+        running: list[Request] = []
+        finished: list[Request] = []
+        samplers: dict[int, np.random.Generator] = {}
+        solo = len(pending) == 1
+
+        try:
+            while queue or running:
+                # The policy reasons in trace-relative time; admission
+                # floors are translated back to absolute clock time.
+                now = engine.runtime.clock.compute_frontier - origin
+                action = self.scheduler.next_action(now, queue, len(running))
+                if action is None:  # pragma: no cover - defensive
+                    break
+                if action.kind == "admit":
+                    # FCFS invariant: the policy only admits the head.
+                    request = queue.popleft()
+                    assert request is action.request
+                    request.arrival_time += origin
+                    self._prefill(
+                        request, action.not_before + origin, samplers, solo
+                    )
+                    if request.decode_steps == 0:
+                        self._finish(request, request.first_token_time)
+                        finished.append(request)
+                    else:
+                        request.status = RequestStatus.DECODING
+                        running.append(request)
+                else:
+                    for request in self._decode_step(running, samplers):
+                        running.remove(request)
+                        finished.append(request)
+        finally:
+            # A mid-run failure (strategy bug, interrupt) must not leave
+            # orphaned decode states behind: the engine stays usable.
+            for request in pending:
+                if not request.is_finished and request.request_id in engine.states:
+                    engine.states.pop(request.request_id)
+
+        return ServingReport(
+            model_name=engine.model.config.name,
+            strategy_name=engine.strategy.name,
+            cache_ratio=engine.config.cache_ratio,
+            max_batch_size=self.config.max_batch_size,
+            requests=sorted(
+                (r.to_record() for r in finished), key=lambda r: r.request_id
+            ),
+            total_hits=cache.stats.hits - hits_before,
+            total_misses=cache.stats.misses - misses_before,
+        )
+
+    def serve_trace(self, entries: Iterable[ArrivedWorkload]) -> ServingReport:
+        """Convenience: build requests from a serving trace and serve."""
+        return self.serve(requests_from_trace(entries))
+
+    # ------------------------------------------------------------------
+    def _sampler(self, request: Request, solo: bool) -> np.random.Generator:
+        """Per-request decode-sampling stream.
+
+        A solo request with ``sample_seed=None`` gets byte-for-byte the
+        stream ``InferenceEngine.generate`` derives, preserving
+        single-request bit-equivalence. In a multi-request run an unset
+        seed falls back to the request id — otherwise every default
+        request would share one stream and identical prompts would
+        decode identical token trajectories, faking cache affinity.
+        """
+        seed = self.engine.config.seed
+        if request.sample_seed is None:
+            if solo:
+                return derive_rng(seed, "engine", "decode-sampling")
+            # Distinct namespace from explicit seeds, so an explicit
+            # sample_seed equal to another request's id cannot collide
+            # with that request's auto-derived stream.
+            return derive_rng(
+                seed, "engine", "decode-sampling", "auto", request.request_id
+            )
+        return derive_rng(seed, "engine", "decode-sampling", request.sample_seed)
+
+    def _prefill(
+        self,
+        request: Request,
+        not_before: float,
+        samplers: dict[int, np.random.Generator],
+        solo: bool,
+    ) -> None:
+        """Admit one request: create its state and run its prefill step."""
+        engine = self.engine
+        # Leave QUEUED before any fallible work: a failed admission must
+        # not leave the request replayable (its arrival was shifted).
+        request.status = RequestStatus.PREFILL
+        state = engine.states.create(request.request_id)
+        result = engine.pipeline.run_batch(
+            [SequenceStep(request.prompt_tokens, state)],
+            "prefill",
+            not_before=max(not_before, request.arrival_time),
+        )
+        metrics = result.metrics
+        request.prefill_start = metrics.start
+        request.first_token_time = metrics.end
+        request.last_token_time = metrics.end
+        request.last_hidden = result.hidden[0][-1]
+        request.result = GenerationResult(
+            model_name=engine.model.config.name,
+            strategy_name=engine.strategy.name,
+            cache_ratio=engine.config.cache_ratio,
+            prefill=metrics,
+        )
+        samplers[request.request_id] = self._sampler(request, solo)
+
+    def _decode_step(
+        self,
+        running: list[Request],
+        samplers: dict[int, np.random.Generator],
+    ) -> list[Request]:
+        """Advance every running request one token in one fused step."""
+        engine = self.engine
+        model = engine.model
+        batch: list[SequenceStep] = []
+        for request in running:
+            assert request.last_hidden is not None
+            if self.config.decode_token_source == "greedy":
+                token = model.greedy_next_token(request.last_hidden)
+            else:
+                token = model.sample_next_token(
+                    request.last_hidden, samplers[request.request_id]
+                )
+            request.output_tokens.append(token)
+            batch.append(
+                SequenceStep(
+                    np.array([token]), engine.states.get(request.request_id)
+                )
+            )
+        result = engine.pipeline.run_batch(batch, "decode")
+        metrics = result.metrics
+        done: list[Request] = []
+        for index, request in enumerate(running):
+            request.last_hidden = result.hidden[index][-1]
+            assert request.result is not None
+            request.result.decode_steps.append(metrics)
+            # TBT is the gap between consecutive token *emissions*, so
+            # stalls from interleaved prefills of other requests count
+            # against the waiting request's tokens. With contiguous
+            # decode steps (any single-request run) the gap equals the
+            # step duration exactly, preserving generate-equivalence.
+            assert request.last_token_time is not None
+            request.tbt_values.append(metrics.end - request.last_token_time)
+            request.last_token_time = metrics.end
+            if request.tokens_remaining == 0:
+                self._finish(request, metrics.end)
+                done.append(request)
+        return done
+
+    def _finish(self, request: Request, finish_time: float | None) -> None:
+        """Seal a completed request and release its decode state.
+
+        ``request.result`` mirrors what ``generate`` would report on
+        the engine, which in a multi-request run means *fleet-level*
+        numbers: ``total_hits/total_misses`` snapshot the shared cache
+        counters at finish time, and ``decode_steps`` hold the fused
+        batch steps (so ``result.tbt_values`` are step durations, not
+        this request's emission gaps). Per-request truth lives on the
+        :class:`~repro.engine.metrics.RequestRecord` (``tbt_values``,
+        percentiles) and fleet comparisons in the
+        :class:`~repro.engine.metrics.ServingReport`.
+        """
+        assert finish_time is not None
+        request.status = RequestStatus.FINISHED
+        request.finish_time = finish_time
+        cache = self.engine.runtime.cache
+        if request.result is not None and cache is not None:
+            hits_before, misses_before = self._stats_baseline
+            request.result.total_hits = cache.stats.hits - hits_before
+            request.result.total_misses = cache.stats.misses - misses_before
+        self.engine.states.pop(request.request_id)

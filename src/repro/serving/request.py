@@ -1,0 +1,142 @@
+"""Request lifecycle for multi-request serving.
+
+A :class:`Request` is the unit of admission: it arrives at a simulated
+instant, waits in the FCFS queue, runs one prefill step, then decodes
+one token per fused batch step until its budget is exhausted:
+
+    QUEUED → PREFILL → DECODING → FINISHED
+
+The live object is mutated by the serving loop; :meth:`Request.to_record`
+freezes the lifecycle into a :class:`~repro.engine.metrics.RequestRecord`
+for reporting once the request finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.engine.metrics import GenerationResult, RequestRecord
+from repro.errors import ConfigError, SimulationError
+from repro.workloads.generator import ArrivedWorkload
+
+__all__ = ["RequestStatus", "Request"]
+
+
+class RequestStatus(str, Enum):
+    """Lifecycle stages of a served request."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One in-flight generation request.
+
+    Parameters
+    ----------
+    request_id:
+        Unique integer id; also keys the per-request decode state.
+    prompt_tokens:
+        Non-empty 1-D prompt id array.
+    decode_steps:
+        Decode tokens to generate after prefill (0 = prefill only).
+    arrival_time:
+        Simulated arrival instant (seconds).
+    sample_seed:
+        Extra key mixed into the request's decode-sampling stream.
+        ``None`` in a *solo* serve uses the engine's default stream —
+        the same derivation ``InferenceEngine.generate`` uses, which is
+        what makes a single-request serve bit-identical to
+        ``generate``. ``None`` in a multi-request serve falls back to
+        the request id, so concurrent default requests sample
+        independently; :meth:`from_workload` sets the id explicitly.
+    """
+
+    request_id: int
+    prompt_tokens: np.ndarray
+    decode_steps: int
+    arrival_time: float = 0.0
+    sample_seed: int | None = None
+
+    # lifecycle fields, filled in by the serving loop -------------------
+    status: RequestStatus = RequestStatus.QUEUED
+    prefill_start: float | None = None
+    first_token_time: float | None = None
+    #: Emission instant of the most recent token; TBT entries are gaps
+    #: between consecutive emissions, so stalls caused by interleaved
+    #: prefills of other requests are charged to the waiting tokens.
+    last_token_time: float | None = None
+    finish_time: float | None = None
+    output_tokens: list[int] = field(default_factory=list)
+    tbt_values: list[float] = field(default_factory=list)
+    last_hidden: np.ndarray | None = None
+    result: GenerationResult | None = None
+
+    def __post_init__(self) -> None:
+        self.prompt_tokens = np.asarray(self.prompt_tokens, dtype=np.int64)
+        if self.prompt_tokens.ndim != 1 or self.prompt_tokens.size == 0:
+            raise ConfigError(
+                f"request {self.request_id}: prompt_tokens must be a non-empty "
+                f"1-D id array"
+            )
+        if self.decode_steps < 0:
+            raise ConfigError(
+                f"request {self.request_id}: decode_steps must be non-negative, "
+                f"got {self.decode_steps}"
+            )
+        if self.arrival_time < 0:
+            raise ConfigError(
+                f"request {self.request_id}: arrival_time must be non-negative, "
+                f"got {self.arrival_time}"
+            )
+
+    @classmethod
+    def from_workload(cls, request_id: int, arrived: ArrivedWorkload) -> "Request":
+        """Build a request from one serving-trace entry."""
+        return cls(
+            request_id=request_id,
+            prompt_tokens=np.asarray(arrived.workload.prompt_tokens),
+            decode_steps=arrived.workload.decode_steps,
+            arrival_time=arrived.arrival_time,
+            sample_seed=request_id,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt_tokens.size)
+
+    @property
+    def tokens_remaining(self) -> int:
+        """Decode tokens still owed once the request is decoding."""
+        return self.decode_steps - len(self.tbt_values)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status is RequestStatus.FINISHED
+
+    def to_record(self) -> RequestRecord:
+        """Freeze the finished lifecycle into a reporting record."""
+        if not self.is_finished or self.finish_time is None:
+            raise SimulationError(
+                f"request {self.request_id} has not finished "
+                f"(status {self.status.value})"
+            )
+        assert self.prefill_start is not None and self.first_token_time is not None
+        return RequestRecord(
+            request_id=self.request_id,
+            prompt_len=self.prompt_len,
+            decode_tokens=len(self.tbt_values),
+            arrival_time=self.arrival_time,
+            prefill_start=self.prefill_start,
+            first_token_time=self.first_token_time,
+            finish_time=self.finish_time,
+            tbt_values=tuple(self.tbt_values),
+            result=self.result,
+        )

@@ -1,0 +1,115 @@
+"""Admission and continuous batching for the serving loop.
+
+The scheduler implements iteration-level ("continuous") batching in the
+style of Orca/vLLM, adapted to the simulated hybrid platform:
+
+- **FCFS admission** — queued requests are admitted in arrival order,
+  each running its prefill as a dedicated step (prefill-prioritised:
+  new work joins the decode batch at the next fused step);
+- **fused decode** — all running requests advance one token per step in
+  a single batched forward pass, so the hybrid scheduler, MRS cache and
+  prefetcher see the *merged* expert working set of the whole batch;
+- **work conservation with idle jump** — when nothing is running and no
+  request has arrived yet, the head-of-line request is admitted with a
+  ``not_before`` floor at its arrival instant; the discrete-event clock
+  simply idles up to it.
+
+Decisions are pure functions of ``(now, queue, num_running)`` so the
+policy is unit-testable without an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.request import Request
+
+__all__ = ["ServingConfig", "Action", "ContinuousBatchingScheduler"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving loop.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Maximum number of concurrently decoding requests (the fused
+        decode step's batch size ceiling).
+    decode_token_source:
+        ``"sampled"`` (default, matches ``InferenceEngine.generate``) or
+        ``"greedy"``.
+    """
+
+    max_batch_size: int = 8
+    decode_token_source: str = "sampled"
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.decode_token_source not in ("sampled", "greedy"):
+            raise ConfigError(
+                f"decode_token_source must be 'sampled' or 'greedy', got "
+                f"{self.decode_token_source!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Action:
+    """One scheduling decision for the next engine iteration.
+
+    ``kind`` is ``"admit"`` (run ``request``'s prefill, starting no
+    earlier than ``not_before``) or ``"decode"`` (advance every running
+    request one token in a fused step).
+    """
+
+    kind: str
+    request: "Request | None" = None
+    not_before: float = 0.0
+
+
+class ContinuousBatchingScheduler:
+    """FCFS admission + iteration-level batching policy."""
+
+    def __init__(self, config: ServingConfig | None = None) -> None:
+        self.config = config or ServingConfig()
+
+    def next_action(
+        self,
+        now: float,
+        queued: "Sequence[Request]",
+        num_running: int,
+    ) -> Action | None:
+        """Decide the next iteration given queue/batch occupancy.
+
+        Parameters
+        ----------
+        now:
+            Current simulated time (the clock's compute frontier).
+        queued:
+            Pending requests in arrival order (head first).
+        num_running:
+            Requests currently in the decode batch.
+
+        Returns
+        -------
+        Action or None
+            ``None`` when there is nothing left to do (loop ends).
+        """
+        if queued and num_running < self.config.max_batch_size:
+            head = queued[0]
+            if head.arrival_time <= now or num_running == 0:
+                return Action(
+                    kind="admit",
+                    request=head,
+                    not_before=max(now, head.arrival_time),
+                )
+        if num_running > 0:
+            return Action(kind="decode")
+        return None

@@ -17,12 +17,20 @@ from repro.workloads.datasets import (
     sample_prompt_length,
 )
 from repro.workloads.generator import (
+    ArrivedWorkload,
     WorkloadSpec,
     decode_workload,
+    poisson_arrivals,
     prefill_workloads,
+    serving_workload,
+    trace_arrivals,
 )
 
 __all__ = [
+    "ArrivedWorkload",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "serving_workload",
     "DatasetProfile",
     "DATASET_PROFILES",
     "PREFILL_BUCKETS",

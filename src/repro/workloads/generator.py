@@ -1,4 +1,10 @@
-"""Workload construction for the evaluation harness."""
+"""Workload construction for the evaluation harness.
+
+Besides the paper's single-generation prefill/decode workloads, this
+module builds **serving traces**: request streams with arrival times
+drawn from a Poisson process (or replayed from an explicit trace) that
+the continuous-batching serving loop consumes.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +13,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.rng import derive_rng
 from repro.workloads.datasets import (
     DATASET_PROFILES,
     bucket_length,
     sample_prompt,
 )
 
-__all__ = ["WorkloadSpec", "prefill_workloads", "decode_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "prefill_workloads",
+    "decode_workload",
+    "ArrivedWorkload",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "serving_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -94,3 +109,111 @@ def decode_workload(
         prompt_tokens=tokens,
         decode_steps=decode_steps,
     )
+
+
+# ----------------------------------------------------------------------
+# serving traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivedWorkload:
+    """One serving-trace entry: a workload plus its arrival instant."""
+
+    arrival_time: float
+    workload: WorkloadSpec
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ConfigError(
+                f"arrival_time must be non-negative, got {self.arrival_time}"
+            )
+
+
+def poisson_arrivals(
+    num_requests: int, rate: float, seed: int = 0, start: float = 0.0
+) -> np.ndarray:
+    """Arrival instants of a Poisson process with ``rate`` requests/s.
+
+    Inter-arrival gaps are i.i.d. exponential draws from a derived
+    generator, so the trace is a pure function of ``(num_requests,
+    rate, seed)`` — replays are deterministic.
+    """
+    if num_requests <= 0:
+        raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate}")
+    if start < 0:
+        raise ConfigError(f"start must be non-negative, got {start}")
+    rng = derive_rng(
+        seed, "workload", "arrivals", "poisson", num_requests, repr(float(rate))
+    )
+    gaps = rng.exponential(scale=1.0 / rate, size=num_requests)
+    return start + np.cumsum(gaps)
+
+
+def trace_arrivals(times) -> np.ndarray:
+    """Validate an explicit arrival trace (non-negative, non-decreasing)."""
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("arrival trace must be a non-empty 1-D sequence")
+    if np.any(arr < 0):
+        raise ConfigError("arrival times must be non-negative")
+    if np.any(np.diff(arr) < 0):
+        raise ConfigError("arrival times must be non-decreasing")
+    return arr
+
+
+def serving_workload(
+    num_requests: int | None = None,
+    arrival_rate: float | None = None,
+    arrival_times=None,
+    decode_steps: int = 16,
+    vocab_size: int = 512,
+    datasets: tuple[str, ...] = ("mtbench", "vicuna", "chatgpt-prompts"),
+    seed: int = 0,
+) -> list[ArrivedWorkload]:
+    """Build a serving trace of ``num_requests`` arriving requests.
+
+    Arrival instants come from a Poisson process at ``arrival_rate``
+    requests/s, or from an explicit ``arrival_times`` trace (exactly one
+    of the two must be given). ``num_requests`` defaults to the trace
+    length when ``arrival_times`` is given, else to 8. Prompts cycle
+    through ``datasets`` with dataset-typical lengths; each request
+    decodes ``decode_steps`` tokens.
+    """
+    if (arrival_rate is None) == (arrival_times is None):
+        raise ConfigError("pass exactly one of arrival_rate / arrival_times")
+    if decode_steps < 0:
+        raise ConfigError(f"decode_steps must be non-negative, got {decode_steps}")
+    for dataset in datasets:
+        if dataset not in DATASET_PROFILES:
+            raise ConfigError(f"unknown dataset {dataset!r}")
+    if arrival_times is not None:
+        times = trace_arrivals(arrival_times)
+        if num_requests is None:
+            num_requests = int(times.size)
+        elif times.size != num_requests:
+            raise ConfigError(
+                f"arrival trace has {times.size} entries for {num_requests} requests"
+            )
+        if num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    else:
+        if num_requests is None:
+            num_requests = 8
+        if num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {num_requests}")
+        times = poisson_arrivals(num_requests, arrival_rate, seed=seed)
+    entries = []
+    for index in range(num_requests):
+        dataset = datasets[index % len(datasets)]
+        tokens = sample_prompt(dataset, vocab_size, seed=seed, index=index)
+        workload = WorkloadSpec(
+            kind="decode" if decode_steps > 0 else "prefill",
+            dataset=dataset,
+            prompt_tokens=tokens,
+            decode_steps=decode_steps,
+        )
+        entries.append(
+            ArrivedWorkload(arrival_time=float(times[index]), workload=workload)
+        )
+    return entries

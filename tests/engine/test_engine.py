@@ -97,6 +97,25 @@ class TestEngineConfigValidation:
         with pytest.raises(ConfigError):
             EngineConfig(prefetch_lookahead=0)
 
+    @pytest.mark.parametrize("value", [0, -4])
+    def test_profile_prompt_len_must_be_positive(self, value):
+        with pytest.raises(ConfigError):
+            EngineConfig(profile_prompt_len=value)
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_profile_decode_steps_must_be_positive(self, value):
+        with pytest.raises(ConfigError):
+            EngineConfig(profile_decode_steps=value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_mrs_alpha_bounds(self, value):
+        with pytest.raises(ConfigError):
+            EngineConfig(mrs_alpha=value)
+
+    @pytest.mark.parametrize("value", [0.0, 0.7, 1.0])
+    def test_mrs_alpha_endpoints_accepted(self, value):
+        assert EngineConfig(mrs_alpha=value).mrs_alpha == value
+
 
 class TestNoiseRobustness:
     def test_noisy_execution_still_valid(self, tiny_config, prompt_tokens):

@@ -1,8 +1,15 @@
 """Metric container semantics."""
 
+import numpy as np
 import pytest
 
-from repro.engine.metrics import GenerationResult, StepMetrics
+from repro.engine.metrics import (
+    GenerationResult,
+    RequestRecord,
+    ServingReport,
+    StepMetrics,
+    latency_percentiles,
+)
 from repro.errors import SimulationError
 
 
@@ -77,3 +84,94 @@ class TestGenerationResult:
         summary = self._result().summary()
         assert summary["model"] == "tiny"
         assert "ttft" in summary and "mean_tbt" in summary
+
+    def test_tbt_percentiles(self):
+        result = self._result()
+        values = result.tbt_values
+        assert result.p50_tbt == pytest.approx(float(np.percentile(values, 50)))
+        assert result.p95_tbt == pytest.approx(float(np.percentile(values, 95)))
+        assert result.p99_tbt == pytest.approx(float(np.percentile(values, 99)))
+        assert result.p50_tbt <= result.p95_tbt <= result.p99_tbt
+
+    def test_tbt_percentiles_without_decode_raise(self):
+        result = GenerationResult("t", "s", 0.5, prefill=_step("prefill"))
+        with pytest.raises(SimulationError):
+            _ = result.p99_tbt
+
+    def test_summary_includes_percentiles(self):
+        summary = self._result().summary()
+        assert {"p50_tbt", "p95_tbt", "p99_tbt"} <= set(summary)
+
+    def test_step_batch_size_defaults_to_one(self):
+        assert _step().batch_size == 1
+
+
+class TestLatencyPercentiles:
+    def test_values(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        result = latency_percentiles(sample)
+        assert set(result) == {"p50", "p95", "p99"}
+        assert result["p50"] == pytest.approx(2.5)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(SimulationError):
+            latency_percentiles([])
+
+
+def _record(request_id=0, arrival=1.0, prefill_start=1.5, first_token=2.0, finish=3.0):
+    return RequestRecord(
+        request_id=request_id,
+        prompt_len=16,
+        decode_tokens=2,
+        arrival_time=arrival,
+        prefill_start=prefill_start,
+        first_token_time=first_token,
+        finish_time=finish,
+        tbt_values=(0.4, 0.6),
+    )
+
+
+class TestServingReport:
+    def _report(self):
+        return ServingReport(
+            model_name="tiny",
+            strategy_name="hybrimoe",
+            cache_ratio=0.5,
+            max_batch_size=4,
+            requests=[
+                _record(0, arrival=0.0, prefill_start=0.0, first_token=1.0, finish=2.0),
+                _record(1, arrival=1.0, prefill_start=2.0, first_token=2.5, finish=5.0),
+            ],
+            total_hits=6,
+            total_misses=2,
+        )
+
+    def test_window_and_goodput(self):
+        report = self._report()
+        assert report.makespan == pytest.approx(5.0)
+        assert report.goodput == pytest.approx(2 / 5.0)
+        assert report.token_throughput == pytest.approx(4 / 5.0)
+
+    def test_queueing_and_ttft(self):
+        report = self._report()
+        assert report.mean_queueing_delay == pytest.approx(0.5)
+        assert report.ttft_percentiles()["p50"] == pytest.approx(1.25)
+
+    def test_summary_fields(self):
+        summary = self._report().summary()
+        assert summary["hit_rate"] == pytest.approx(0.75)
+        assert {
+            "goodput_rps",
+            "mean_queue_delay_s",
+            "p50_ttft_s",
+            "p99_tbt_s",
+        } <= set(summary)
+
+    def test_per_request_rows_sorted(self):
+        rows = self._report().per_request_rows()
+        assert [row["request"] for row in rows] == [0, 1]
+
+    def test_empty_report_raises(self):
+        empty = ServingReport("t", "s", 0.5, max_batch_size=1)
+        with pytest.raises(SimulationError):
+            _ = empty.makespan

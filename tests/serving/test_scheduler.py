@@ -1,0 +1,66 @@
+"""Admission policy: FCFS + iteration-level continuous batching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+from repro.serving.scheduler import ContinuousBatchingScheduler, ServingConfig
+
+
+def _request(request_id, arrival):
+    return Request(
+        request_id=request_id,
+        prompt_tokens=np.arange(4),
+        decode_steps=2,
+        arrival_time=arrival,
+    )
+
+
+class TestServingConfig:
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(max_batch_size=0)
+
+    def test_bad_token_source_rejected(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(decode_token_source="argmax")
+
+
+class TestNextAction:
+    def setup_method(self):
+        self.scheduler = ContinuousBatchingScheduler(ServingConfig(max_batch_size=2))
+
+    def test_arrived_request_admitted(self):
+        request = _request(0, arrival=1.0)
+        action = self.scheduler.next_action(2.0, [request], num_running=0)
+        assert action.kind == "admit"
+        assert action.request is request
+        assert action.not_before == pytest.approx(2.0)
+
+    def test_idle_platform_jumps_to_future_arrival(self):
+        request = _request(0, arrival=5.0)
+        action = self.scheduler.next_action(1.0, [request], num_running=0)
+        assert action.kind == "admit"
+        assert action.not_before == pytest.approx(5.0)
+
+    def test_future_arrival_does_not_stall_running_batch(self):
+        request = _request(0, arrival=5.0)
+        action = self.scheduler.next_action(1.0, [request], num_running=1)
+        assert action.kind == "decode"
+
+    def test_full_batch_decodes_before_admitting(self):
+        request = _request(0, arrival=0.0)
+        action = self.scheduler.next_action(1.0, [request], num_running=2)
+        assert action.kind == "decode"
+
+    def test_empty_queue_with_running_decodes(self):
+        assert self.scheduler.next_action(1.0, [], num_running=1).kind == "decode"
+
+    def test_nothing_to_do_returns_none(self):
+        assert self.scheduler.next_action(1.0, [], num_running=0) is None
+
+    def test_fcfs_head_of_line(self):
+        first, second = _request(0, arrival=0.1), _request(1, arrival=0.2)
+        action = self.scheduler.next_action(1.0, [first, second], num_running=0)
+        assert action.request is first

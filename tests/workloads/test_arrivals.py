@@ -1,0 +1,107 @@
+"""Arrival processes: Poisson determinism, trace validation, serving traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.generator import (
+    ArrivedWorkload,
+    WorkloadSpec,
+    poisson_arrivals,
+    serving_workload,
+    trace_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_under_seed(self):
+        np.testing.assert_array_equal(
+            poisson_arrivals(10, rate=4.0, seed=3), poisson_arrivals(10, rate=4.0, seed=3)
+        )
+
+    def test_seed_changes_trace(self):
+        assert not np.array_equal(
+            poisson_arrivals(10, rate=4.0, seed=0), poisson_arrivals(10, rate=4.0, seed=1)
+        )
+
+    def test_monotone_nonnegative(self):
+        times = poisson_arrivals(50, rate=2.0, seed=0)
+        assert times[0] >= 0.0
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_mean_gap_tracks_rate(self):
+        times = poisson_arrivals(4000, rate=5.0, seed=0)
+        mean_gap = float(np.diff(times).mean())
+        assert mean_gap == pytest.approx(1.0 / 5.0, rel=0.1)
+
+    def test_start_offset(self):
+        assert poisson_arrivals(5, rate=1.0, seed=0, start=10.0)[0] >= 10.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_requests": 0, "rate": 1.0},
+        {"num_requests": 4, "rate": 0.0},
+        {"num_requests": 4, "rate": 1.0, "start": -1.0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(**kwargs)
+
+
+class TestTraceArrivals:
+    def test_valid_trace_passthrough(self):
+        np.testing.assert_array_equal(
+            trace_arrivals([0.0, 0.5, 0.5, 2.0]), np.array([0.0, 0.5, 0.5, 2.0])
+        )
+
+    @pytest.mark.parametrize("trace", [[], [-1.0, 0.0], [1.0, 0.5]])
+    def test_invalid_traces(self, trace):
+        with pytest.raises(ConfigError):
+            trace_arrivals(trace)
+
+
+class TestServingWorkload:
+    def test_structure_and_cycling(self):
+        entries = serving_workload(num_requests=5, arrival_rate=2.0, decode_steps=7, seed=0)
+        assert len(entries) == 5
+        assert all(isinstance(e, ArrivedWorkload) for e in entries)
+        assert all(isinstance(e.workload, WorkloadSpec) for e in entries)
+        assert [e.workload.dataset for e in entries] == [
+            "mtbench", "vicuna", "chatgpt-prompts", "mtbench", "vicuna",
+        ]
+        assert all(e.workload.decode_steps == 7 for e in entries)
+        times = [e.arrival_time for e in entries]
+        assert times == sorted(times)
+
+    def test_explicit_trace(self):
+        entries = serving_workload(
+            num_requests=3, arrival_times=[0.0, 1.0, 4.0], decode_steps=2
+        )
+        assert [e.arrival_time for e in entries] == [0.0, 1.0, 4.0]
+
+    def test_exactly_one_arrival_source(self):
+        with pytest.raises(ConfigError):
+            serving_workload(num_requests=2)
+        with pytest.raises(ConfigError):
+            serving_workload(
+                num_requests=2, arrival_rate=1.0, arrival_times=[0.0, 1.0]
+            )
+
+    def test_trace_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            serving_workload(num_requests=3, arrival_times=[0.0, 1.0])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigError):
+            serving_workload(num_requests=2, arrival_rate=1.0, datasets=("nope",))
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivedWorkload(
+                arrival_time=-0.5,
+                workload=WorkloadSpec(
+                    kind="decode",
+                    dataset="mtbench",
+                    prompt_tokens=np.arange(4),
+                    decode_steps=2,
+                ),
+            )
