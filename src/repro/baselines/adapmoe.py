@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.lru import LRUPolicy
-from repro.cache.manager import ExpertCache
+from repro.cache.sharded import CacheSpec
 from repro.core.fixed_plan import gpu_only_plan
 from repro.core.prefetch import PredictedLayer
 from repro.core.tasks import ExecutionPlan
@@ -28,11 +28,11 @@ class AdapMoEStrategy(Strategy):
 
     name = "adapmoe"
 
-    def build_cache(self) -> ExpertCache:
+    def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
-        cache = ExpertCache(runtime.capacity, LRUPolicy())
-        cache.warm_fill(runtime.frequency_ranking())
-        return cache
+        return CacheSpec(
+            runtime.capacity, LRUPolicy, warm=runtime.frequency_ranking()
+        )
 
     def observe_scores(self, ctx: LayerContext) -> None:
         """LRU ignores scores; recency updates happen on access."""
@@ -45,6 +45,7 @@ class AdapMoEStrategy(Strategy):
             cached_experts=set(ctx.cached_experts),
             n_tokens=ctx.n_tokens,
             oracle=runtime.estimated_oracle(ctx.n_tokens),
+            include_shared=ctx.include_shared,
         )
 
     def prefetch_requests(

@@ -12,7 +12,7 @@ cache — this is the paper's primary comparison target and the
 from __future__ import annotations
 
 from repro.cache.lfu import LFUPolicy
-from repro.cache.manager import ExpertCache
+from repro.cache.sharded import CacheSpec
 from repro.core.fixed_plan import fixed_mapping_plan
 from repro.core.tasks import ExecutionPlan
 from repro.engine.strategy_base import LayerContext, Strategy
@@ -25,10 +25,10 @@ class KTransformersStrategy(Strategy):
 
     name = "ktransformers"
 
-    def build_cache(self) -> ExpertCache:
+    def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
         pinned = runtime.frequency_ranking()[: runtime.capacity]
-        return ExpertCache(0, LFUPolicy(), pinned=pinned)
+        return CacheSpec(0, LFUPolicy, pinned=pinned)
 
     def observe_scores(self, ctx: LayerContext) -> None:
         """Static mapping: routing scores are ignored."""
@@ -42,6 +42,7 @@ class KTransformersStrategy(Strategy):
             n_tokens=ctx.n_tokens,
             stage=ctx.stage,
             oracle=runtime.estimated_oracle(ctx.n_tokens),
+            include_shared=ctx.include_shared,
         )
 
     def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:

@@ -12,7 +12,7 @@ the CPU, and zero transfer overhead helps).
 from __future__ import annotations
 
 from repro.cache.lfu import LFUPolicy
-from repro.cache.manager import ExpertCache
+from repro.cache.sharded import CacheSpec
 from repro.core.tasks import (
     SHARED_BLOCK,
     ComputeTask,
@@ -44,7 +44,7 @@ class LlamaCppStrategy(Strategy):
         """Layers resident on the GPU (read-only view for tests)."""
         return set(self._gpu_layers)
 
-    def build_cache(self) -> ExpertCache:
+    def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
         num_experts = runtime.model_config.num_routed_experts
         pinned = [
@@ -52,7 +52,7 @@ class LlamaCppStrategy(Strategy):
             for layer in sorted(self._gpu_layers)
             for expert in range(num_experts)
         ]
-        return ExpertCache(0, LFUPolicy(), pinned=pinned)
+        return CacheSpec(0, LFUPolicy, pinned=pinned)
 
     def observe_scores(self, ctx: LayerContext) -> None:
         """Static mapping: routing scores are ignored."""
@@ -68,7 +68,7 @@ class LlamaCppStrategy(Strategy):
         ordered = sorted(ctx.activated, key=lambda pair: (-pair[1], pair[0]))
 
         tasks: list[ComputeTask] = []
-        if oracle.num_shared > 0:
+        if oracle.num_shared > 0 and ctx.include_shared:
             tasks.append(ComputeTask(ctx.layer, SHARED_BLOCK, ctx.n_tokens, device))
         tasks.extend(
             ComputeTask(ctx.layer, expert, load, device) for expert, load in ordered

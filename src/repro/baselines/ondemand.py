@@ -9,7 +9,7 @@ other GPU-centric systems.
 from __future__ import annotations
 
 from repro.cache.lru import LRUPolicy
-from repro.cache.manager import ExpertCache
+from repro.cache.sharded import CacheSpec
 from repro.core.fixed_plan import gpu_only_plan
 from repro.core.tasks import ExecutionPlan
 from repro.engine.strategy_base import LayerContext, Strategy
@@ -22,11 +22,11 @@ class OnDemandStrategy(Strategy):
 
     name = "ondemand"
 
-    def build_cache(self) -> ExpertCache:
+    def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
-        cache = ExpertCache(runtime.capacity, LRUPolicy())
-        cache.warm_fill(runtime.frequency_ranking())
-        return cache
+        return CacheSpec(
+            runtime.capacity, LRUPolicy, warm=runtime.frequency_ranking()
+        )
 
     def observe_scores(self, ctx: LayerContext) -> None:
         """Score-agnostic."""
@@ -39,4 +39,5 @@ class OnDemandStrategy(Strategy):
             cached_experts=set(ctx.cached_experts),
             n_tokens=ctx.n_tokens,
             oracle=runtime.estimated_oracle(ctx.n_tokens),
+            include_shared=ctx.include_shared,
         )

@@ -12,6 +12,12 @@ decides *which*. Keys are ``(layer, expert)`` pairs. Policies:
 
 :class:`~repro.cache.manager.ExpertCache` enforces capacity, pinning and
 locking invariants and keeps hit/miss statistics.
+
+On a multi-GPU platform the cache shards into per-device
+:class:`~repro.cache.manager.ExpertCache` instances behind
+:class:`~repro.cache.sharded.ShardedCacheManager`; a
+:class:`~repro.cache.placement.PlacementPolicy` (round-robin,
+layer-striped or load-aware) routes every key to its home device.
 """
 
 from repro.cache.base import EvictionPolicy, ExpertKey, make_policy
@@ -19,6 +25,15 @@ from repro.cache.lfu import LFUPolicy
 from repro.cache.lru import LRUPolicy
 from repro.cache.manager import CacheStats, ExpertCache
 from repro.cache.mrs import MRSPolicy
+from repro.cache.placement import (
+    LayerStripedPlacement,
+    LoadAwarePlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    available_placements,
+    make_placement,
+)
+from repro.cache.sharded import CacheSpec, ShardedCacheManager, split_capacity
 
 __all__ = [
     "ExpertKey",
@@ -29,4 +44,13 @@ __all__ = [
     "MRSPolicy",
     "ExpertCache",
     "CacheStats",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LayerStripedPlacement",
+    "LoadAwarePlacement",
+    "available_placements",
+    "make_placement",
+    "CacheSpec",
+    "ShardedCacheManager",
+    "split_capacity",
 ]

@@ -1,0 +1,206 @@
+"""Expert-placement policies: which GPU is home to each expert.
+
+When the expert cache is sharded across ``N`` devices, every
+``(layer, expert)`` key has exactly one **home device**: the shard that
+may cache it, the PCIe link that transfers it, and the GPU that
+computes it when it is (or becomes) resident. Placement is therefore
+the multi-GPU analogue of the cache policy — it decides *where* an
+expert can live, while the per-shard eviction policy decides *whether*
+it stays.
+
+Three policies are provided:
+
+- :class:`RoundRobinPlacement` — ``expert_id % N``; spreads every
+  layer's experts across all devices, so each fused step engages the
+  whole fleet (maximum intra-layer parallelism, zero locality control);
+- :class:`LayerStripedPlacement` — ``layer % N``; keeps each layer's
+  working set on one device (whole-layer locality, like pipeline
+  sharding), so consecutive layers alternate devices and per-layer
+  transfers never compete across links;
+- :class:`LoadAwarePlacement` — sticky least-loaded assignment: the
+  first time a key needs a home it picks the device whose shard
+  currently holds the fewest experts (ties to the lowest device id),
+  and remembers the choice. Adapts to skewed expert popularity without
+  ever moving a resident expert.
+
+All policies are **deterministic**: the same key/occupancy sequence
+produces the same assignment on every run — a property the placement
+tests pin down, and a prerequisite for reproducible multi-GPU
+experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.cache.base import ExpertKey
+from repro.errors import CacheError
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LayerStripedPlacement",
+    "LoadAwarePlacement",
+    "available_placements",
+    "make_placement",
+]
+
+
+class PlacementPolicy(ABC):
+    """Deterministic mapping from expert keys to home devices."""
+
+    #: Short identifier used in configs and result tables.
+    name: str = "abstract"
+
+    #: Whether :meth:`assign` consults the occupancy argument. Static
+    #: policies leave this False so callers on the hot path can skip
+    #: building the per-shard occupancy list entirely.
+    uses_occupancy: bool = False
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices < 1:
+            raise CacheError(f"num_devices must be >= 1, got {num_devices}")
+        self.num_devices = num_devices
+
+    @abstractmethod
+    def assign(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        """Home device of ``key``.
+
+        Parameters
+        ----------
+        key:
+            The ``(layer, expert)`` cache key needing a home.
+        occupancy:
+            Current resident count per shard (pinned included), one
+            entry per device. Static policies ignore it; the load-aware
+            policy consults it on first assignment.
+
+        Returns
+        -------
+        int
+            Device index in ``[0, num_devices)``. Must be stable: a key
+            once assigned always maps to the same device.
+        """
+
+    def peek(self, key: ExpertKey) -> int | None:
+        """Home device of ``key`` without committing a new assignment.
+
+        ``None`` means the policy has not decided yet (only possible
+        for stateful policies) — such a key cannot be resident
+        anywhere, so pure membership queries can return False without
+        perturbing future placement. Static policies answer from the
+        key alone.
+        """
+        return self.assign(key, ())
+
+    def preview(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        """Device :meth:`assign` *would* pick, without committing it.
+
+        Speculative probes (admission checks before paying for a
+        transfer) must not perturb a stateful policy's future
+        placement; they route through this. Static policies are pure,
+        so the default simply delegates to :meth:`assign`.
+        """
+        return self.assign(key, occupancy)
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Stripe experts across devices by expert id (``expert % N``)."""
+
+    name = "round_robin"
+
+    def assign(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        return key[1] % self.num_devices
+
+
+class LayerStripedPlacement(PlacementPolicy):
+    """Keep each layer's experts on one device (``layer % N``)."""
+
+    name = "layer_striped"
+
+    def assign(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        return key[0] % self.num_devices
+
+
+class LoadAwarePlacement(PlacementPolicy):
+    """Sticky least-loaded assignment.
+
+    The first time a key is seen it is assigned to the device whose
+    shard holds the fewest experts at that moment; ties break to the
+    device with the fewest assignments so far, then to the lowest
+    device id. The assignment-count tiebreak matters when residency
+    cannot move — with capacity-0 shards (pure pinning strategies) the
+    occupancy signal is constant, and without it every new key would
+    pile onto one device. Assignments are remembered and never
+    revised, so a resident expert's home cannot drift mid-flight.
+    Determinism follows from the deterministic engine: identical runs
+    present identical (key, occupancy) sequences.
+    """
+
+    name = "load_aware"
+    uses_occupancy = True
+
+    def __init__(self, num_devices: int) -> None:
+        super().__init__(num_devices)
+        self._assigned: dict[ExpertKey, int] = {}
+        self._assign_counts = [0] * num_devices
+
+    def peek(self, key: ExpertKey) -> int | None:
+        """Existing sticky assignment, or None for an unseen key."""
+        return self._assigned.get(key)
+
+    def _choose(self, occupancy: Sequence[int]) -> int:
+        if len(occupancy) != self.num_devices:
+            raise CacheError(
+                f"occupancy has {len(occupancy)} entries for "
+                f"{self.num_devices} devices"
+            )
+        return min(
+            range(self.num_devices),
+            key=lambda g: (occupancy[g], self._assign_counts[g], g),
+        )
+
+    def preview(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        """The device :meth:`assign` would pick, without committing."""
+        device = self._assigned.get(key)
+        if device is None:
+            device = self._choose(occupancy)
+        return device
+
+    def assign(self, key: ExpertKey, occupancy: Sequence[int]) -> int:
+        device = self._assigned.get(key)
+        if device is None:
+            device = self._choose(occupancy)
+            self._assigned[key] = device
+            self._assign_counts[device] += 1
+        return device
+
+    @property
+    def assignments(self) -> dict[ExpertKey, int]:
+        """Snapshot of all sticky assignments (read-only view)."""
+        return dict(self._assigned)
+
+
+_PLACEMENTS = {
+    "round_robin": RoundRobinPlacement,
+    "layer_striped": LayerStripedPlacement,
+    "load_aware": LoadAwarePlacement,
+}
+
+
+def available_placements() -> list[str]:
+    """Names accepted by :func:`make_placement`."""
+    return sorted(_PLACEMENTS)
+
+
+def make_placement(name: str, num_devices: int) -> PlacementPolicy:
+    """Instantiate a placement policy by short name."""
+    try:
+        cls = _PLACEMENTS[name]
+    except KeyError:
+        known = ", ".join(available_placements())
+        raise CacheError(
+            f"unknown placement policy {name!r} (known: {known})"
+        ) from None
+    return cls(num_devices)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cache.placement import available_placements
 from repro.engine.factory import (
     available_strategies,
     make_engine,
@@ -70,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--decode-steps", type=int, default=32)
     run.add_argument("--num-layers", type=int, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--num-gpus", type=int, default=1, help="simulated GPU devices (sharded cache above 1)"
+    )
+    run.add_argument(
+        "--placement",
+        default="round_robin",
+        choices=available_placements(),
+        help="expert-placement policy of the sharded cache",
+    )
 
     serve = sub.add_parser(
         "serve", help="serve a multi-request arrival trace with continuous batching"
@@ -99,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--decode-steps", type=int, default=16)
     serve.add_argument("--max-batch-size", type=int, default=8)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--num-gpus", type=int, default=1, help="simulated GPU devices (sharded cache above 1)"
+    )
+    serve.add_argument(
+        "--placement",
+        default="round_robin",
+        choices=available_placements(),
+        help="expert-placement policy of the sharded cache",
+    )
 
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
     compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
@@ -126,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hardware=args.hardware,
         num_layers=args.num_layers,
         seed=args.seed,
+        num_gpus=args.num_gpus,
+        placement=args.placement,
     )
     rng = derive_rng(args.seed, "cli", "prompt")
     prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
@@ -142,6 +163,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hardware=args.hardware,
         num_layers=args.num_layers,
         seed=args.seed,
+        num_gpus=args.num_gpus,
+        placement=args.placement,
         max_batch_size=args.max_batch_size,
     )
     arrival_times = None
@@ -158,14 +181,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report = serving.serve_trace(trace)
+    topology = "" if args.num_gpus == 1 else f", {args.num_gpus} GPUs ({args.placement})"
     print(
         format_table(
             report.per_request_rows(),
             title=f"serving report: {args.strategy} on {args.model} @ "
-            f"{args.cache_ratio:.0%} cache, batch<={args.max_batch_size}",
+            f"{args.cache_ratio:.0%} cache, batch<={args.max_batch_size}{topology}",
         )
     )
     print(format_table([report.summary()], title="aggregate"))
+    if args.num_gpus > 1:
+        cache = serving.engine.runtime.cache
+        device_rows = [
+            {
+                "device": device,
+                "hit_rate": stats.hit_rate,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+            }
+            for device, stats in enumerate(cache.per_device_stats())
+        ]
+        print(format_table(device_rows, title="per-device cache"))
     return 0
 
 

@@ -68,6 +68,7 @@ def execute_plan(
     oracle: LayerCostOracle,
     start_time: float,
     external_arrivals: dict[tuple[int, int], float] | None = None,
+    device: int = 0,
 ) -> LayerExecutionResult:
     """Execute a validated plan, reserving real timeline intervals.
 
@@ -86,6 +87,11 @@ def execute_plan(
         Completion times of in-flight transfers issued by earlier
         layers' prefetches, keyed by ``(layer, expert)``. A GPU task for
         such an expert waits for its arrival.
+    device:
+        GPU device this plan is bound to: its compute tasks reserve on
+        ``clock.gpus[device]`` and its transfers on that device's PCIe
+        link. CPU tasks always run on the shared CPU timeline, so
+        multi-device plans executed in sequence serialise there.
 
     Returns
     -------
@@ -96,12 +102,14 @@ def execute_plan(
         raise SchedulingError(f"start_time must be non-negative, got {start_time}")
     arrivals = dict(external_arrivals or {})
     records: list[TaskRecord] = []
+    gpu_timeline = clock.gpu_timeline(device)
+    pcie_timeline = clock.pcie_timeline(device)
 
     # --- PCIe: on-demand transfers, in plan order ----------------------
     transfer_end = start_time
     for transfer in plan.transfers:
         duration = oracle.transfer()
-        start, finish = clock.pcie.reserve(
+        start, finish = pcie_timeline.reserve(
             start_time, duration, f"xfer L{transfer.layer} E{transfer.expert}"
         )
         arrivals[(transfer.layer, transfer.expert)] = finish
@@ -121,7 +129,7 @@ def execute_plan(
             duration = oracle.gpu_compute(task.load)
             earliest = max(start_time, arrivals.get((task.layer, task.expert), start_time))
             kind = "compute"
-        start, finish = clock.gpu.reserve(
+        start, finish = gpu_timeline.reserve(
             earliest, duration, f"gpu L{task.layer} E{task.expert}"
         )
         compute_end = max(compute_end, finish)

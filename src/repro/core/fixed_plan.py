@@ -34,6 +34,7 @@ def fixed_mapping_plan(
     n_tokens: int,
     stage: str,
     oracle: LayerCostOracle,
+    include_shared: bool = True,
 ) -> ExecutionPlan:
     """kTransformers-style plan: no balancing, no transfer search.
 
@@ -41,13 +42,16 @@ def fixed_mapping_plan(
     - uncached experts -> CPU in expert-id order during decode,
       on-demand GPU loads during prefill (CPU computation is
       decode-only in kTransformers, paper Table I).
+
+    ``include_shared=False`` omits the fused shared-experts block — on
+    a multi-GPU platform only one device's plan carries it per layer.
     """
     cached = [(e, load) for e, load in activated if e in cached_experts]
     uncached = [(e, load) for e, load in activated if e not in cached_experts]
     cached.sort(key=lambda pair: (-pair[1], pair[0]))
 
     gpu_tasks: list[ComputeTask] = []
-    shared = _shared_task(layer, n_tokens, oracle, Device.GPU)
+    shared = _shared_task(layer, n_tokens, oracle, Device.GPU) if include_shared else None
     if shared is not None:
         gpu_tasks.append(shared)
     gpu_tasks.extend(
@@ -84,17 +88,20 @@ def gpu_only_plan(
     cached_experts: set[int],
     n_tokens: int,
     oracle: LayerCostOracle,
+    include_shared: bool = True,
 ) -> ExecutionPlan:
     """GPU-centric plan (AdapMoE / on-demand): misses are loaded, never
     CPU-computed. Cached experts run first (descending load) while the
-    PCIe link streams the missing experts in descending-load order."""
+    PCIe link streams the missing experts in descending-load order.
+    ``include_shared=False`` omits the fused shared-experts block (the
+    multi-GPU pipeline places it on one device per layer)."""
     cached = [(e, load) for e, load in activated if e in cached_experts]
     uncached = [(e, load) for e, load in activated if e not in cached_experts]
     cached.sort(key=lambda pair: (-pair[1], pair[0]))
     uncached.sort(key=lambda pair: (-pair[1], pair[0]))
 
     gpu_tasks: list[ComputeTask] = []
-    shared = _shared_task(layer, n_tokens, oracle, Device.GPU)
+    shared = _shared_task(layer, n_tokens, oracle, Device.GPU) if include_shared else None
     if shared is not None:
         gpu_tasks.append(shared)
     gpu_tasks.extend(ComputeTask(layer, e, load, Device.GPU) for e, load in cached)

@@ -127,6 +127,7 @@ class HybridScheduler:
         pcie_backlog: float = 0.0,
         include_shared: bool = True,
         inflight: dict[int, float] | None = None,
+        cpu_backlog: float = 0.0,
     ) -> ExecutionPlan:
         """Produce the minimal-makespan execution plan for one layer.
 
@@ -152,10 +153,24 @@ class HybridScheduler:
             Ready-time offsets (relative to the MoE phase start) of
             cached experts whose prefetch transfers are still in
             flight; the GPU cannot start them earlier.
+        cpu_backlog:
+            Seconds until the shared CPU frees up relative to the MoE
+            phase start. Zero on a single-GPU platform (the layer
+            barrier drains the CPU); on a multi-GPU platform earlier
+            devices' CPU-fallback work queues ahead, and this offset is
+            how each device's planner arbitrates its own CPU fallback
+            against the fleet-shared CPU (the per-device min-latency
+            rule).
         """
         oracle = self._oracle_factory(n_tokens)
         best = self._best_simulation(
-            activated, cached_experts, oracle, pcie_backlog, include_shared, inflight
+            activated,
+            cached_experts,
+            oracle,
+            pcie_backlog,
+            include_shared,
+            inflight,
+            cpu_backlog=cpu_backlog,
         )
         return self._materialise(layer, n_tokens, best, oracle, include_shared)
 
@@ -168,6 +183,7 @@ class HybridScheduler:
         include_shared: bool = True,
         quick: bool = False,
         inflight: dict[int, float] | None = None,
+        cpu_backlog: float = 0.0,
     ) -> float:
         """Estimated makespan of the best allocation (no plan object).
 
@@ -183,6 +199,7 @@ class HybridScheduler:
             include_shared,
             inflight,
             force_quick=quick,
+            cpu_backlog=cpu_backlog,
         )
         return best.makespan
 
@@ -212,9 +229,12 @@ class HybridScheduler:
         include_shared: bool,
         inflight: dict[int, float] | None = None,
         force_quick: bool = False,
+        cpu_backlog: float = 0.0,
     ) -> SimulationResult:
         if pcie_backlog < 0:
             raise SchedulingError(f"pcie_backlog must be non-negative, got {pcie_backlog}")
+        if cpu_backlog < 0:
+            raise SchedulingError(f"cpu_backlog must be non-negative, got {cpu_backlog}")
         loads = dict(activated)
         if len(loads) != len(activated):
             raise SchedulingError("duplicate expert ids in activated list")
@@ -230,7 +250,14 @@ class HybridScheduler:
         best: SimulationResult | None = None
         for k in self._candidate_transfer_counts(len(uncached), force_quick):
             result = self._simulate(
-                loads, cached_experts, oracle, k, pcie_backlog, include_shared, inflight
+                loads,
+                cached_experts,
+                oracle,
+                k,
+                pcie_backlog,
+                include_shared,
+                inflight,
+                cpu_backlog=cpu_backlog,
             )
             better = best is None or result.makespan < best.makespan - 1e-15
             tie_fewer_transfers = (
@@ -255,6 +282,7 @@ class HybridScheduler:
         pcie_backlog: float,
         include_shared: bool,
         inflight: dict[int, float] | None = None,
+        cpu_backlog: float = 0.0,
     ) -> SimulationResult:
         """Fill the three timelines for one transfer allocation.
 
@@ -299,7 +327,7 @@ class HybridScheduler:
 
         gpu_pool: list[int] = list(cached_desc)  # descending load
         arrival_idx = 0
-        t_cpu = 0.0
+        t_cpu = cpu_backlog  # shared-CPU work of earlier devices queues ahead
         cpu_idx = 0
         cpu_finished = False
 
@@ -396,7 +424,11 @@ class HybridScheduler:
                 )
                 t_cpu += duration
 
-        makespan = max(t_gpu, t_cpu)
+        # The CPU contributes to the makespan only through tasks of this
+        # layer — a pre-existing backlog with no CPU work here is other
+        # devices' problem, not this plan's.
+        cpu_end = cpu_order[-1].finish if cpu_order else 0.0
+        makespan = max(t_gpu, cpu_end)
         return SimulationResult(
             makespan=makespan,
             transfers=list(transfer_list),

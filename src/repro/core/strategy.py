@@ -23,8 +23,8 @@ All (HybriMoE)                   all True
 from __future__ import annotations
 
 from repro.cache.lfu import LFUPolicy
-from repro.cache.manager import ExpertCache
 from repro.cache.mrs import MRSPolicy
+from repro.cache.sharded import CacheSpec
 from repro.core.fixed_plan import fixed_mapping_plan
 from repro.core.prefetch import ImpactDrivenPrefetcher, PredictedLayer
 from repro.core.tasks import ExecutionPlan
@@ -75,26 +75,27 @@ class HybriMoEStrategy(Strategy):
                 confidence_decay=runtime.config.prefetch_confidence_decay,
             )
 
-    def build_cache(self) -> ExpertCache:
+    def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
         capacity = runtime.capacity
         ranking = runtime.frequency_ranking()
         if self.caching:
-            policy = MRSPolicy(
-                alpha=runtime.config.mrs_alpha,
-                top_p=2 * runtime.model_config.num_activated_experts,
-            )
-            # Prime MRS priorities from the warmup phase so the first
-            # eviction decisions already reflect observed scores — the
-            # paper's warmup collects exactly this signal (§IV-A).
-            clock = 0
-            for step in runtime.warmup_trace.steps:
-                for routing in step.layers:
-                    clock += 1
-                    policy.on_scores(routing.layer, routing.mean_scores, clock)
-            cache = ExpertCache(capacity, policy)
-            cache.warm_fill(ranking)
-            return cache
+            def primed_mrs() -> MRSPolicy:
+                policy = MRSPolicy(
+                    alpha=runtime.config.mrs_alpha,
+                    top_p=2 * runtime.model_config.num_activated_experts,
+                )
+                # Prime MRS priorities from the warmup phase so the first
+                # eviction decisions already reflect observed scores — the
+                # paper's warmup collects exactly this signal (§IV-A).
+                clock = 0
+                for step in runtime.warmup_trace.steps:
+                    for routing in step.layers:
+                        clock += 1
+                        policy.on_scores(routing.layer, routing.mean_scores, clock)
+                return policy
+
+            return CacheSpec(capacity, primed_mrs, warm=ranking)
         if self.prefetching:
             # Static pinning plus a small scratch ring where prefetched
             # experts land before use. Like the untracked staging buffers
@@ -102,9 +103,9 @@ class HybriMoEStrategy(Strategy):
             # charged against the expert-cache budget.
             k = runtime.model_config.num_activated_experts
             scratch = max(1, 2 * k * runtime.config.prefetch_lookahead)
-            return ExpertCache(scratch, LFUPolicy(), pinned=ranking[:capacity])
+            return CacheSpec(scratch, LFUPolicy, pinned=ranking[:capacity])
         # Static frequency pinning (the kTransformers cache behaviour).
-        return ExpertCache(0, LFUPolicy(), pinned=ranking[:capacity])
+        return CacheSpec(0, LFUPolicy, pinned=ranking[:capacity])
 
     # ------------------------------------------------------------------
     def observe_scores(self, ctx: LayerContext) -> None:
@@ -120,7 +121,9 @@ class HybriMoEStrategy(Strategy):
                 cached_experts=set(ctx.cached_experts),
                 n_tokens=ctx.n_tokens,
                 pcie_backlog=ctx.pcie_backlog,
+                include_shared=ctx.include_shared,
                 inflight=ctx.inflight_dict(),
+                cpu_backlog=ctx.cpu_backlog,
             )
         return fixed_mapping_plan(
             layer=ctx.layer,
@@ -129,6 +132,7 @@ class HybriMoEStrategy(Strategy):
             n_tokens=ctx.n_tokens,
             stage=ctx.stage,
             oracle=runtime.estimated_oracle(ctx.n_tokens),
+            include_shared=ctx.include_shared,
         )
 
     def after_layer(self, ctx: LayerContext, plan: ExecutionPlan) -> None:
@@ -162,7 +166,10 @@ class HybriMoEStrategy(Strategy):
         """
         runtime = self._runtime()
         cache = runtime.cache
-        if runtime.clock.pcie.available_at > ctx.moe_start:
+        # Refills ride this device's own host-to-device link (device 0
+        # on the unsharded single-GPU platform).
+        link = runtime.clock.pcie_timeline(ctx.device_id)
+        if link.available_at > ctx.moe_start:
             return
         shape = runtime.model_config.routed_expert_shape
         scores = ctx.router.mean_scores()
@@ -175,7 +182,7 @@ class HybriMoEStrategy(Strategy):
             if not cache.would_admit(key):
                 continue
             duration = runtime.cost_actual.transfer_time(shape)
-            _, finish = runtime.clock.pcie.reserve(
+            _, finish = link.reserve(
                 ctx.moe_start, duration, f"refill L{task.layer} E{task.expert}"
             )
             runtime.arrivals[key] = finish

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.manager import ExpertCache
+from repro.cache.placement import available_placements, make_placement
+from repro.cache.sharded import ShardedCacheManager
 from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
 from repro.core.tasks import LayerCostOracle
 from repro.engine.metrics import GenerationResult, StepMetrics
@@ -70,6 +72,23 @@ class EngineConfig:
         Averaging coefficient of the MRS cache policy (eq. 3).
     validate_plans:
         Validate every plan against routing/cache state (cheap; keep on).
+    num_gpus:
+        Simulated GPU devices. With 1 (the paper's testbed) the engine
+        runs the historical single-device path; with more, the expert
+        cache shards across devices (one :class:`ExpertCache` each, the
+        aggregate ``cache_ratio`` budget split evenly) and the pipeline
+        dispatches each expert to its home device.
+    placement:
+        Expert-placement policy routing keys to home devices when the
+        cache is sharded: ``"round_robin"`` (by expert id),
+        ``"layer_striped"`` (by layer) or ``"load_aware"`` (sticky
+        least-loaded).
+    sharded_cache:
+        Force (True) or forbid (False) the sharded cache machinery;
+        ``None`` picks it automatically (sharded iff ``num_gpus > 1``).
+        ``sharded_cache=True`` with one GPU runs the full sharding path
+        on a single shard — bit-identical to the unsharded engine, the
+        property the multi-GPU equivalence tests enforce.
     """
 
     cache_ratio: float = 0.5
@@ -83,10 +102,22 @@ class EngineConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     mrs_alpha: float = 0.7
     validate_plans: bool = True
+    num_gpus: int = 1
+    placement: str = "round_robin"
+    sharded_cache: bool | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cache_ratio <= 1.0:
             raise ConfigError(f"cache_ratio must be in [0, 1], got {self.cache_ratio}")
+        if self.num_gpus < 1:
+            raise ConfigError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.placement not in available_placements():
+            known = ", ".join(available_placements())
+            raise ConfigError(
+                f"unknown placement {self.placement!r} (known: {known})"
+            )
+        if self.sharded_cache is False and self.num_gpus > 1:
+            raise ConfigError("sharded_cache=False requires num_gpus=1")
         if self.noise_sigma < 0:
             raise ConfigError(f"noise_sigma must be non-negative, got {self.noise_sigma}")
         if self.prefetch_lookahead < 1:
@@ -120,11 +151,26 @@ class EngineRuntime:
         self.config = config
         self.cost_actual = cost_actual
         self.cost_estimated = cost_estimated
-        self.clock = ThreeResourceClock()
+        self.clock = ThreeResourceClock(config.num_gpus)
         self.arrivals: dict[tuple[int, int], float] = {}
-        self.cache: ExpertCache | None = None
+        self.cache: ExpertCache | ShardedCacheManager | None = None
         self.scheduler = HybridScheduler(self.estimated_oracle, config.scheduler)
         self._warmup_trace: RoutingTrace | None = None
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Simulated GPU device count."""
+        return self.config.num_gpus
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the cache/pipeline run the device-sharded path."""
+        if self.config.sharded_cache is not None:
+            return self.config.sharded_cache
+        return self.config.num_gpus > 1
 
     # ------------------------------------------------------------------
     # oracles
@@ -215,7 +261,11 @@ class InferenceEngine:
         self.strategy = strategy
         self.runtime = EngineRuntime(model, self.config, cost_actual, cost_estimated)
         strategy.bind(self.runtime)
-        self.runtime.cache = strategy.build_cache()
+        if self.runtime.sharded:
+            placement = make_placement(self.config.placement, self.config.num_gpus)
+            self.runtime.cache = strategy.cache_spec().build_sharded(placement)
+        else:
+            self.runtime.cache = strategy.build_cache()
         self.runtime.cache.validate()
         #: Batch-capable step executor; the serving layer drives it
         #: directly with many concurrent sequence states.

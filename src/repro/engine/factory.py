@@ -61,6 +61,8 @@ def make_engine(
     hardware: str | HardwareProfile = "paper",
     num_layers: int | None = None,
     seed: int = 0,
+    num_gpus: int = 1,
+    placement: str = "round_robin",
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
@@ -82,8 +84,16 @@ def make_engine(
         Optional layer-count override for fast runs.
     seed:
         Root seed for the model and engine workloads.
+    num_gpus:
+        Simulated GPU devices; above 1 the expert cache shards across
+        devices (ignored when ``engine_config`` given).
+    placement:
+        Expert-placement policy for the sharded cache —
+        ``"round_robin"``, ``"layer_striped"`` or ``"load_aware"``
+        (ignored when ``engine_config`` given).
     engine_config:
-        Full engine configuration; overrides ``cache_ratio``/``seed``.
+        Full engine configuration; overrides ``cache_ratio``/``seed``/
+        ``num_gpus``/``placement``.
     strategy_kwargs / model_kwargs:
         Extra constructor arguments for strategy / functional model.
     """
@@ -97,7 +107,12 @@ def make_engine(
     if isinstance(hardware, str):
         hardware = get_hardware_preset(hardware)
     if engine_config is None:
-        engine_config = EngineConfig(cache_ratio=cache_ratio, seed=seed)
+        engine_config = EngineConfig(
+            cache_ratio=cache_ratio,
+            seed=seed,
+            num_gpus=num_gpus,
+            placement=placement,
+        )
     return InferenceEngine(model, strategy, hardware, engine_config)
 
 
@@ -108,6 +123,8 @@ def make_serving_engine(
     hardware: str | HardwareProfile = "paper",
     num_layers: int | None = None,
     seed: int = 0,
+    num_gpus: int = 1,
+    placement: str = "round_robin",
     max_batch_size: int = 8,
     serving_config=None,
     engine_config: EngineConfig | None = None,
@@ -118,7 +135,9 @@ def make_serving_engine(
 
     Builds a fresh :func:`make_engine` (cold clock, warm cache) and
     wraps it in a :class:`~repro.serving.engine.ServingEngine`.
-    ``serving_config`` overrides ``max_batch_size`` when given.
+    ``serving_config`` overrides ``max_batch_size`` when given;
+    ``num_gpus``/``placement`` configure the sharded expert cache and
+    device-aware dispatch exactly as in :func:`make_engine`.
     """
     # Imported lazily: repro.serving builds on repro.engine, so a
     # top-level import here would be circular.
@@ -132,6 +151,8 @@ def make_serving_engine(
         hardware=hardware,
         num_layers=num_layers,
         seed=seed,
+        num_gpus=num_gpus,
+        placement=placement,
         engine_config=engine_config,
         strategy_kwargs=strategy_kwargs,
         model_kwargs=model_kwargs,

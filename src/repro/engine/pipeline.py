@@ -17,6 +17,21 @@ plan search, transfers, prefetching — sees the merged batch:
 With a single sequence the pipeline performs the same numpy operations
 in the same order as the historical ``_run_step``, so hidden states are
 bit-identical — the property the serving equivalence tests pin down.
+
+**Multi-GPU dispatch.** When the engine runs with a sharded cache
+(``num_gpus > 1``, or ``sharded_cache=True``), each layer's activated
+experts are partitioned by their home device (the shard that holds or
+would cache them) and the strategy plans **one device group at a
+time**, in ascending device order: device ``g``'s plan sees only its
+own experts and shard residency, its own PCIe link backlog, and the
+shared CPU's accumulated backlog from earlier groups — the per-device
+arbitration of the paper's min-latency CPU-fallback rule. Attention
+and the fused shared-experts block stay on one device per step/layer
+(attention on device 0, shared experts on the lowest-indexed device
+with routed work), and the layer barrier waits for every device. With
+one device the partition is a single group and the dispatch reduces
+exactly to the single-GPU path, which is what makes the 1-GPU sharded
+configuration bit-identical to the unsharded engine.
 """
 
 from __future__ import annotations
@@ -27,9 +42,10 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.cache.manager import ExpertCache
+from repro.cache.sharded import ShardedCacheManager
 from repro.core.executor import execute_plan
 from repro.core.prefetch import PredictedLayer
-from repro.core.tasks import ExecutionPlan
+from repro.core.tasks import ComputeTask
 from repro.engine.metrics import StepMetrics
 from repro.engine.strategy_base import LayerContext, Strategy
 from repro.errors import ConfigError
@@ -92,7 +108,8 @@ class StepPipeline:
         self.runtime = runtime
 
     # ------------------------------------------------------------------
-    def _cache(self) -> ExpertCache:
+    def _cache(self) -> ExpertCache | ShardedCacheManager:
+        """The engine's bound expert cache (sharded on a GPU fleet)."""
         cache = self.runtime.cache
         if cache is None:
             raise ConfigError("engine runtime has no cache bound")
@@ -100,6 +117,7 @@ class StepPipeline:
 
     @property
     def config(self):
+        """The engine configuration (knobs shared by every step)."""
         return self.runtime.config
 
     # ------------------------------------------------------------------
@@ -156,7 +174,8 @@ class StepPipeline:
         d_model = cfg.routed_expert_shape.d_model
 
         step_start = max(clock.compute_frontier, not_before)
-        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+        stats_before = cache.stats  # one snapshot: aggregated on sharded caches
+        hits_before, misses_before = stats_before.hits, stats_before.misses
 
         blocks = [
             model.prepare_inputs(tokens, state)
@@ -216,24 +235,28 @@ class StepPipeline:
                 inflight_offsets=inflight_offsets,
             )
             self.strategy.observe_scores(ctx)
-            plan = self.strategy.plan_layer(ctx)
-            if self.config.validate_plans:
-                plan.validate(dict(activated), set(cached))
+            if runtime.sharded:
+                routed_tasks = self._run_sharded_layer(ctx)
+            else:
+                plan = self.strategy.plan_layer(ctx)
+                if self.config.validate_plans:
+                    plan.validate(dict(activated), set(cached))
 
-            used_keys = {(layer, e) for e, _ in activated if e in cached}
-            used_keys.update((layer, t.expert) for t in plan.transfers)
-            cache.lock(used_keys)
-            execute_plan(
-                plan,
-                clock,
-                runtime.actual_oracle(n_tokens),
-                attn_end,
-                runtime.arrivals,
-            )
-            self.strategy.after_layer(ctx, plan)
-            cache.unlock_all()
+                used_keys = {(layer, e) for e, _ in activated if e in cached}
+                used_keys.update((layer, t.expert) for t in plan.transfers)
+                cache.lock(used_keys)
+                execute_plan(
+                    plan,
+                    clock,
+                    runtime.actual_oracle(n_tokens),
+                    attn_end,
+                    runtime.arrivals,
+                )
+                self.strategy.after_layer(ctx, plan)
+                cache.unlock_all()
+                routed_tasks = plan.routed_compute_tasks()
 
-            routed_out = self._combine_outputs(z, layer, router, plan)
+            routed_out = self._combine_outputs(z, layer, router, routed_tasks)
             shared_out = model.shared_forward(z, layer)
             x = h + model.residual_scale * (shared_out + routed_out)
 
@@ -243,13 +266,14 @@ class StepPipeline:
             state.position += size
         step_end = clock.compute_frontier
         utilization = clock.utilization_summary(step_start, step_end)
+        stats_after = cache.stats
         metrics = StepMetrics(
             stage=stage,
             n_tokens=n_tokens,
             start=step_start,
             end=step_end,
-            hits=cache.stats.hits - hits_before,
-            misses=cache.stats.misses - misses_before,
+            hits=stats_after.hits - hits_before,
+            misses=stats_after.misses - misses_before,
             utilization=utilization,
             batch_size=batch_size,
         )
@@ -260,22 +284,104 @@ class StepPipeline:
         return BatchStepResult(hidden=hidden, metrics=metrics)
 
     # ------------------------------------------------------------------
+    def _run_sharded_layer(self, ctx: LayerContext) -> list[ComputeTask]:
+        """Plan and execute one layer's experts across the GPU fleet.
+
+        Partitions the activated experts by home device, then walks the
+        device groups in ascending order. Each group is planned with
+        **that device's** shard residency, PCIe-link backlog and the
+        shared CPU's accumulated backlog (earlier groups' CPU-fallback
+        work queues ahead — the per-device min-latency arbitration),
+        executed on that device's timelines, and handed back to the
+        strategy for cache maintenance. Exactly one group per layer —
+        the lowest-indexed device with routed work — carries the fused
+        shared-experts block.
+
+        Returns the routed compute tasks of every device plan, for the
+        numerical recombination step.
+        """
+        runtime = self.runtime
+        clock = runtime.clock
+        manager = self._cache()
+        layer = ctx.layer
+
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for expert, load in ctx.activated:
+            device = manager.device_of((layer, expert))
+            groups.setdefault(device, []).append((expert, load))
+        if not groups:
+            return []
+        shared_device = min(groups)
+
+        routed_tasks: list[ComputeTask] = []
+        for device in sorted(groups):
+            group = tuple(groups[device])
+            cached_dev = frozenset(manager.device_experts_of_layer(layer, device))
+            pcie_backlog = max(
+                0.0, clock.pcie_timeline(device).available_at - ctx.moe_start
+            )
+            cpu_backlog = max(0.0, clock.cpu.available_at - ctx.moe_start)
+            inflight_dev = tuple(
+                (expert, offset)
+                for expert, _ in group
+                if expert in cached_dev
+                and (
+                    offset := runtime.arrivals.get((layer, expert), 0.0)
+                    - ctx.moe_start
+                )
+                > 0.0
+            )
+            dev_ctx = LayerContext(
+                layer=layer,
+                stage=ctx.stage,
+                n_tokens=ctx.n_tokens,
+                router=ctx.router,
+                activated=group,
+                cached_experts=cached_dev,
+                moe_start=ctx.moe_start,
+                pcie_backlog=pcie_backlog,
+                inflight_offsets=inflight_dev,
+                device_id=device,
+                include_shared=device == shared_device,
+                cpu_backlog=cpu_backlog,
+            )
+            plan = self.strategy.plan_layer(dev_ctx)
+            if self.config.validate_plans:
+                plan.validate(dict(group), set(cached_dev))
+
+            used_keys = {(layer, e) for e, _ in group if e in cached_dev}
+            used_keys.update((layer, t.expert) for t in plan.transfers)
+            manager.lock(used_keys)
+            execute_plan(
+                plan,
+                clock,
+                runtime.actual_oracle(ctx.n_tokens),
+                ctx.moe_start,
+                runtime.arrivals,
+                device=device,
+            )
+            self.strategy.after_layer(dev_ctx, plan)
+            manager.unlock_all()
+            routed_tasks.extend(plan.routed_compute_tasks())
+        return routed_tasks
+
     def _combine_outputs(
         self,
         z: np.ndarray,
         layer: int,
         router: RouterOutput,
-        plan: ExecutionPlan,
+        routed_tasks: Sequence[ComputeTask],
     ) -> np.ndarray:
         """Recombine per-task expert outputs (ascending expert id).
 
         Matches :meth:`ReferenceMoEModel.moe_forward` accumulation order
         so scheduled execution is numerically identical to the
-        reference forward pass.
+        reference forward pass — regardless of which device (or how
+        many devices) computed each expert.
         """
         out = np.zeros_like(z)
         model = self.model
-        for task in sorted(plan.routed_compute_tasks(), key=lambda t: t.expert):
+        for task in sorted(routed_tasks, key=lambda t: t.expert):
             rows = router.tokens_for_expert(task.expert)
             weights = router.weights_for_expert(task.expert)
             expert_out = model.expert_forward(z[rows], layer, task.expert)
@@ -287,7 +393,11 @@ class StepPipeline:
 
         Predictions pool gate scores over every token row of the fused
         batch, so the prefetcher optimises for the *merged* near-future
-        routing of all concurrent requests.
+        routing of all concurrent requests. On a sharded platform each
+        granted prefetch rides its expert's **home device** link and
+        lands in that device's shard; the PCIe budget is probed against
+        the least-backlogged link (optimistic — per-key contention is
+        re-checked implicitly when the transfer queues on its link).
         """
         runtime = self.runtime
         cache = self._cache()
@@ -319,7 +429,8 @@ class StepPipeline:
         # link is saturated, prefetching only adds contention.
         layer_span = (runtime.clock.compute_frontier - ctx.moe_start) + attn_est
         backlog = max(
-            0.0, runtime.clock.pcie.available_at - runtime.clock.compute_frontier
+            0.0,
+            runtime.clock.min_pcie_available_at - runtime.clock.compute_frontier,
         )
         budget = self.config.prefetch_lookahead * max(layer_span, attn_est) - backlog
         if budget <= 0:
@@ -335,8 +446,17 @@ class StepPipeline:
             key = (future_layer, expert)
             if key in cache:
                 continue
+            if runtime.sharded:
+                device = cache.device_of(key)
+                # A zero-capacity home shard (aggregate budget smaller
+                # than the fleet) can never admit the expert — paying
+                # for the transfer would be pure PCIe waste.
+                if cache.shards[device].capacity == 0:
+                    continue
+            else:
+                device = 0
             duration = runtime.cost_actual.transfer_time(cfg.routed_expert_shape)
-            _, finish = runtime.clock.pcie.reserve(
+            _, finish = runtime.clock.pcie_timeline(device).reserve(
                 ctx.moe_start, duration, f"prefetch L{future_layer} E{expert}"
             )
             runtime.arrivals[key] = finish

@@ -5,8 +5,11 @@ Every evaluated framework (HybriMoE and the four baselines) implements
 object, plan validation/execution, metric collection — and delegates
 three decisions to the strategy:
 
-- :meth:`Strategy.build_cache` — policy, capacity split, pinning;
-- :meth:`Strategy.plan_layer` — the per-layer execution plan;
+- :meth:`Strategy.cache_spec` — policy, capacity, pinning and warm
+  fill, as a declarative :class:`~repro.cache.sharded.CacheSpec` the
+  engine materialises unsharded (one GPU) or sharded (N GPUs);
+- :meth:`Strategy.plan_layer` — the per-layer execution plan, invoked
+  once per device group on a multi-GPU platform;
 - :meth:`Strategy.prefetch_requests` — which experts of future layers
   to pull over PCIe during idle windows.
 """
@@ -18,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.cache.manager import ExpertCache
+from repro.cache.sharded import CacheSpec
 from repro.core.prefetch import PredictedLayer
 from repro.core.tasks import ExecutionPlan
 from repro.models.gating import RouterOutput
@@ -30,7 +34,15 @@ __all__ = ["LayerContext", "Strategy"]
 
 @dataclass(frozen=True)
 class LayerContext:
-    """Everything a strategy may consult when planning one layer."""
+    """Everything a strategy may consult when planning one layer.
+
+    On a single-GPU platform there is one context per layer. On a
+    multi-GPU platform the pipeline partitions the layer's activated
+    experts by home device and hands the strategy one context per
+    device group — ``activated``/``cached_experts`` then cover only
+    that device's slice, ``device_id`` names the device, and exactly
+    one group per layer carries ``include_shared=True``.
+    """
 
     layer: int
     stage: str  # "prefill" | "decode"
@@ -43,6 +55,15 @@ class LayerContext:
     #: Ready-time offsets (relative to moe_start) of cached experts
     #: whose prefetch transfers are still in flight.
     inflight_offsets: tuple[tuple[int, float], ...] = ()
+    #: GPU device this context's experts are homed on (0 unsharded).
+    device_id: int = 0
+    #: Whether this device's plan carries the fused shared-experts
+    #: block (exactly one device per layer does).
+    include_shared: bool = True
+    #: Seconds until the fleet-shared CPU frees up, relative to
+    #: ``moe_start`` (earlier devices' CPU fallback queues ahead;
+    #: always 0 on a single-GPU platform thanks to the layer barrier).
+    cpu_backlog: float = 0.0
 
     def activated_dict(self) -> dict[int, int]:
         return dict(self.activated)
@@ -71,9 +92,22 @@ class Strategy(ABC):
     def setup(self) -> None:
         """Hook for warmup-trace profiling, pinning decisions, etc."""
 
-    @abstractmethod
+    def cache_spec(self) -> CacheSpec:
+        """Declarative recipe of the expert cache this strategy manages.
+
+        The engine materialises the spec: unsharded on one GPU
+        (:meth:`CacheSpec.build`), or as per-device shards behind a
+        :class:`~repro.cache.sharded.ShardedCacheManager` when the
+        platform has several (:meth:`CacheSpec.build_sharded`).
+        """
+        raise NotImplementedError(
+            f"strategy {self.name!r} defines neither cache_spec() nor "
+            "build_cache()"
+        )
+
     def build_cache(self) -> ExpertCache:
-        """Create the expert cache this strategy manages."""
+        """Create the unsharded expert cache (materialises the spec)."""
+        return self.cache_spec().build()
 
     # ------------------------------------------------------------------
     # per-layer behaviour

@@ -1,27 +1,38 @@
-"""Three-resource discrete-event clock (GPU, CPU, PCIe).
+"""Multi-resource discrete-event clock (N GPUs, CPU, N PCIe links).
 
-:class:`ThreeResourceClock` bundles the three serial resources of the
-hybrid platform and provides the barrier semantics the engine needs:
+:class:`ThreeResourceClock` bundles the serial resources of the hybrid
+platform and provides the barrier semantics the engine needs:
 
-- a **layer barrier** waits for CPU and GPU compute to drain (the next
-  layer's attention consumes the MoE output), while PCIe transfers may
-  keep flowing past the barrier — exactly the overlap HybriMoE's
-  prefetcher exploits;
+- a **layer barrier** waits for CPU and every GPU's compute to drain
+  (the next layer's attention consumes the MoE output), while PCIe
+  transfers may keep flowing past the barrier — exactly the overlap
+  HybriMoE's prefetcher exploits;
 - utilisation accounting over arbitrary windows for the balance metrics
   reported in the experiments.
+
+Historically the clock modelled the paper's single-GPU testbed (one
+GPU, one CPU, one PCIe link — hence the class name, kept for
+compatibility). It now generalises to ``num_gpus`` devices, each with
+its **own compute timeline and its own host-to-device PCIe link** (the
+common topology of multi-GPU inference servers, where every card hangs
+off its own root-port lanes). The CPU remains a single shared resource.
+With ``num_gpus=1`` the clock is bit-identical to the historical
+three-resource behaviour: ``clock.gpu`` and ``clock.pcie`` alias device
+0's timelines and carry the original resource names.
 """
 
 from __future__ import annotations
 
 from enum import Enum
 
+from repro.errors import SimulationError
 from repro.hardware.device import ResourceTimeline
 
 __all__ = ["Resource", "ThreeResourceClock"]
 
 
 class Resource(str, Enum):
-    """The three serial resources of the hybrid platform."""
+    """The three resource kinds of the hybrid platform."""
 
     GPU = "gpu"
     CPU = "cpu"
@@ -29,47 +40,130 @@ class Resource(str, Enum):
 
 
 class ThreeResourceClock:
-    """Absolute-time ledger for GPU, CPU and PCIe timelines."""
+    """Absolute-time ledger for GPU, CPU and PCIe timelines.
 
-    def __init__(self) -> None:
-        self.gpu = ResourceTimeline("gpu")
+    Parameters
+    ----------
+    num_gpus:
+        Number of simulated GPU devices. Each device ``g`` owns two
+        timelines: ``gpus[g]`` (compute) and ``pcie_links[g]`` (its
+        host-to-device link). The CPU timeline is shared by all.
+    """
+
+    def __init__(self, num_gpus: int = 1) -> None:
+        if num_gpus < 1:
+            raise SimulationError(f"num_gpus must be >= 1, got {num_gpus}")
+        self.num_gpus = num_gpus
+        if num_gpus == 1:
+            # Historical single-device resource names, so labels and
+            # error messages are unchanged on the paper's testbed.
+            self.gpus = [ResourceTimeline("gpu")]
+            self.pcie_links = [ResourceTimeline("pcie")]
+        else:
+            self.gpus = [ResourceTimeline(f"gpu{g}") for g in range(num_gpus)]
+            self.pcie_links = [ResourceTimeline(f"pcie{g}") for g in range(num_gpus)]
         self.cpu = ResourceTimeline("cpu")
-        self.pcie = ResourceTimeline("pcie")
 
-    def timeline(self, resource: Resource) -> ResourceTimeline:
-        """The ledger of one resource."""
-        if resource == Resource.GPU:
-            return self.gpu
-        if resource == Resource.CPU:
-            return self.cpu
-        return self.pcie
+    # ------------------------------------------------------------------
+    # device accessors
+    # ------------------------------------------------------------------
+    @property
+    def gpu(self) -> ResourceTimeline:
+        """Device 0's compute timeline (the historical single GPU)."""
+        return self.gpus[0]
 
     @property
+    def pcie(self) -> ResourceTimeline:
+        """Device 0's PCIe link (the historical single link)."""
+        return self.pcie_links[0]
+
+    def gpu_timeline(self, device: int) -> ResourceTimeline:
+        """Compute timeline of GPU ``device``."""
+        self._check_device(device)
+        return self.gpus[device]
+
+    def pcie_timeline(self, device: int) -> ResourceTimeline:
+        """Host-to-device PCIe link of GPU ``device``."""
+        self._check_device(device)
+        return self.pcie_links[device]
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.num_gpus:
+            raise SimulationError(
+                f"device {device} out of range for {self.num_gpus} GPUs"
+            )
+
+    def timeline(self, resource: Resource, device: int = 0) -> ResourceTimeline:
+        """The ledger of one resource (GPU/PCIe resolve per ``device``)."""
+        if resource == Resource.GPU:
+            return self.gpu_timeline(device)
+        if resource == Resource.CPU:
+            return self.cpu
+        return self.pcie_timeline(device)
+
+    # ------------------------------------------------------------------
+    # frontiers
+    # ------------------------------------------------------------------
+    @property
     def compute_frontier(self) -> float:
-        """Earliest time both compute resources are free (layer barrier).
+        """Earliest time all compute resources are free (layer barrier).
 
         PCIe deliberately excluded: in-flight prefetch transfers overlap
-        the next layer's attention.
+        the next layer's attention. With multiple GPUs the barrier waits
+        for every device — the MoE outputs of all experts are needed
+        before the next layer's attention can run.
         """
-        return max(self.gpu.available_at, self.cpu.available_at)
+        return max(max(t.available_at for t in self.gpus), self.cpu.available_at)
 
     @property
     def frontier(self) -> float:
-        """Earliest time all three resources are free."""
-        return max(self.compute_frontier, self.pcie.available_at)
+        """Earliest time every resource (links included) is free."""
+        return max(
+            self.compute_frontier,
+            max(t.available_at for t in self.pcie_links),
+        )
 
+    @property
+    def min_pcie_available_at(self) -> float:
+        """Earliest time any PCIe link frees up (prefetch budget probe)."""
+        return min(t.available_at for t in self.pcie_links)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
     def utilization_summary(
         self, window_start: float, window_end: float
     ) -> dict[str, float]:
-        """Busy fractions per resource over a window."""
-        return {
-            "gpu": self.gpu.utilization(window_start, window_end),
+        """Busy fractions per resource over a window.
+
+        With one GPU the keys are the historical ``gpu``/``cpu``/``pcie``
+        triple. With ``num_gpus > 1`` the summary reports each device
+        (``gpu0``, ``pcie0``, ...) plus ``gpu`` and ``pcie`` aggregates
+        (mean across devices) so downstream consumers that average
+        "the" GPU utilisation keep working.
+        """
+        if self.num_gpus == 1:
+            return {
+                "gpu": self.gpu.utilization(window_start, window_end),
+                "cpu": self.cpu.utilization(window_start, window_end),
+                "pcie": self.pcie.utilization(window_start, window_end),
+            }
+        gpu_utils = [t.utilization(window_start, window_end) for t in self.gpus]
+        pcie_utils = [t.utilization(window_start, window_end) for t in self.pcie_links]
+        summary: dict[str, float] = {
+            "gpu": sum(gpu_utils) / len(gpu_utils),
             "cpu": self.cpu.utilization(window_start, window_end),
-            "pcie": self.pcie.utilization(window_start, window_end),
+            "pcie": sum(pcie_utils) / len(pcie_utils),
         }
+        for g, (gu, pu) in enumerate(zip(gpu_utils, pcie_utils)):
+            summary[f"gpu{g}"] = gu
+            summary[f"pcie{g}"] = pu
+        return summary
 
     def validate(self) -> None:
-        """Validate no-overlap invariants on all three timelines."""
-        self.gpu.validate()
+        """Validate no-overlap invariants on every timeline."""
+        for timeline in self.gpus:
+            timeline.validate()
         self.cpu.validate()
-        self.pcie.validate()
+        for timeline in self.pcie_links:
+            timeline.validate()

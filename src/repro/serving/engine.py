@@ -108,7 +108,8 @@ class ServingEngine:
         origin = engine.runtime.clock.compute_frontier
         cache = engine.runtime.cache
         assert cache is not None  # always bound by InferenceEngine.__init__
-        hits_before, misses_before = cache.stats.hits, cache.stats.misses
+        stats_start = cache.stats  # one snapshot: aggregated on sharded caches
+        hits_before, misses_before = stats_start.hits, stats_start.misses
         self._stats_baseline = (hits_before, misses_before)
         queue: deque[Request] = deque(pending)
         running: list[Request] = []
@@ -149,6 +150,7 @@ class ServingEngine:
                 if not request.is_finished and request.request_id in engine.states:
                     engine.states.pop(request.request_id)
 
+        final_stats = cache.stats
         return ServingReport(
             model_name=engine.model.config.name,
             strategy_name=engine.strategy.name,
@@ -157,8 +159,8 @@ class ServingEngine:
             requests=sorted(
                 (r.to_record() for r in finished), key=lambda r: r.request_id
             ),
-            total_hits=cache.stats.hits - hits_before,
-            total_misses=cache.stats.misses - misses_before,
+            total_hits=final_stats.hits - hits_before,
+            total_misses=final_stats.misses - misses_before,
         )
 
     def serve_trace(self, entries: Iterable[ArrivedWorkload]) -> ServingReport:
@@ -281,6 +283,7 @@ class ServingEngine:
         cache = self.engine.runtime.cache
         if request.result is not None and cache is not None:
             hits_before, misses_before = self._stats_baseline
-            request.result.total_hits = cache.stats.hits - hits_before
-            request.result.total_misses = cache.stats.misses - misses_before
+            stats_now = cache.stats
+            request.result.total_hits = stats_now.hits - hits_before
+            request.result.total_misses = stats_now.misses - misses_before
         self.engine.states.pop(request.request_id)

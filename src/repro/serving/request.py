@@ -110,6 +110,7 @@ class Request:
     # ------------------------------------------------------------------
     @property
     def prompt_len(self) -> int:
+        """Prompt length in tokens."""
         return int(self.prompt_tokens.size)
 
     @property
@@ -119,6 +120,7 @@ class Request:
 
     @property
     def is_finished(self) -> bool:
+        """Whether the request reached the FINISHED state."""
         return self.status is RequestStatus.FINISHED
 
     def to_record(self) -> RequestRecord:

@@ -1,0 +1,106 @@
+"""Expert-placement policies: routing, stickiness, determinism."""
+
+import pytest
+
+from repro.cache.placement import (
+    LayerStripedPlacement,
+    LoadAwarePlacement,
+    RoundRobinPlacement,
+    available_placements,
+    make_placement,
+)
+from repro.errors import CacheError
+
+
+class TestStaticPlacements:
+    def test_round_robin_stripes_by_expert(self):
+        placement = RoundRobinPlacement(4)
+        assert placement.assign((0, 0), [0, 0, 0, 0]) == 0
+        assert placement.assign((3, 5), [0, 0, 0, 0]) == 1
+        assert placement.assign((7, 11), [9, 9, 9, 9]) == 3
+
+    def test_layer_striped_keeps_layers_together(self):
+        placement = LayerStripedPlacement(3)
+        for expert in range(8):
+            assert placement.assign((4, expert), [0, 0, 0]) == 1
+
+    def test_static_placements_ignore_occupancy(self):
+        placement = RoundRobinPlacement(2)
+        assert placement.assign((0, 3), [100, 0]) == 1
+
+    def test_all_devices_reachable(self):
+        for name in available_placements():
+            placement = make_placement(name, 4)
+            occupancy = [0, 0, 0, 0]
+            devices = set()
+            for layer in range(8):
+                for expert in range(8):
+                    device = placement.assign((layer, expert), occupancy)
+                    occupancy[device] += 1
+                    devices.add(device)
+            assert devices == {0, 1, 2, 3}, name
+
+
+class TestLoadAwarePlacement:
+    def test_picks_least_loaded(self):
+        placement = LoadAwarePlacement(3)
+        assert placement.assign((0, 0), [4, 2, 7]) == 1
+
+    def test_tie_breaks_to_lowest_device(self):
+        placement = LoadAwarePlacement(3)
+        assert placement.assign((0, 0), [2, 2, 2]) == 0
+
+    def test_assignment_is_sticky(self):
+        placement = LoadAwarePlacement(2)
+        first = placement.assign((0, 0), [0, 5])
+        assert first == 0
+        # Occupancy flipped — the key keeps its original home.
+        assert placement.assign((0, 0), [50, 0]) == 0
+        assert placement.assignments == {(0, 0): 0}
+
+    def test_occupancy_arity_checked(self):
+        placement = LoadAwarePlacement(3)
+        with pytest.raises(CacheError):
+            placement.assign((0, 0), [1, 2])
+
+    def test_deterministic_across_instances(self):
+        """Identical (key, occupancy) sequences → identical assignments."""
+        sequence = [((layer, expert), [layer, expert, 0, 1]) for layer in range(6) for expert in range(6)]
+        a = LoadAwarePlacement(4)
+        b = LoadAwarePlacement(4)
+        for key, occupancy in sequence:
+            assert a.assign(key, occupancy) == b.assign(key, occupancy)
+        assert a.assignments == b.assignments
+
+    def test_preview_does_not_commit(self):
+        placement = LoadAwarePlacement(2)
+        assert placement.preview((0, 0), [3, 1]) == 1
+        assert placement.assignments == {}
+        # A later commit is free to land elsewhere.
+        assert placement.assign((0, 0), [0, 5]) == 0
+
+    def test_spreads_under_constant_occupancy(self):
+        """Capacity-0 shards: occupancy never moves, assignment counts
+        must still spread new keys across the fleet."""
+        placement = LoadAwarePlacement(3)
+        devices = [placement.assign((0, e), [2, 2, 2]) for e in range(6)]
+        assert devices == [0, 1, 2, 0, 1, 2]
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert available_placements() == [
+            "layer_striped",
+            "load_aware",
+            "round_robin",
+        ]
+        for name in available_placements():
+            assert make_placement(name, 2).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(CacheError):
+            make_placement("random", 2)
+
+    def test_device_count_validated(self):
+        with pytest.raises(CacheError):
+            make_placement("round_robin", 0)

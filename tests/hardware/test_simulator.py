@@ -1,7 +1,8 @@
-"""Three-resource clock semantics."""
+"""Three-resource clock semantics (single- and multi-GPU)."""
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.hardware.simulator import Resource, ThreeResourceClock
 
 
@@ -31,4 +32,45 @@ class TestClock:
     def test_validate_passes_on_clean_clock(self):
         clock = ThreeResourceClock()
         clock.gpu.reserve(0.0, 1.0, "a")
+        clock.validate()
+
+
+class TestMultiGpuClock:
+    def test_device_count_validated(self):
+        with pytest.raises(SimulationError):
+            ThreeResourceClock(num_gpus=0)
+
+    def test_per_device_timelines(self):
+        clock = ThreeResourceClock(num_gpus=3)
+        assert len(clock.gpus) == len(clock.pcie_links) == 3
+        assert clock.gpu is clock.gpus[0]
+        assert clock.pcie is clock.pcie_links[0]
+        assert clock.gpu_timeline(2) is clock.gpus[2]
+        assert clock.pcie_timeline(1) is clock.pcie_links[1]
+        with pytest.raises(SimulationError):
+            clock.gpu_timeline(3)
+
+    def test_barrier_waits_for_every_device(self):
+        clock = ThreeResourceClock(num_gpus=2)
+        clock.gpus[0].reserve(0.0, 1.0, "g0")
+        clock.gpus[1].reserve(0.0, 3.0, "g1")
+        clock.cpu.reserve(0.0, 2.0, "c")
+        clock.pcie_links[1].reserve(0.0, 9.0, "x1")
+        assert clock.compute_frontier == pytest.approx(3.0)
+        assert clock.frontier == pytest.approx(9.0)
+        assert clock.min_pcie_available_at == pytest.approx(0.0)
+
+    def test_utilization_reports_per_device(self):
+        clock = ThreeResourceClock(num_gpus=2)
+        clock.gpus[0].reserve(0.0, 2.0, "g0")
+        summary = clock.utilization_summary(0.0, 2.0)
+        assert summary["gpu0"] == pytest.approx(1.0)
+        assert summary["gpu1"] == 0.0
+        assert summary["gpu"] == pytest.approx(0.5)  # mean across devices
+        assert {"cpu", "pcie", "pcie0", "pcie1"} <= set(summary)
+
+    def test_validate_covers_all_devices(self):
+        clock = ThreeResourceClock(num_gpus=4)
+        for g, timeline in enumerate(clock.gpus):
+            timeline.reserve(0.0, 0.5 + g, f"g{g}")
         clock.validate()
