@@ -1,0 +1,323 @@
+"""Planner fast-path perf harness with a tracked trajectory (PR 3).
+
+Measures the planner three ways and writes ``BENCH_planner.json`` at
+the repo root so the perf trajectory is tracked across PRs:
+
+1. **Planner-only latency** on four shapes: ``decode_micro`` — the
+   ``bench_scheduler_micro`` steady-state decode shape (one
+   decode-sized problem replanned every iteration; the >=5x acceptance
+   floor is defined on it) — plus realistic call streams, where a
+   short engine run (decode / prefill / 2-GPU decode) records every
+   ``plan()``/``simulate_makespan()`` invocation the step pipeline and
+   prefetcher actually issue. Each stream is replayed against fresh
+   schedulers in three configurations:
+
+   - ``reference``: the from-scratch event simulator, no memo (the
+     pre-PR-3 planner);
+   - ``fast_cold``: incremental search, memo disabled (isolates the
+     search restructuring);
+   - ``fast``: incremental search + plan memo (the default planner).
+
+   Plans are bit-identical across all three (property-tested), so the
+   streams are path-independent and the comparison is pure latency.
+
+2. **End-to-end steps/sec** of a decode run under the fast vs the
+   reference planner.
+
+3. A ``--check`` mode for CI: compares measured speedups against the
+   committed ``BENCH_planner.json`` and fails on a >2x regression (or
+   on missing the 5x decode floor), so planner-perf regressions are
+   caught at review time. Intentional trade-offs skip the gate via the
+   ``perf-regression-ok`` PR label (see ``.github/workflows/ci.yml``).
+
+Usage::
+
+    python benchmarks/bench_planner_speed.py            # full run, writes BENCH_planner.json
+    python benchmarks/bench_planner_speed.py --smoke    # CI-sized run
+    python benchmarks/bench_planner_speed.py --smoke --check --out /tmp/current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig  # noqa: E402
+from repro.engine.engine import EngineConfig  # noqa: E402
+from repro.engine.factory import make_engine  # noqa: E402
+from repro.rng import derive_rng  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_planner.json"
+
+#: Acceptance floor: fast-path decode planner latency must beat the
+#: reference path by at least this factor (ISSUE 3 criterion).
+DECODE_SPEEDUP_FLOOR = 5.0
+#: CI gate: fail when a measured speedup drops below committed/2.
+REGRESSION_FACTOR = 2.0
+
+
+# ----------------------------------------------------------------------
+# call-stream recording
+# ----------------------------------------------------------------------
+
+def _record_stream(engine, run) -> list[tuple[str, tuple, dict]]:
+    """Capture every planner invocation a real engine run performs."""
+    scheduler = engine.runtime.scheduler
+    stream: list[tuple[str, tuple, dict]] = []
+    original = {"plan": scheduler.plan, "simulate_makespan": scheduler.simulate_makespan}
+
+    def recorder(kind):
+        def wrapped(*args, **kwargs):
+            stream.append((kind, args, kwargs))
+            return original[kind](*args, **kwargs)
+
+        return wrapped
+
+    scheduler.plan = recorder("plan")
+    scheduler.simulate_makespan = recorder("simulate_makespan")
+    try:
+        run(engine)
+    finally:
+        scheduler.plan = original["plan"]
+        scheduler.simulate_makespan = original["simulate_makespan"]
+    return stream
+
+
+def _make_recording_engine(num_gpus: int, num_layers: int):
+    return make_engine(
+        model="deepseek",
+        strategy="hybrimoe",
+        cache_ratio=0.25,
+        num_layers=num_layers,
+        seed=0,
+        engine_config=EngineConfig(
+            cache_ratio=0.25, seed=0, num_gpus=num_gpus
+        ),
+    )
+
+
+def _micro_decode_stream(smoke: bool) -> list[tuple[str, tuple, dict]]:
+    """The ``bench_scheduler_micro`` decode shape: one decode-sized
+    planning problem, replanned every iteration (steady-state decode —
+    the shape the >=5x acceptance floor is defined on)."""
+    from repro.models.presets import get_preset
+
+    config = get_preset("deepseek")
+    rng = derive_rng(0, "bench-planner", "micro-decode")
+    experts, k = config.num_routed_experts, config.num_activated_experts
+    ids = sorted(int(e) for e in rng.choice(experts, size=k, replace=False))
+    activated = [(e, 1) for e in ids]
+    cached = set(int(e) for e in rng.choice(experts, size=experts // 2, replace=False))
+    reps = 100 if smoke else 400
+    return [("plan", (0, activated, cached, 1), {})] * reps
+
+
+def _shape_streams(smoke: bool) -> dict[str, list[tuple[str, tuple, dict]]]:
+    decode_steps = 8 if smoke else 24
+    num_layers = 4
+    streams: dict[str, list] = {}
+
+    streams["decode_micro"] = _micro_decode_stream(smoke)
+
+    engine = _make_recording_engine(1, num_layers)
+    streams["decode"] = _record_stream(
+        engine, lambda e: e.decode_only(decode_steps)
+    )
+
+    engine = _make_recording_engine(1, num_layers)
+    rng = derive_rng(0, "bench-planner", "prefill")
+    prompt = rng.integers(0, engine.model.vocab_size, size=64 if smoke else 128)
+    streams["prefill"] = _record_stream(
+        engine, lambda e: e.generate(prompt, decode_steps=0)
+    )
+
+    engine = _make_recording_engine(2, num_layers)
+    streams["multi_gpu"] = _record_stream(
+        engine, lambda e: e.decode_only(decode_steps)
+    )
+    return streams
+
+
+# ----------------------------------------------------------------------
+# replay timing
+# ----------------------------------------------------------------------
+
+_PLANNER_CONFIGS = {
+    "reference": SchedulerConfig(fast_path=False, plan_cache_size=0),
+    "fast_cold": SchedulerConfig(fast_path=True, plan_cache_size=0),
+    "fast": SchedulerConfig(fast_path=True),
+}
+
+
+def _time_stream(stream, oracle_factory, config: SchedulerConfig, reps: int) -> float:
+    """Best-of-``reps`` seconds for one full pass over the stream.
+
+    A fresh scheduler per pass: memo warm-up happens *inside* the
+    stream, exactly as it does inside a real decode.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        scheduler = HybridScheduler(oracle_factory, config)
+        start = time.perf_counter()
+        for kind, args, kwargs in stream:
+            getattr(scheduler, kind)(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_planner(smoke: bool) -> dict:
+    reps = 3 if smoke else 7
+    oracle_engine = _make_recording_engine(1, 2)
+    oracle_factory = oracle_engine.runtime.estimated_oracle
+    results: dict[str, dict] = {}
+    for shape, stream in _shape_streams(smoke).items():
+        timings = {
+            name: _time_stream(stream, oracle_factory, config, reps)
+            for name, config in _PLANNER_CONFIGS.items()
+        }
+        calls = len(stream)
+        results[shape] = {
+            "calls": calls,
+            "reference_us_per_call": timings["reference"] / calls * 1e6,
+            "fast_cold_us_per_call": timings["fast_cold"] / calls * 1e6,
+            "fast_us_per_call": timings["fast"] / calls * 1e6,
+            "speedup_cold": timings["reference"] / timings["fast_cold"],
+            "speedup": timings["reference"] / timings["fast"],
+        }
+    return results
+
+
+def _bench_end_to_end(smoke: bool) -> dict:
+    decode_steps = 8 if smoke else 32
+    timings = {}
+    for name, fast in (("reference", False), ("fast", True)):
+        engine = make_engine(
+            model="deepseek",
+            strategy="hybrimoe",
+            cache_ratio=0.25,
+            num_layers=4,
+            seed=0,
+            planner_fast_path=fast,
+        )
+        start = time.perf_counter()
+        engine.decode_only(decode_steps)
+        timings[name] = time.perf_counter() - start
+    return {
+        "decode_steps": decode_steps,
+        "reference_steps_per_s": decode_steps / timings["reference"],
+        "fast_steps_per_s": decode_steps / timings["fast"],
+        "speedup": timings["reference"] / timings["fast"],
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory + gate
+# ----------------------------------------------------------------------
+
+def run(smoke: bool) -> dict:
+    return {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "criteria": {
+            "decode_speedup_floor": DECODE_SPEEDUP_FLOOR,
+            "regression_factor": REGRESSION_FACTOR,
+        },
+        "planner": _bench_planner(smoke),
+        "end_to_end": _bench_end_to_end(smoke),
+    }
+
+
+def check(current: dict, baseline: dict | None) -> list[str]:
+    """Gate failures of ``current`` against the committed baseline."""
+    failures: list[str] = []
+    decode_speedup = current["planner"]["decode_micro"]["speedup"]
+    if decode_speedup < DECODE_SPEEDUP_FLOOR:
+        failures.append(
+            f"decode_micro planner speedup {decode_speedup:.1f}x is below "
+            f"the {DECODE_SPEEDUP_FLOOR:.0f}x acceptance floor"
+        )
+    if baseline is None:
+        failures.append(f"no committed baseline at {BASELINE_PATH}")
+        return failures
+    for shape, current_row in current["planner"].items():
+        committed = baseline.get("planner", {}).get(shape)
+        if committed is None:
+            continue
+        floor = committed["speedup"] / REGRESSION_FACTOR
+        if current_row["speedup"] < floor:
+            failures.append(
+                f"{shape}: speedup {current_row['speedup']:.1f}x regressed "
+                f">{REGRESSION_FACTOR:.0f}x vs committed "
+                f"{committed['speedup']:.1f}x (floor {floor:.1f}x)"
+            )
+    committed_e2e = baseline.get("end_to_end", {}).get("speedup")
+    if committed_e2e is not None:
+        current_e2e = current["end_to_end"]["speedup"]
+        # End-to-end mixes execution with planning; gate only a total
+        # loss of the win (fast slower than reference).
+        if current_e2e < 1.0 and committed_e2e >= 1.0:
+            failures.append(
+                f"end-to-end: fast planner is now slower than reference "
+                f"({current_e2e:.2f}x, committed {committed_e2e:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on regression vs the committed BENCH_planner.json",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=BASELINE_PATH,
+        help="where to write results (default: repo-root BENCH_planner.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Read the committed baseline before writing anything: `--check`
+    # must compare against the pre-run state even when --out points at
+    # the baseline file itself.
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    results = run(args.smoke)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"planner perf ({results['mode']}):")
+    for shape, row in results["planner"].items():
+        print(
+            f"  {shape:9s} {row['calls']:5d} calls  "
+            f"ref {row['reference_us_per_call']:8.1f} us/call  "
+            f"cold {row['fast_cold_us_per_call']:8.1f} ({row['speedup_cold']:.1f}x)  "
+            f"fast {row['fast_us_per_call']:8.1f} ({row['speedup']:.1f}x)"
+        )
+    e2e = results["end_to_end"]
+    print(
+        f"  end-to-end decode: ref {e2e['reference_steps_per_s']:.1f} steps/s, "
+        f"fast {e2e['fast_steps_per_s']:.1f} steps/s ({e2e['speedup']:.2f}x)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

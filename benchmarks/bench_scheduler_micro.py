@@ -8,24 +8,33 @@ evaluated model — using pytest-benchmark's statistical timing (many
 rounds, unlike the one-shot experiment benches).
 """
 
+import time
+
 import pytest
 
-from repro.core.hybrid_scheduler import HybridScheduler
+from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
 from repro.core.tasks import LayerCostOracle
 from repro.hardware.cost_model import AnalyticCostModel
 from repro.hardware.platform_presets import paper_testbed
 from repro.models.presets import get_preset
 from repro.rng import derive_rng
 
+_PLANNER_CONFIGS = {
+    "fast": SchedulerConfig(),
+    "reference": SchedulerConfig(fast_path=False, plan_cache_size=0),
+}
 
-def _scheduler_inputs(model_name: str, n_tokens: int, cache_ratio: float):
+
+def _scheduler_inputs(
+    model_name: str, n_tokens: int, cache_ratio: float, planner: str = "fast"
+):
     config = get_preset(model_name)
     cost = AnalyticCostModel(paper_testbed())
 
     def factory(tokens: int) -> LayerCostOracle:
         return LayerCostOracle.for_model(cost, config, tokens)
 
-    scheduler = HybridScheduler(factory)
+    scheduler = HybridScheduler(factory, _PLANNER_CONFIGS[planner])
     rng = derive_rng(0, "bench", model_name, n_tokens)
     experts = config.num_routed_experts
     k = config.num_activated_experts
@@ -42,9 +51,12 @@ def _scheduler_inputs(model_name: str, n_tokens: int, cache_ratio: float):
     return scheduler, activated, cached, n_tokens
 
 
+@pytest.mark.parametrize("planner", ["fast", "reference"])
 @pytest.mark.parametrize("model_name", ["mixtral", "qwen2", "deepseek"])
-def test_plan_latency_decode(benchmark, model_name):
-    scheduler, activated, cached, n_tokens = _scheduler_inputs(model_name, 1, 0.5)
+def test_plan_latency_decode(benchmark, model_name, planner):
+    scheduler, activated, cached, n_tokens = _scheduler_inputs(
+        model_name, 1, 0.5, planner
+    )
     plan = benchmark(
         lambda: scheduler.plan(0, activated, cached, n_tokens=n_tokens)
     )
@@ -70,3 +82,32 @@ def test_prefetch_impact_simulation_latency(benchmark):
         lambda: scheduler.simulate_makespan(activated, cached, 1, quick=True)
     )
     assert benchmark.stats["mean"] < 1e-3
+
+
+@pytest.mark.parametrize("model_name", ["mixtral", "qwen2", "deepseek"])
+def test_fast_path_decode_speedup(model_name):
+    """ISSUE 3 acceptance: >=5x planner-latency reduction on decode
+    shapes for the default (fast + memo) planner vs the reference path,
+    with zero plan drift."""
+    reps = 150
+    timings = {}
+    for planner in ("fast", "reference"):
+        scheduler, activated, cached, n_tokens = _scheduler_inputs(
+            model_name, 1, 0.5, planner
+        )
+        scheduler.plan(0, activated, cached, n_tokens=n_tokens)  # warm
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(reps):
+                plan = scheduler.plan(0, activated, cached, n_tokens=n_tokens)
+            best = min(best, time.perf_counter() - start)
+        timings[planner] = best
+    fast_plan = _scheduler_inputs(model_name, 1, 0.5, "fast")[0].plan(
+        0, activated, cached, n_tokens=n_tokens
+    )
+    reference_plan = _scheduler_inputs(model_name, 1, 0.5, "reference")[0].plan(
+        0, activated, cached, n_tokens=n_tokens
+    )
+    assert fast_plan == reference_plan
+    assert timings["reference"] / timings["fast"] >= 5.0

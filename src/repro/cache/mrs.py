@@ -12,6 +12,15 @@ its layer's routing scores are observed:
 low scores carry no reuse signal (Fig. 3b), so they only decay the
 priority. Eviction removes the expert with the *minimum* S, hence the
 name "Minus Recent Score".
+
+Priorities are stored as one numpy array per layer, so the eq. (3)
+update — the policy's hot path, executed once per layer per step over
+*all* experts of the layer — is a single vectorized expression, and
+victim selection ranks candidates with one :func:`numpy.lexsort`
+instead of a Python ``min`` over dict lookups. The arithmetic is the
+same IEEE-754 double operations the historical per-key dict version
+performed, so priorities and eviction order are bit-identical
+(test-enforced against a reference implementation).
 """
 
 from __future__ import annotations
@@ -48,11 +57,43 @@ class MRSPolicy(EvictionPolicy):
             raise CacheError(f"top_p must be >= 1, got {top_p}")
         self.alpha = alpha
         self.top_p = top_p
-        self._scores: dict[ExpertKey, float] = {}
+        #: Per-layer priority arrays (index = expert id within layer).
+        self._layer_scores: dict[int, np.ndarray] = {}
+        #: Priorities of keys outside any layer array (inserted before
+        #: their layer was ever scored, or beyond the array's extent).
+        self._stray: dict[ExpertKey, float] = {}
         self._last_used: dict[ExpertKey, int] = {}
 
+    # ------------------------------------------------------------------
+    def _score(self, key: ExpertKey) -> float:
+        arr = self._layer_scores.get(key[0])
+        if arr is not None and 0 <= key[1] < arr.size:
+            return float(arr[key[1]])
+        return self._stray.get(key, 0.0)
+
+    def _layer_array(self, layer: int, size: int) -> np.ndarray:
+        """The layer's priority array, grown to ``size`` if needed.
+
+        Stray keys of the layer that now fall inside the array are
+        folded in so every expert has exactly one authoritative score.
+        """
+        arr = self._layer_scores.get(layer)
+        if arr is None:
+            arr = np.zeros(size, dtype=np.float64)
+        elif arr.size < size:
+            grown = np.zeros(size, dtype=np.float64)
+            grown[: arr.size] = arr
+            arr = grown
+        for key in [k for k in self._stray if k[0] == layer and 0 <= k[1] < arr.size]:
+            arr[key[1]] = self._stray.pop(key)
+        self._layer_scores[layer] = arr
+        return arr
+
+    # ------------------------------------------------------------------
     def on_insert(self, key: ExpertKey, now: int) -> None:
-        self._scores.setdefault(key, 0.0)
+        arr = self._layer_scores.get(key[0])
+        if arr is None or not 0 <= key[1] < arr.size:
+            self._stray.setdefault(key, 0.0)
         self._last_used[key] = now
 
     def on_access(self, key: ExpertKey, now: int) -> None:
@@ -71,24 +112,32 @@ class MRSPolicy(EvictionPolicy):
         if scores.ndim != 1:
             raise CacheError(f"scores must be 1-D, got shape {scores.shape}")
         p = min(self.top_p, scores.size)
-        top_idx = set(int(i) for i in np.argsort(-scores, kind="stable")[:p])
-        for expert in range(scores.size):
-            key = (layer, expert)
-            previous = self._scores.get(key, 0.0)
-            contribution = float(scores[expert]) if expert in top_idx else 0.0
-            self._scores[key] = self.alpha * contribution + (1.0 - self.alpha) * previous
+        arr = self._layer_array(layer, scores.size)
+        top_idx = np.argsort(-scores, kind="stable")[:p]
+        contribution = np.zeros(scores.size, dtype=np.float64)
+        contribution[top_idx] = scores[top_idx]
+        arr[: scores.size] = (
+            self.alpha * contribution + (1.0 - self.alpha) * arr[: scores.size]
+        )
 
     def victim(self, candidates: Iterable[ExpertKey]) -> ExpertKey:
         candidates = list(candidates)
         if not candidates:
             raise CacheError("MRS victim requested with no candidates")
-        return min(
-            candidates,
-            key=lambda k: (self._scores.get(k, 0.0), self._last_used.get(k, -1), k),
+        n = len(candidates)
+        layers = np.fromiter((k[0] for k in candidates), dtype=np.int64, count=n)
+        experts = np.fromiter((k[1] for k in candidates), dtype=np.int64, count=n)
+        scores = np.fromiter((self._score(k) for k in candidates), dtype=np.float64, count=n)
+        last = np.fromiter(
+            (self._last_used.get(k, -1) for k in candidates), dtype=np.int64, count=n
         )
+        # Lexicographic min by (score, last_used, layer, expert) — the
+        # historical `min(candidates, key=...)` order, vectorized.
+        winner = np.lexsort((experts, layers, last, scores))[0]
+        return candidates[winner]
 
     def priority(self, key: ExpertKey) -> float:
-        return self._scores.get(key, 0.0)
+        return self._score(key)
 
     def forget(self, key: ExpertKey) -> None:
         # Scores persist across evictions: reuse probability is a
@@ -96,8 +145,14 @@ class MRSPolicy(EvictionPolicy):
         self._last_used.pop(key, None)
 
     def priority_snapshot(self) -> dict[ExpertKey, float]:
-        return dict(self._scores)
+        snapshot = {
+            (layer, expert): float(arr[expert])
+            for layer, arr in self._layer_scores.items()
+            for expert in range(arr.size)
+        }
+        snapshot.update(self._stray)
+        return snapshot
 
     def score_of(self, key: ExpertKey) -> float:
         """Current estimated priority of one expert (0 if never scored)."""
-        return self._scores.get(key, 0.0)
+        return self._score(key)

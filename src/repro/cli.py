@@ -80,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_placements(),
         help="expert-placement policy of the sharded cache",
     )
+    run.add_argument(
+        "--planner",
+        default="fast",
+        choices=["fast", "reference"],
+        help="planner implementation (plans are bit-identical; "
+        "'reference' is the pre-fast-path planner — from-scratch "
+        "simulation, no memo — for perf baselines)",
+    )
 
     serve = sub.add_parser(
         "serve", help="serve a multi-request arrival trace with continuous batching"
@@ -118,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_placements(),
         help="expert-placement policy of the sharded cache",
     )
+    serve.add_argument(
+        "--planner",
+        default="fast",
+        choices=["fast", "reference"],
+        help="planner implementation (plans are bit-identical; "
+        "'reference' is the pre-fast-path planner — from-scratch "
+        "simulation, no memo — for perf baselines)",
+    )
 
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
     compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
@@ -147,6 +163,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_gpus=args.num_gpus,
         placement=args.placement,
+        planner_fast_path=args.planner == "fast",
     )
     rng = derive_rng(args.seed, "cli", "prompt")
     prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
@@ -165,6 +182,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_gpus=args.num_gpus,
         placement=args.placement,
+        planner_fast_path=args.planner == "fast",
         max_batch_size=args.max_batch_size,
     )
     arrival_times = None

@@ -16,10 +16,37 @@ queue rather than the CPU queue (eq. 2). :class:`HybridScheduler`
 resolves it exactly as the paper describes — an event-driven simulation
 fills the three timelines for each candidate allocation, and the
 allocation with the smallest simulated makespan wins.
+
+Two search implementations produce **bit-identical plans**:
+
+- the *reference* simulator (:meth:`HybridScheduler._simulate`) builds
+  all three timelines from scratch for every candidate transfer count —
+  the paper's description taken literally;
+- the *fast path* (default, ``SchedulerConfig.fast_path``) hoists the
+  priority sorts and the PCIe arrival prefix out of the per-candidate
+  loop, memoizes per-load durations, evaluates each candidate with a
+  record-free replica of the event loop (same float operations in the
+  same order, so the argmin cannot drift), prunes candidates whose
+  makespan lower bound provably cannot beat the incumbent — the
+  transfer-chain bound is monotone in ``k``, so once it crosses the
+  incumbent the whole remaining ascending search terminates — and
+  materialises only the winning allocation through the reference
+  simulator.
+
+On top of either path sits a bounded LRU **plan memo** keyed on the
+planner's exact inputs (layer, activated loads, cached set, in-flight
+offsets, backlogs, token count, shared flag). Keys are value-complete —
+identical inputs always produce identical plans — so nothing is ever
+invalidated; decode steps repeat near-identical routing, making hits
+the common case. Memoization assumes the oracle factory is
+deterministic per ``n_tokens`` (true of the engine's estimated cost
+models; a stateful noisy oracle must disable it via
+``plan_cache_size=0``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.core.tasks import (
@@ -33,6 +60,10 @@ from repro.core.tasks import (
 from repro.errors import SchedulingError
 
 __all__ = ["SchedulerConfig", "HybridScheduler", "SimulatedTask", "SimulationResult"]
+
+#: Strict-improvement tolerance of the allocation argmin (shared by the
+#: reference loop, the fast path and its lower-bound pruning).
+_TIE_EPS = 1e-15
 
 
 @dataclass(frozen=True)
@@ -55,15 +86,28 @@ class SchedulerConfig:
         happens only if the CPU would finish the stolen expert before
         ``(1 - margin) *`` the GPU's estimated finish time.
     max_search_width:
-        Upper bound on the number of simulated transfer counts (evenly
-        subsampled, always including both extremes). ``None`` means
-        exhaustive.
+        Upper bound on the number of simulated transfer counts (nested
+        dyadic subsampling, always including both extremes; widening
+        the width only ever *adds* candidates, so a wider search can
+        never pick a worse makespan). ``None`` means exhaustive.
+    fast_path:
+        Use the incremental search (hoisted sorts, duration memo,
+        lower-bound pruning, single materialisation). Plans are
+        bit-identical to the reference simulator's — property-tested —
+        so this is purely a latency knob; False forces the reference
+        path for oracle comparisons and perf baselines.
+    plan_cache_size:
+        Entries of the bounded LRU memo over ``plan()`` /
+        ``simulate_makespan()`` results. ``0`` disables memoization.
+        Requires a deterministic oracle factory (see module docs).
     """
 
     search_transfers: bool = True
     allow_cpu_steal: bool = True
     steal_margin: float = 0.0
     max_search_width: int | None = None
+    fast_path: bool = True
+    plan_cache_size: int = 1024
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.steal_margin < 1.0:
@@ -73,6 +117,10 @@ class SchedulerConfig:
         if self.max_search_width is not None and self.max_search_width < 2:
             raise SchedulingError(
                 f"max_search_width must be >= 2, got {self.max_search_width}"
+            )
+        if self.plan_cache_size < 0:
+            raise SchedulingError(
+                f"plan_cache_size must be non-negative, got {self.plan_cache_size}"
             )
 
 
@@ -98,6 +146,38 @@ class SimulationResult:
     loads: dict[int, int]
 
 
+class _DurationTable:
+    """Per-``n_tokens`` memo of oracle durations keyed by load.
+
+    The oracle is deterministic per ``(n_tokens, load)``, so a cached
+    duration is the *same float* an oracle call would return — lookups
+    cannot change any simulated timeline bit.
+    """
+
+    __slots__ = ("oracle", "transfer", "shared_gpu", "_gpu", "_cpu", "_cpu_first")
+
+    def __init__(self, oracle: LayerCostOracle) -> None:
+        self.oracle = oracle
+        self.transfer = oracle.transfer()
+        self.shared_gpu = oracle.shared_compute(Device.GPU)
+        self._gpu: dict[int, float] = {}
+        self._cpu: dict[int, float] = {}
+        self._cpu_first: dict[int, float] = {}
+
+    def gpu(self, load: int) -> float:
+        d = self._gpu.get(load)
+        if d is None:
+            d = self._gpu[load] = self.oracle.gpu_compute(load)
+        return d
+
+    def cpu(self, load: int, first_task: bool) -> float:
+        table = self._cpu_first if first_task else self._cpu
+        d = table.get(load)
+        if d is None:
+            d = table[load] = self.oracle.cpu_compute(load, first_task=first_task)
+        return d
+
+
 class HybridScheduler:
     """Schedule-simulation planner implementing eq. (2) of the paper.
 
@@ -106,14 +186,22 @@ class HybridScheduler:
     oracle_factory:
         Callable ``(n_tokens) -> LayerCostOracle`` giving *estimated*
         durations (typically a warmup-fitted cost model). The planner
-        never sees actual execution times.
+        never sees actual execution times. Must be deterministic per
+        ``n_tokens`` when memoization or the fast path is enabled.
     config:
         Search and stealing behaviour.
     """
 
+    #: Bound on the per-``n_tokens`` duration tables kept alive.
+    _MAX_DURATION_TABLES = 64
+
     def __init__(self, oracle_factory, config: SchedulerConfig | None = None) -> None:
         self._oracle_factory = oracle_factory
         self.config = config or SchedulerConfig()
+        self._tables: OrderedDict[int, _DurationTable] = OrderedDict()
+        self._memo: OrderedDict[tuple, object] = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -162,6 +250,22 @@ class HybridScheduler:
             against the fleet-shared CPU (the per-device min-latency
             rule).
         """
+        key = self._memo_key(
+            "plan",
+            layer,
+            activated,
+            cached_experts,
+            n_tokens,
+            pcie_backlog,
+            include_shared,
+            inflight,
+            cpu_backlog,
+            False,
+        )
+        if key is not None:
+            hit = self._memo_get(key)
+            if hit is not None:
+                return hit.clone()
         oracle = self._oracle_factory(n_tokens)
         best = self._best_simulation(
             activated,
@@ -172,7 +276,10 @@ class HybridScheduler:
             inflight,
             cpu_backlog=cpu_backlog,
         )
-        return self._materialise(layer, n_tokens, best, oracle, include_shared)
+        plan = self._materialise(layer, n_tokens, best, oracle, include_shared)
+        if key is not None:
+            self._memo_put(key, plan.clone())
+        return plan
 
     def simulate_makespan(
         self,
@@ -190,18 +297,161 @@ class HybridScheduler:
         ``quick=True`` forces the two-extremes search regardless of
         config — used heavily by the prefetcher's impact simulation.
         """
-        oracle = self._oracle_factory(n_tokens)
-        best = self._best_simulation(
+        key = self._memo_key(
+            "mk",
+            0,
             activated,
             cached_experts,
-            oracle,
+            n_tokens,
             pcie_backlog,
             include_shared,
             inflight,
-            force_quick=quick,
-            cpu_backlog=cpu_backlog,
+            cpu_backlog,
+            quick,
         )
-        return best.makespan
+        if key is not None:
+            hit = self._memo_get(key)
+            if hit is not None:
+                return hit
+        oracle = self._oracle_factory(n_tokens)
+        if self.config.fast_path:
+            loads, inflight_eff = self._validated_inputs(
+                activated, cached_experts, pcie_backlog, cpu_backlog, inflight
+            )
+            _, makespan = self._search_fast(
+                loads,
+                cached_experts,
+                oracle,
+                pcie_backlog,
+                include_shared,
+                inflight_eff,
+                cpu_backlog,
+                force_quick=quick,
+            )
+        else:
+            best = self._best_simulation(
+                activated,
+                cached_experts,
+                oracle,
+                pcie_backlog,
+                include_shared,
+                inflight,
+                force_quick=quick,
+                cpu_backlog=cpu_backlog,
+            )
+            makespan = best.makespan
+        if key is not None:
+            self._memo_put(key, makespan)
+        return makespan
+
+    def quick_makespan_lower_bound(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+    ) -> float:
+        """Cheap lower bound on the quick (two-extremes) makespan.
+
+        Used by the impact-driven prefetcher to *screen* candidates:
+        the bound is provably ``<=`` the value
+        :meth:`simulate_makespan` with ``quick=True`` (and zero
+        backlogs) would return, built from the same duration floats the
+        simulation would use, so screening on it can never change an
+        exact decision.
+        """
+        loads, _ = self._validated_inputs(activated, cached_experts, 0.0, 0.0, None)
+        table = self._duration_table(n_tokens)
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        gpu_t0 = table.shared_gpu if table.shared_gpu > 0.0 else 0.0
+        if not uncached_desc:
+            return gpu_t0
+        # k = |uncached|: every uncached expert rides the PCIe chain and
+        # must be computed on the GPU after its arrival (transferred
+        # experts are never stolen).
+        t_pcie = 0.0
+        chain = gpu_t0
+        for expert in uncached_desc:
+            t_pcie += table.transfer
+            chain = max(chain, t_pcie) + table.gpu(loads[expert])
+        # k = 0: every uncached expert runs on the CPU, back to back, in
+        # ascending-load order (first task pays the warmup penalty).
+        cpu_jobs = sorted(uncached_desc, key=lambda e: (loads[e], e))
+        t_cpu = 0.0
+        first = True
+        for expert in cpu_jobs:
+            t_cpu += table.cpu(loads[expert], first)
+            first = False
+        return min(chain, max(gpu_t0, t_cpu))
+
+    def cache_info(self) -> dict[str, int]:
+        """Plan-memo statistics (hits/misses/size/capacity)."""
+        return {
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+            "size": len(self._memo),
+            "capacity": self.config.plan_cache_size,
+        }
+
+    # ------------------------------------------------------------------
+    # memoization
+    # ------------------------------------------------------------------
+    def _memo_key(
+        self,
+        kind: str,
+        layer: int,
+        activated,
+        cached_experts,
+        n_tokens: int,
+        pcie_backlog: float,
+        include_shared: bool,
+        inflight,
+        cpu_backlog: float,
+        quick: bool,
+    ) -> tuple | None:
+        if self.config.plan_cache_size == 0:
+            return None
+        # Value-complete key: every input the simulation reads, with
+        # floats kept exact (a "bucket" per representable value) so a
+        # hit is guaranteed to reproduce the miss bit-for-bit.
+        return (
+            kind,
+            layer,
+            n_tokens,
+            pcie_backlog,
+            cpu_backlog,
+            include_shared,
+            quick,
+            tuple(sorted(activated)),
+            frozenset(cached_experts),
+            tuple(sorted((inflight or {}).items())),
+        )
+
+    def _memo_get(self, key: tuple):
+        entry = self._memo.get(key)
+        if entry is None:
+            self._memo_misses += 1
+            return None
+        self._memo.move_to_end(key)
+        self._memo_hits += 1
+        return entry
+
+    def _memo_put(self, key: tuple, value) -> None:
+        self._memo[key] = value
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.config.plan_cache_size:
+            self._memo.popitem(last=False)
+
+    def _duration_table(self, n_tokens: int) -> _DurationTable:
+        table = self._tables.get(n_tokens)
+        if table is None:
+            table = self._tables[n_tokens] = _DurationTable(
+                self._oracle_factory(n_tokens)
+            )
+        self._tables.move_to_end(n_tokens)
+        while len(self._tables) > self._MAX_DURATION_TABLES:
+            self._tables.popitem(last=False)
+        return table
 
     # ------------------------------------------------------------------
     # search
@@ -211,14 +461,50 @@ class HybridScheduler:
             return [0]
         if force_quick or not self.config.search_transfers:
             return sorted({0, n_uncached})
-        counts = list(range(n_uncached + 1))
         width = self.config.max_search_width
-        if width is not None and len(counts) > width:
-            # Evenly subsample, always keeping the extremes.
-            step = (n_uncached) / (width - 1)
-            sampled = {round(i * step) for i in range(width)}
-            counts = sorted(sampled | {0, n_uncached})
-        return counts
+        if width is None or n_uncached + 1 <= width:
+            return list(range(n_uncached + 1))
+        # Nested dyadic subsampling: extremes first, then breadth-first
+        # interval bisection. The first `width` values of this priority
+        # order are a *superset-monotone* family — widening the width
+        # only adds candidates, so a wider search never worsens the
+        # chosen makespan (test-enforced).
+        chosen = [0, n_uncached]
+        intervals = deque([(0, n_uncached)])
+        while len(chosen) < width and intervals:
+            lo, hi = intervals.popleft()
+            if hi - lo < 2:
+                continue
+            mid = (lo + hi) // 2
+            chosen.append(mid)
+            intervals.append((lo, mid))
+            intervals.append((mid, hi))
+        return sorted(chosen)
+
+    @staticmethod
+    def _validated_inputs(
+        activated,
+        cached_experts,
+        pcie_backlog: float,
+        cpu_backlog: float,
+        inflight,
+    ) -> tuple[dict[int, int], dict[int, float]]:
+        """Shared input validation of both search paths."""
+        if pcie_backlog < 0:
+            raise SchedulingError(f"pcie_backlog must be non-negative, got {pcie_backlog}")
+        if cpu_backlog < 0:
+            raise SchedulingError(f"cpu_backlog must be non-negative, got {cpu_backlog}")
+        loads = dict(activated)
+        if len(loads) != len(activated):
+            raise SchedulingError("duplicate expert ids in activated list")
+        if any(load <= 0 for load in loads.values()):
+            raise SchedulingError("activated experts must have positive load")
+        inflight_eff = {
+            e: max(0.0, ready)
+            for e, ready in (inflight or {}).items()
+            if e in loads and e in cached_experts
+        }
+        return loads, inflight_eff
 
     def _best_simulation(
         self,
@@ -231,20 +517,33 @@ class HybridScheduler:
         force_quick: bool = False,
         cpu_backlog: float = 0.0,
     ) -> SimulationResult:
-        if pcie_backlog < 0:
-            raise SchedulingError(f"pcie_backlog must be non-negative, got {pcie_backlog}")
-        if cpu_backlog < 0:
-            raise SchedulingError(f"cpu_backlog must be non-negative, got {cpu_backlog}")
-        loads = dict(activated)
-        if len(loads) != len(activated):
-            raise SchedulingError("duplicate expert ids in activated list")
-        if any(load <= 0 for load in loads.values()):
-            raise SchedulingError("activated experts must have positive load")
-        inflight = {
-            e: max(0.0, ready)
-            for e, ready in (inflight or {}).items()
-            if e in loads and e in cached_experts
-        }
+        loads, inflight_eff = self._validated_inputs(
+            activated, cached_experts, pcie_backlog, cpu_backlog, inflight
+        )
+        if self.config.fast_path:
+            best_k, _ = self._search_fast(
+                loads,
+                cached_experts,
+                oracle,
+                pcie_backlog,
+                include_shared,
+                inflight_eff,
+                cpu_backlog,
+                force_quick=force_quick,
+            )
+            # Materialise only the winner, through the reference
+            # simulator — the plan object is reference output by
+            # construction.
+            return self._simulate(
+                loads,
+                cached_experts,
+                oracle,
+                best_k,
+                pcie_backlog,
+                include_shared,
+                inflight_eff,
+                cpu_backlog=cpu_backlog,
+            )
 
         uncached = [e for e, _ in activated if e not in cached_experts]
         best: SimulationResult | None = None
@@ -256,13 +555,13 @@ class HybridScheduler:
                 k,
                 pcie_backlog,
                 include_shared,
-                inflight,
+                inflight_eff,
                 cpu_backlog=cpu_backlog,
             )
-            better = best is None or result.makespan < best.makespan - 1e-15
+            better = best is None or result.makespan < best.makespan - _TIE_EPS
             tie_fewer_transfers = (
                 best is not None
-                and abs(result.makespan - best.makespan) <= 1e-15
+                and abs(result.makespan - best.makespan) <= _TIE_EPS
                 and len(result.transfers) < len(best.transfers)
             )
             if better or tie_fewer_transfers:
@@ -271,7 +570,219 @@ class HybridScheduler:
         return best
 
     # ------------------------------------------------------------------
-    # the event-driven schedule simulation
+    # the incremental fast path
+    # ------------------------------------------------------------------
+    def _search_fast(
+        self,
+        loads: dict[int, int],
+        cached_experts: set[int],
+        oracle: LayerCostOracle,
+        pcie_backlog: float,
+        include_shared: bool,
+        inflight: dict[int, float],
+        cpu_backlog: float,
+        force_quick: bool = False,
+    ) -> tuple[int, float]:
+        """Find the optimal transfer count without building plans.
+
+        Returns ``(best_k, best_makespan)`` where ``best_makespan`` is
+        bit-identical to what the reference loop would select: every
+        candidate it does evaluate goes through a float-exact replica
+        of the reference event loop, and every candidate it prunes is
+        provably unable to beat the incumbent (lower bounds are built
+        from the same duration floats the simulation would add).
+        """
+        table = self._duration_table(oracle.n_tokens)
+        # Hoisted priority sorts: identical for every candidate k.
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        cached_desc = [
+            e for e in by_load_desc if e in cached_experts and e not in inflight
+        ]
+        inflight_arrivals = [(ready, e) for e, ready in inflight.items()]
+        # Transfer-timeline prefix: moving k -> k+1 appends exactly one
+        # arrival, so the whole family of PCIe timelines is one shared
+        # accumulation (same `t_pcie += transfer` float sequence as the
+        # reference).
+        arrival_prefix: list[float] = []
+        t_pcie = pcie_backlog
+        for _ in uncached_desc:
+            t_pcie += table.transfer
+            arrival_prefix.append(t_pcie)
+        gpu_t0 = table.shared_gpu if include_shared and table.shared_gpu > 0.0 else 0.0
+
+        counts = self._candidate_transfer_counts(len(uncached_desc), force_quick)
+        best_k = -1
+        best_mk = float("inf")
+        # Monotone transfer-chain lower bound, advanced incrementally:
+        # the k-th chain is the (k-1)-th plus one max/add step, so it
+        # only grows with k — once it crosses the incumbent, every
+        # remaining (larger) candidate is provably worse and the whole
+        # ascending search terminates.
+        chain_t = gpu_t0
+        chain_idx = 0
+        for k in counts:
+            while chain_idx < k:
+                expert = uncached_desc[chain_idx]
+                chain_t = max(chain_t, arrival_prefix[chain_idx]) + table.gpu(
+                    loads[expert]
+                )
+                chain_idx += 1
+            if best_k >= 0 and chain_t >= best_mk - _TIE_EPS:
+                break
+            cpu_jobs = sorted(
+                uncached_desc[k:], key=lambda e: (loads[e], e)
+            )
+            if best_k >= 0 and cpu_jobs:
+                # CPU-side lower bound: the CPU queue runs back to back
+                # from the backlog with exactly these float durations;
+                # steals only extend it. Not monotone in k, so this one
+                # skips a single candidate rather than terminating.
+                t_cpu = cpu_backlog
+                first = True
+                for expert in cpu_jobs:
+                    t_cpu += table.cpu(loads[expert], first)
+                    first = False
+                if t_cpu >= best_mk - _TIE_EPS:
+                    continue
+            mk = self._fast_makespan(
+                loads,
+                cached_experts,
+                table,
+                cpu_jobs,
+                [
+                    (arrival_prefix[i], uncached_desc[i]) for i in range(k)
+                ],
+                inflight_arrivals,
+                cached_desc,
+                gpu_t0,
+                cpu_backlog,
+            )
+            # Ascending k: ties keep the earlier (fewer-transfer)
+            # incumbent, exactly like the reference tie-break.
+            if mk < best_mk - _TIE_EPS:
+                best_mk = mk
+                best_k = k
+            elif best_k < 0:
+                best_mk = mk
+                best_k = k
+        assert best_k >= 0  # k=0 is never pruned (no incumbent yet)
+        return best_k, best_mk
+
+    def _fast_makespan(
+        self,
+        loads: dict[int, int],
+        cached_experts: set[int],
+        table: _DurationTable,
+        cpu_jobs: list[int],
+        transfer_arrivals: list[tuple[float, int]],
+        inflight_arrivals: list[tuple[float, int]],
+        cached_desc: list[int],
+        gpu_t0: float,
+        cpu_backlog: float,
+    ) -> float:
+        """Record-free replica of :meth:`_simulate`'s event loop.
+
+        Performs the same float operations in the same order as the
+        reference simulation but builds no task objects, so the
+        returned makespan is bit-identical at a fraction of the cost.
+        """
+        arrivals = list(inflight_arrivals)
+        arrivals.extend(transfer_arrivals)
+        arrivals.sort(key=lambda pair: (pair[0], -loads[pair[1]], pair[1]))
+
+        t_gpu = gpu_t0
+        gpu_pool: list[int] = list(cached_desc)
+        arrival_idx = 0
+        t_cpu = cpu_backlog
+        cpu_idx = 0
+        cpu_any = False
+        cpu_finished = False
+        n_arrivals = len(arrivals)
+        n_cpu_jobs = len(cpu_jobs)
+        allow_steal = self.config.allow_cpu_steal
+        steal_factor = 1.0 - self.config.steal_margin
+
+        def absorb_arrivals(up_to: float) -> None:
+            nonlocal arrival_idx
+            while arrival_idx < n_arrivals and arrivals[arrival_idx][0] <= up_to:
+                expert = arrivals[arrival_idx][1]
+                load = loads[expert]
+                position = 0
+                while position < len(gpu_pool) and (
+                    loads[gpu_pool[position]] > load
+                    or (
+                        loads[gpu_pool[position]] == load
+                        and gpu_pool[position] < expert
+                    )
+                ):
+                    position += 1
+                gpu_pool.insert(position, expert)
+                arrival_idx += 1
+
+        def gpu_finish_estimate() -> float:
+            t = t_gpu
+            for expert in gpu_pool:
+                t += table.gpu(loads[expert])
+            for ready, expert in arrivals[arrival_idx:]:
+                t = max(t, ready) + table.gpu(loads[expert])
+            return t
+
+        while True:
+            absorb_arrivals(t_gpu)
+            if gpu_pool:
+                gpu_start = t_gpu
+            elif arrival_idx < n_arrivals:
+                gpu_start = max(t_gpu, arrivals[arrival_idx][0])
+            else:
+                gpu_start = float("inf")
+            steal_candidates = [e for e in gpu_pool if e in cached_experts]
+            cpu_can_steal = (
+                allow_steal
+                and not cpu_finished
+                and cpu_idx >= n_cpu_jobs
+                and bool(steal_candidates)
+            )
+            if cpu_idx < n_cpu_jobs:
+                cpu_start = t_cpu
+            elif cpu_can_steal:
+                cpu_start = t_cpu
+            else:
+                cpu_start = float("inf")
+
+            if gpu_start == float("inf") and cpu_start == float("inf"):
+                break
+
+            cpu_wins_tie = gpu_start == cpu_start and cpu_idx >= n_cpu_jobs
+            if gpu_start <= cpu_start and not cpu_wins_tie:
+                absorb_arrivals(gpu_start)
+                if not gpu_pool:
+                    raise SchedulingError(
+                        "simulation invariant: empty GPU pool at dispatch"
+                    )
+                expert = gpu_pool.pop(0)
+                t_gpu = gpu_start + table.gpu(loads[expert])
+            else:
+                if cpu_idx < n_cpu_jobs:
+                    expert = cpu_jobs[cpu_idx]
+                    cpu_idx += 1
+                else:
+                    candidate = min(steal_candidates, key=lambda e: (loads[e], e))
+                    duration = table.cpu(loads[candidate], not cpu_any)
+                    threshold = gpu_finish_estimate() * steal_factor
+                    if t_cpu + duration >= threshold:
+                        cpu_finished = True
+                        continue
+                    gpu_pool.remove(candidate)
+                    expert = candidate
+                t_cpu += table.cpu(loads[expert], not cpu_any)
+                cpu_any = True
+
+        cpu_end = t_cpu if cpu_any else 0.0
+        return max(t_gpu, cpu_end)
+
+    # ------------------------------------------------------------------
+    # the event-driven schedule simulation (reference oracle)
     # ------------------------------------------------------------------
     def _simulate(
         self,
@@ -288,7 +799,8 @@ class HybridScheduler:
 
         The simulation advances the resource whose next operation
         *starts* earliest, exactly reproducing the interleaving a real
-        run with these priority queues would produce.
+        run with these priority queues would produce. This is the
+        reference oracle the fast path is property-tested against.
         """
         inflight = inflight or {}
         by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
@@ -487,4 +999,3 @@ class HybridScheduler:
                 "include_shared": include_shared,
             },
         )
-

@@ -11,6 +11,28 @@ confidence (gate-reuse accuracy decays with distance).
 
 Predictions reuse the gating weights of the future layers applied to
 the current hidden state — exactly the mechanism of Fig. 6.
+
+**Fast path.** A naive implementation pays a full with/without
+simulation pair per candidate expert per lookahead layer, which makes
+the prefetcher the planner's dominant cost in decode. Two mechanisms
+cut that down without changing a single decision at default settings:
+
+- *delta screening*: each candidate is first scored by a cheap
+  timeline delta bound — the baseline makespan minus a provable lower
+  bound on the with-expert makespan (built from the same duration
+  floats the simulation would add). When even that optimistic gain
+  cannot clear ``min_gain``, the exact simulation is skipped; the
+  bound is one-sided, so screening can only drop candidates the exact
+  path would also have dropped.
+- *memoized simulations*: the scheduler's plan memo covers the quick
+  impact simulations, and decode steps repeat near-identical predicted
+  routing, so the surviving exact simulations are usually cache hits.
+
+``exact_top_m`` additionally caps how many screening survivors get the
+full simulation (best screening bound first). That is an *approximation*
+— survivors beyond the cap are dropped — so it is off (``None``) by
+default and exists for latency-critical deployments that accept small
+decision drift.
 """
 
 from __future__ import annotations
@@ -81,6 +103,14 @@ class ImpactDrivenPrefetcher:
     min_gain:
         Candidates whose discounted gain is not strictly above this
         threshold are dropped.
+    delta_screen:
+        Screen candidates with the cheap delta bound before paying for
+        an exact impact simulation. Decision-preserving (the bound is
+        one-sided); disable only to benchmark the unscreened path.
+    exact_top_m:
+        When set, at most this many screening survivors (best bound
+        first) receive the exact simulation; the rest are dropped. An
+        approximation knob — ``None`` (default) keeps decisions exact.
     """
 
     def __init__(
@@ -91,6 +121,8 @@ class ImpactDrivenPrefetcher:
         lookahead: int = 3,
         confidence_decay: float = 0.8,
         min_gain: float = 0.0,
+        delta_screen: bool = True,
+        exact_top_m: int | None = None,
     ) -> None:
         if lookahead < 1:
             raise SchedulingError(f"lookahead must be >= 1, got {lookahead}")
@@ -100,12 +132,19 @@ class ImpactDrivenPrefetcher:
             )
         if num_activated < 1:
             raise SchedulingError(f"num_activated must be >= 1, got {num_activated}")
+        if exact_top_m is not None:
+            if exact_top_m < 1:
+                raise SchedulingError(f"exact_top_m must be >= 1, got {exact_top_m}")
+            if not delta_screen:
+                raise SchedulingError("exact_top_m requires delta_screen=True")
         self.scheduler = scheduler
         self.transfer_time_fn = transfer_time_fn
         self.num_activated = num_activated
         self.lookahead = lookahead
         self.confidence_decay = confidence_decay
         self.min_gain = min_gain
+        self.delta_screen = delta_screen
+        self.exact_top_m = exact_top_m
 
     # ------------------------------------------------------------------
     def predicted_activation(
@@ -151,7 +190,10 @@ class ImpactDrivenPrefetcher:
                 activated, cached, prediction.n_tokens, quick=True
             )
             confidence = self.confidence_decay ** (distance - 1)
-            for expert in candidates:
+            survivors = self._screen(
+                activated, cached, candidates, base, confidence, prediction.n_tokens
+            )
+            for expert in survivors:
                 with_expert = self.scheduler.simulate_makespan(
                     activated, cached | {expert}, prediction.n_tokens, quick=True
                 )
@@ -168,6 +210,43 @@ class ImpactDrivenPrefetcher:
                     )
         decisions.sort(key=lambda d: (-d.gain, d.distance, d.layer, d.expert))
         return decisions
+
+    def _screen(
+        self,
+        activated: list[tuple[int, int]],
+        cached: set[int],
+        candidates: list[int],
+        base: float,
+        confidence: float,
+        n_tokens: int,
+    ) -> list[int]:
+        """Candidates whose exact simulation could still clear min_gain.
+
+        The upper bound on a candidate's gain is
+        ``(base - lower_bound(with-expert makespan)) * confidence``.
+        A candidate is dropped only when even that bound cannot exceed
+        ``min_gain`` — the exact path would have dropped it too, so the
+        surviving set yields bit-identical decisions. ``exact_top_m``
+        then optionally caps the survivors (approximation, off by
+        default).
+        """
+        if not self.delta_screen:
+            return list(candidates)
+        scored: list[tuple[float, int]] = []
+        for expert in candidates:
+            bound = self.scheduler.quick_makespan_lower_bound(
+                activated, cached | {expert}, n_tokens
+            )
+            gain_bound = (base - bound) * confidence
+            if gain_bound > self.min_gain:
+                scored.append((gain_bound, expert))
+        if self.exact_top_m is not None and len(scored) > self.exact_top_m:
+            scored.sort(key=lambda pair: (-pair[0], pair[1]))
+            scored = scored[: self.exact_top_m]
+        # Original candidate order is preserved so the exact evaluation
+        # sequence matches the unscreened path.
+        keep = {expert for _, expert in scored}
+        return [expert for expert in candidates if expert in keep]
 
     def select(
         self,

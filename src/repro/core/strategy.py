@@ -73,6 +73,7 @@ class HybriMoEStrategy(Strategy):
                 num_activated=runtime.model_config.num_activated_experts,
                 lookahead=runtime.config.prefetch_lookahead,
                 confidence_decay=runtime.config.prefetch_confidence_decay,
+                exact_top_m=runtime.config.prefetch_exact_top_m,
             )
 
     def cache_spec(self) -> CacheSpec:

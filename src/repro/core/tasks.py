@@ -101,6 +101,27 @@ class ExecutionPlan:
     estimated_makespan: float = 0.0
     metadata: dict = field(default_factory=dict)
 
+    def clone(self) -> "ExecutionPlan":
+        """Independent copy sharing only the immutable task objects.
+
+        The planner's memo stores one pristine copy per key and hands
+        each caller its own clone, so a caller mutating a plan (or its
+        metadata) can never corrupt a memoized entry. Tasks themselves
+        are frozen dataclasses and safe to share.
+        """
+        return ExecutionPlan(
+            layer=self.layer,
+            n_tokens=self.n_tokens,
+            gpu_tasks=list(self.gpu_tasks),
+            cpu_tasks=list(self.cpu_tasks),
+            transfers=list(self.transfers),
+            estimated_makespan=self.estimated_makespan,
+            metadata={
+                key: list(value) if isinstance(value, list) else value
+                for key, value in self.metadata.items()
+            },
+        )
+
     def routed_compute_tasks(self) -> list[ComputeTask]:
         """All routed (non-shared) compute tasks, GPU then CPU order."""
         return [t for t in self.gpu_tasks + self.cpu_tasks if not t.is_shared]

@@ -18,7 +18,7 @@ Two cost models are in play, mirroring the real system:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -68,6 +68,18 @@ class EngineConfig:
         Per-distance gain discount of the impact-driven prefetcher.
     scheduler:
         Configuration of the hybrid scheduler's search.
+    planner_fast_path:
+        Convenience override of the planner path: True forces the
+        incremental fast path, False forces the full pre-PR-3
+        reference planner — the from-scratch simulator *with the plan
+        memo disabled* (perf baselines, oracle comparisons) — and None
+        (default) respects the scheduler config. Plans are
+        bit-identical either way — this is purely a latency knob.
+    prefetch_exact_top_m:
+        Cap on how many screening survivors per predicted layer get an
+        exact impact simulation (best delta bound first). ``None``
+        keeps prefetch decisions exact; setting it trades small
+        decision drift for bounded prefetcher latency.
     mrs_alpha:
         Averaging coefficient of the MRS cache policy (eq. 3).
     validate_plans:
@@ -100,6 +112,8 @@ class EngineConfig:
     prefetch_lookahead: int = 3
     prefetch_confidence_decay: float = 0.8
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    planner_fast_path: bool | None = None
+    prefetch_exact_top_m: int | None = None
     mrs_alpha: float = 0.7
     validate_plans: bool = True
     num_gpus: int = 1
@@ -134,6 +148,23 @@ class EngineConfig:
             )
         if not 0.0 <= self.mrs_alpha <= 1.0:
             raise ConfigError(f"mrs_alpha must be in [0, 1], got {self.mrs_alpha}")
+        if self.prefetch_exact_top_m is not None and self.prefetch_exact_top_m < 1:
+            raise ConfigError(
+                f"prefetch_exact_top_m must be >= 1, got {self.prefetch_exact_top_m}"
+            )
+
+    def scheduler_config(self) -> SchedulerConfig:
+        """The effective scheduler config (fast-path override applied).
+
+        ``planner_fast_path=False`` selects the *reference baseline* —
+        from-scratch simulation and no memo — so timings against it
+        measure the whole pre-fast-path planner, not memo hits.
+        """
+        if self.planner_fast_path is None:
+            return self.scheduler
+        if self.planner_fast_path:
+            return replace(self.scheduler, fast_path=True)
+        return replace(self.scheduler, fast_path=False, plan_cache_size=0)
 
 
 class EngineRuntime:
@@ -154,8 +185,14 @@ class EngineRuntime:
         self.clock = ThreeResourceClock(config.num_gpus)
         self.arrivals: dict[tuple[int, int], float] = {}
         self.cache: ExpertCache | ShardedCacheManager | None = None
-        self.scheduler = HybridScheduler(self.estimated_oracle, config.scheduler)
+        self.scheduler = HybridScheduler(self.estimated_oracle, config.scheduler_config())
         self._warmup_trace: RoutingTrace | None = None
+        # Oracles are frozen value objects deterministic per n_tokens;
+        # memoizing them spares StepPipeline rebuilding an identical
+        # oracle for every layer of every step. (Reusing the object
+        # never changes noisy-model draws — those happen per duration
+        # call, not per oracle construction.)
+        self._oracle_memo: dict[tuple[str, int], LayerCostOracle] = {}
 
     # ------------------------------------------------------------------
     # topology
@@ -175,13 +212,27 @@ class EngineRuntime:
     # ------------------------------------------------------------------
     # oracles
     # ------------------------------------------------------------------
+    #: Bound on the oracle memo (distinct batch token counts seen).
+    _ORACLE_MEMO_LIMIT = 512
+
+    def _oracle(self, kind: str, cost: CostModel, n_tokens: int) -> LayerCostOracle:
+        key = (kind, n_tokens)
+        oracle = self._oracle_memo.get(key)
+        if oracle is None:
+            if len(self._oracle_memo) >= self._ORACLE_MEMO_LIMIT:
+                self._oracle_memo.clear()
+            oracle = self._oracle_memo[key] = LayerCostOracle.for_model(
+                cost, self.model_config, n_tokens
+            )
+        return oracle
+
     def estimated_oracle(self, n_tokens: int) -> LayerCostOracle:
         """Planner-side duration oracle for a step of ``n_tokens``."""
-        return LayerCostOracle.for_model(self.cost_estimated, self.model_config, n_tokens)
+        return self._oracle("estimated", self.cost_estimated, n_tokens)
 
     def actual_oracle(self, n_tokens: int) -> LayerCostOracle:
         """Execution-side duration oracle for a step of ``n_tokens``."""
-        return LayerCostOracle.for_model(self.cost_actual, self.model_config, n_tokens)
+        return self._oracle("actual", self.cost_actual, n_tokens)
 
     # ------------------------------------------------------------------
     # capacity & profiling

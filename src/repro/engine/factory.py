@@ -63,6 +63,7 @@ def make_engine(
     seed: int = 0,
     num_gpus: int = 1,
     placement: str = "round_robin",
+    planner_fast_path: bool | None = None,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
@@ -91,6 +92,12 @@ def make_engine(
         Expert-placement policy for the sharded cache —
         ``"round_robin"``, ``"layer_striped"`` or ``"load_aware"``
         (ignored when ``engine_config`` given).
+    planner_fast_path:
+        Planner path override: True = incremental fast path, False =
+        the pre-PR-3 reference planner (from-scratch simulator, plan
+        memo disabled), None = scheduler-config default (the fast
+        path). Plans are bit-identical either way (ignored when
+        ``engine_config`` given).
     engine_config:
         Full engine configuration; overrides ``cache_ratio``/``seed``/
         ``num_gpus``/``placement``.
@@ -112,6 +119,7 @@ def make_engine(
             seed=seed,
             num_gpus=num_gpus,
             placement=placement,
+            planner_fast_path=planner_fast_path,
         )
     return InferenceEngine(model, strategy, hardware, engine_config)
 
@@ -125,6 +133,7 @@ def make_serving_engine(
     seed: int = 0,
     num_gpus: int = 1,
     placement: str = "round_robin",
+    planner_fast_path: bool | None = None,
     max_batch_size: int = 8,
     serving_config=None,
     engine_config: EngineConfig | None = None,
@@ -153,6 +162,7 @@ def make_serving_engine(
         seed=seed,
         num_gpus=num_gpus,
         placement=placement,
+        planner_fast_path=planner_fast_path,
         engine_config=engine_config,
         strategy_kwargs=strategy_kwargs,
         model_kwargs=model_kwargs,

@@ -122,6 +122,105 @@ class TestMRS:
         assert policy.score_of((0, 0)) == pytest.approx(0.9)
         assert policy.score_of((1, 1)) == pytest.approx(0.8)
 
+    def test_insert_before_scores_then_fold(self):
+        """A key inserted before its layer was ever scored keeps a zero
+        priority, then folds into the layer array on first scoring."""
+        policy = MRSPolicy(alpha=1.0, top_p=2)
+        policy.on_insert((3, 5), 1)
+        assert policy.priority((3, 5)) == 0.0
+        policy.on_scores(3, np.array([0.0, 0.0, 0.0, 0.0, 0.0, 0.7]), 2)
+        assert policy.score_of((3, 5)) == pytest.approx(0.7)
+        assert (3, 5) in policy.priority_snapshot()
+
+
+class TestMRSVectorizedEquivalence:
+    """The numpy MRS must match the historical per-key dict version
+    bit-for-bit: same priorities, same eviction order."""
+
+    class _ReferenceMRS:
+        """The pre-vectorization implementation, kept as the oracle."""
+
+        def __init__(self, alpha, top_p):
+            self.alpha, self.top_p = alpha, top_p
+            self._scores: dict[tuple[int, int], float] = {}
+            self._last_used: dict[tuple[int, int], int] = {}
+
+        def on_insert(self, key, now):
+            self._scores.setdefault(key, 0.0)
+            self._last_used[key] = now
+
+        def on_access(self, key, now):
+            self._last_used[key] = now
+
+        def on_scores(self, layer, scores, now):
+            scores = np.asarray(scores, dtype=np.float64)
+            p = min(self.top_p, scores.size)
+            top = set(int(i) for i in np.argsort(-scores, kind="stable")[:p])
+            for expert in range(scores.size):
+                previous = self._scores.get((layer, expert), 0.0)
+                contribution = float(scores[expert]) if expert in top else 0.0
+                self._scores[(layer, expert)] = (
+                    self.alpha * contribution + (1.0 - self.alpha) * previous
+                )
+
+        def victim(self, candidates):
+            return min(
+                candidates,
+                key=lambda k: (
+                    self._scores.get(k, 0.0),
+                    self._last_used.get(k, -1),
+                    k,
+                ),
+            )
+
+        def priority(self, key):
+            return self._scores.get(key, 0.0)
+
+        def forget(self, key):
+            self._last_used.pop(key, None)
+
+    @pytest.mark.parametrize("alpha,top_p", [(0.3, 2), (0.7, 4), (1.0, 1)])
+    def test_identical_eviction_order(self, alpha, top_p):
+        import random
+
+        rng = random.Random(42)
+        nprng = np.random.default_rng(42)
+        policy = MRSPolicy(alpha=alpha, top_p=top_p)
+        reference = self._ReferenceMRS(alpha, top_p)
+        resident: set[tuple[int, int]] = set()
+        evictions_new: list[tuple[int, int]] = []
+        evictions_ref: list[tuple[int, int]] = []
+        for clock in range(1, 300):
+            roll = rng.random()
+            if roll < 0.3:
+                key = (rng.randint(0, 2), rng.randint(0, 9))
+                policy.on_insert(key, clock)
+                reference.on_insert(key, clock)
+                resident.add(key)
+            elif roll < 0.45 and resident:
+                key = rng.choice(sorted(resident))
+                policy.on_access(key, clock)
+                reference.on_access(key, clock)
+            elif roll < 0.8:
+                layer = rng.randint(0, 2)
+                scores = nprng.random(rng.choice([6, 8, 10]))
+                policy.on_scores(layer, scores, clock)
+                reference.on_scores(layer, scores, clock)
+            elif len(resident) > 2:
+                candidates = sorted(resident)
+                victim_new = policy.victim(candidates)
+                victim_ref = reference.victim(candidates)
+                evictions_new.append(victim_new)
+                evictions_ref.append(victim_ref)
+                assert policy.priority(victim_new) == reference.priority(victim_ref)
+                policy.forget(victim_new)
+                reference.forget(victim_ref)
+                resident.discard(victim_new)
+        assert evictions_new == evictions_ref
+        assert len(evictions_new) > 10
+        for key in sorted(resident):
+            assert policy.priority(key) == reference.priority(key)
+
 
 class TestFactory:
     @pytest.mark.parametrize("name,cls", [("lru", LRUPolicy), ("lfu", LFUPolicy), ("mrs", MRSPolicy)])

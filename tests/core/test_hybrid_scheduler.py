@@ -152,3 +152,74 @@ class TestSearch:
         full = scheduler.simulate_makespan(activated, cached, 1)
         quick = scheduler.simulate_makespan(activated, cached, 1, quick=True)
         assert full <= quick + 1e-12
+
+
+class TestSearchWidthSubsampling:
+    """`max_search_width` candidate subsampling (nested dyadic family)."""
+
+    def _counts(self, toy_oracle_factory, width, n_uncached):
+        scheduler = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(max_search_width=width)
+        )
+        return scheduler._candidate_transfer_counts(n_uncached, force_quick=False)
+
+    def test_extremes_always_included(self, toy_oracle_factory):
+        for n_uncached in (1, 2, 5, 10, 33):
+            for width in (2, 3, 4, 7, None):
+                counts = self._counts(toy_oracle_factory, width, n_uncached)
+                assert counts[0] == 0 and counts[-1] == n_uncached
+                assert counts == sorted(set(counts))
+                if width is not None:
+                    assert len(counts) <= max(width, 2)
+
+    def test_width_two_equals_quick_mode(self, toy_oracle_factory):
+        scheduler = HybridScheduler(
+            toy_oracle_factory, SchedulerConfig(max_search_width=2)
+        )
+        for n_uncached in (1, 3, 10):
+            assert scheduler._candidate_transfer_counts(
+                n_uncached, force_quick=False
+            ) == scheduler._candidate_transfer_counts(n_uncached, force_quick=True)
+        activated = [(e, (e * 5) % 7 + 1) for e in range(9)]
+        cached = {0, 2}
+        width2 = scheduler.simulate_makespan(activated, cached, 1)
+        quick = HybridScheduler(toy_oracle_factory).simulate_makespan(
+            activated, cached, 1, quick=True
+        )
+        assert width2 == quick
+
+    def test_widening_is_nested(self, toy_oracle_factory):
+        """The width-w candidate set is a subset of every wider set —
+        the structural property behind makespan monotonicity."""
+        for n_uncached in (4, 9, 17, 30):
+            previous: set[int] = set()
+            for width in range(2, n_uncached + 2):
+                counts = set(self._counts(toy_oracle_factory, width, n_uncached))
+                assert previous <= counts
+                previous = counts
+            assert previous == set(range(n_uncached + 1))
+
+    def test_monotone_widening_never_worsens_makespan(self, toy_oracle_factory):
+        """Because widening only adds candidates, the chosen makespan is
+        non-increasing in the search width, down to the exhaustive
+        optimum."""
+        from repro.rng import derive_rng
+
+        rng = derive_rng(0, "width-monotone")
+        for trial in range(15):
+            n = int(rng.integers(5, 14))
+            experts = [int(e) for e in rng.choice(32, size=n, replace=False)]
+            activated = [(e, int(rng.integers(1, 12))) for e in experts]
+            cached = {e for e in experts if rng.random() < 0.3}
+            best_so_far = float("inf")
+            for width in (2, 3, 4, 6, 9, None):
+                scheduler = HybridScheduler(
+                    toy_oracle_factory, SchedulerConfig(max_search_width=width)
+                )
+                makespan = scheduler.simulate_makespan(activated, cached, 1)
+                assert makespan <= best_so_far + 1e-12
+                best_so_far = min(best_so_far, makespan)
+            exhaustive = HybridScheduler(toy_oracle_factory).simulate_makespan(
+                activated, cached, 1
+            )
+            assert abs(best_so_far - exhaustive) <= 1e-12
