@@ -100,7 +100,7 @@ def test_fast_path_decode_speedup(model_name):
         for _ in range(5):
             start = time.perf_counter()
             for _ in range(reps):
-                plan = scheduler.plan(0, activated, cached, n_tokens=n_tokens)
+                scheduler.plan(0, activated, cached, n_tokens=n_tokens)
             best = min(best, time.perf_counter() - start)
         timings[planner] = best
     fast_plan = _scheduler_inputs(model_name, 1, 0.5, "fast")[0].plan(

@@ -1,48 +1,424 @@
-"""Serving under load: all five frameworks race one arrival trace.
+"""Serving benchmarks: load race + SLO overload, with a tracked trajectory.
 
-Each strategy serves the same Poisson trace (16 requests at 4 req/s,
-24 decode tokens each) through the continuous-batching serving loop on
-a shared expert cache. Under multi-request contention the single-
-generation gaps widen: queueing compounds every per-step loss, so a
-slower step pipeline shows up as multiplied queueing delay and tail
-TBT. Checks that HybriMoE sustains the best goodput and tail latency.
+Two scenarios, both fully deterministic (metrics are *simulated* time,
+so runs are bit-stable across machines — the regression gate can be
+tight):
+
+1. **load** — all five frameworks race one Poisson arrival trace
+   through the continuous-batching serving loop on a shared expert
+   cache. Under multi-request contention the single-generation gaps
+   widen: queueing compounds every per-step loss, so a slower step
+   pipeline shows up as multiplied queueing delay and tail TBT. Checks
+   that HybriMoE sustains the best goodput and tail latency.
+
+2. **overload** — arrival rate exceeds the service rate with a 25%
+   ``interactive`` / 75% ``batch`` priority mix. The same trace is
+   served twice by HybriMoE: once FCFS (classes ignored — the
+   pre-SLO default) and once with the SLO scheduler (priority
+   admission + chunked prefill + cooperative preemption). Reports
+   per-class goodput and p99 TTFT/TBT both ways; the SLO win is
+   interactive tail latency improving while total goodput stays within
+   ``GOODPUT_TOLERANCE`` (chunk slices ride the fused decode steps, so
+   their overhead is bounded).
+
+Results are written as versioned JSON; the committed repo-root
+``BENCH_serving.json`` is the trajectory baseline the CI ``serving-perf``
+job gates against (``perf-regression-ok`` label skips the gate).
+
+Usage::
+
+    python benchmarks/bench_serving.py            # full run, merges into BENCH_serving.json
+    python benchmarks/bench_serving.py --smoke    # CI-sized run
+    python benchmarks/bench_serving.py --smoke --check --out BENCH_serving.current.json
+
+or, as a pytest benchmark (the historical load race at bench scale)::
+
+    pytest benchmarks/bench_serving.py --benchmark-only
 """
 
-from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
-from repro.engine.factory import available_strategies, make_serving_engine
-from repro.experiments.reporting import format_table
-from repro.workloads.generator import serving_workload
+from __future__ import annotations
 
-NUM_REQUESTS = 16
-ARRIVAL_RATE = 4.0
-DECODE_STEPS = 24
-CACHE_RATIO = 0.25
-MAX_BATCH = 8
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine.factory import available_strategies, make_serving_engine  # noqa: E402
+from repro.experiments.reporting import format_table  # noqa: E402
+from repro.workloads.generator import serving_workload  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
+SCHEMA_VERSION = 1
+
+#: Gate: a tracked ratio may not regress by more than this factor
+#: versus the committed baseline.
+REGRESSION_FACTOR = 1.25
+#: Gate: the SLO configuration must keep total goodput within 1% of
+#: FCFS on the overload trace (the acceptance criterion's "without
+#: reducing total goodput", with determinism-level slack).
+GOODPUT_TOLERANCE = 0.99
+
+#: Overload scenario: arrival rate ~4x the service rate, a 25/75
+#: interactive/batch mix, and an interactive TBT deadline for the
+#: SLO-attainment column. Identical in smoke and full mode (it runs in
+#: seconds); only the load race scales down.
+OVERLOAD = {
+    "num_requests": 24,
+    "arrival_rate": 80.0,
+    "decode_steps": 24,
+    "max_batch_size": 6,
+    "cache_ratio": 0.25,
+    "num_layers": 4,
+    "prefill_chunk_tokens": 64,
+    "priority_mix": {"interactive": 0.25, "batch": 0.75},
+    "tbt_deadline_s": 0.05,
+    "seed": 0,
+}
+
+LOAD_FULL = {"num_layers": 6, "num_requests": 16, "arrival_rate": 8.0,
+             "decode_steps": 16, "max_batch_size": 8, "cache_ratio": 0.25, "seed": 0}
+LOAD_SMOKE = {"num_layers": 4, "num_requests": 8, "arrival_rate": 8.0,
+              "decode_steps": 8, "max_batch_size": 8, "cache_ratio": 0.25, "seed": 0}
 
 
-def _race():
+# ----------------------------------------------------------------------
+# scenario: load (five-strategy race)
+# ----------------------------------------------------------------------
+
+def run_load_race(
+    num_layers: int,
+    num_requests: int,
+    arrival_rate: float,
+    decode_steps: int,
+    max_batch_size: int,
+    cache_ratio: float,
+    seed: int,
+) -> list[dict]:
+    """Serve one Poisson trace per strategy; one summary row each."""
     rows = []
     for strategy in available_strategies():
         serving = make_serving_engine(
             model="deepseek",
             strategy=strategy,
-            cache_ratio=CACHE_RATIO,
-            num_layers=BENCH_SCALE.num_layers,
-            seed=BENCH_SEED,
-            max_batch_size=MAX_BATCH,
+            cache_ratio=cache_ratio,
+            num_layers=num_layers,
+            seed=seed,
+            max_batch_size=max_batch_size,
         )
         trace = serving_workload(
-            num_requests=NUM_REQUESTS,
-            arrival_rate=ARRIVAL_RATE,
-            decode_steps=DECODE_STEPS,
-            seed=BENCH_SEED,
+            num_requests=num_requests,
+            arrival_rate=arrival_rate,
+            decode_steps=decode_steps,
+            seed=seed,
         )
         rows.append(serving.serve_trace(trace).summary())
     return rows
 
 
+def _bench_load(smoke: bool) -> dict:
+    params = LOAD_SMOKE if smoke else LOAD_FULL
+    rows = run_load_race(**params)
+    by_strategy = {r["strategy"]: r for r in rows}
+    hybrimoe, ondemand = by_strategy["hybrimoe"], by_strategy["ondemand"]
+    return {
+        "params": params,
+        "per_strategy": {
+            r["strategy"]: {
+                "goodput_rps": r["goodput_rps"],
+                "p99_tbt_s": r["p99_tbt_s"],
+                "hit_rate": r["hit_rate"],
+            }
+            for r in rows
+        },
+        "hybrimoe_goodput_vs_ondemand": hybrimoe["goodput_rps"]
+        / ondemand["goodput_rps"],
+        "hybrimoe_best_tail": all(
+            hybrimoe["p99_tbt_s"] <= r["p99_tbt_s"] for r in rows
+        ),
+        "hybrimoe_best_goodput": all(
+            hybrimoe["goodput_rps"] >= r["goodput_rps"] for r in rows
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario: overload (FCFS vs SLO scheduler)
+# ----------------------------------------------------------------------
+
+def _class_metrics(report, classes: list[str]) -> dict:
+    """Per-class goodput and tail latencies, classes assigned by id."""
+    records = {r.request_id: r for r in report.requests}
+    out = {}
+    for name in sorted(set(classes)):
+        members = [r for i, r in records.items() if classes[i] == name]
+        pooled = [t for r in members for t in r.tbt_values]
+        ttfts = [r.ttft for r in members]
+        out[name] = {
+            "requests": len(members),
+            "goodput_rps": len(members) / report.makespan,
+            "p99_ttft_s": float(np.percentile(ttfts, 99)),
+            "p99_tbt_s": float(np.percentile(pooled, 99)) if pooled else float("nan"),
+        }
+    return out
+
+
+def run_overload() -> dict:
+    """Serve the overload trace FCFS and SLO-scheduled; compare."""
+    p = OVERLOAD
+    mixed = serving_workload(
+        num_requests=p["num_requests"],
+        arrival_rate=p["arrival_rate"],
+        decode_steps=p["decode_steps"],
+        seed=p["seed"],
+        priority_mix=p["priority_mix"],
+        class_deadlines={"interactive": p["tbt_deadline_s"]},
+    )
+    classes = [e.priority for e in mixed]
+    # FCFS baseline: identical arrivals and prompts, classes ignored
+    # (every request in the default class — the pre-SLO behaviour).
+    plain = serving_workload(
+        num_requests=p["num_requests"],
+        arrival_rate=p["arrival_rate"],
+        decode_steps=p["decode_steps"],
+        seed=p["seed"],
+    )
+    results = {}
+    for name, trace, slo_kwargs in (
+        ("fcfs", plain, {}),
+        (
+            "slo",
+            mixed,
+            {
+                "prefill_chunk_tokens": p["prefill_chunk_tokens"],
+                "preemption": True,
+            },
+        ),
+    ):
+        serving = make_serving_engine(
+            model="deepseek",
+            strategy="hybrimoe",
+            cache_ratio=p["cache_ratio"],
+            num_layers=p["num_layers"],
+            seed=p["seed"],
+            max_batch_size=p["max_batch_size"],
+            **slo_kwargs,
+        )
+        report = serving.serve_trace(trace)
+        results[name] = {
+            "goodput_rps": report.goodput,
+            "preemptions": report.preemptions,
+            "classes": _class_metrics(report, classes),
+        }
+    fcfs_int = results["fcfs"]["classes"]["interactive"]
+    slo_int = results["slo"]["classes"]["interactive"]
+    return {
+        "params": p,
+        "fcfs": results["fcfs"],
+        "slo": results["slo"],
+        "interactive_p99_tbt_improvement": fcfs_int["p99_tbt_s"]
+        / slo_int["p99_tbt_s"],
+        "interactive_p99_ttft_improvement": fcfs_int["p99_ttft_s"]
+        / slo_int["p99_ttft_s"],
+        "goodput_ratio": results["slo"]["goodput_rps"]
+        / results["fcfs"]["goodput_rps"],
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory + gate
+# ----------------------------------------------------------------------
+
+def run(smoke: bool) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "criteria": {
+            "regression_factor": REGRESSION_FACTOR,
+            "goodput_tolerance": GOODPUT_TOLERANCE,
+        },
+        "scenarios": {
+            "load": _bench_load(smoke),
+            "overload": run_overload(),
+        },
+    }
+
+
+def check(current: dict, baseline: dict | None) -> list[str]:
+    """Gate failures of ``current`` against the committed baseline."""
+    failures: list[str] = []
+    mode = current["mode"]
+    load = current["scenarios"]["load"]
+    overload = current["scenarios"]["overload"]
+
+    # Hard criteria (hold in every mode, baseline or not).
+    if not load["hybrimoe_best_tail"]:
+        failures.append("load: hybrimoe no longer has the lowest p99 TBT")
+    if not load["hybrimoe_best_goodput"]:
+        failures.append("load: hybrimoe no longer has the highest goodput")
+    tbt_improvement = overload["interactive_p99_tbt_improvement"]
+    if tbt_improvement <= 1.0:
+        failures.append(
+            f"overload: SLO scheduling no longer improves interactive p99 TBT "
+            f"({tbt_improvement:.2f}x vs FCFS)"
+        )
+    goodput_ratio = overload["goodput_ratio"]
+    if goodput_ratio < GOODPUT_TOLERANCE:
+        failures.append(
+            f"overload: SLO scheduling costs too much total goodput "
+            f"({goodput_ratio:.3f}x FCFS, tolerance {GOODPUT_TOLERANCE})"
+        )
+
+    # Trajectory regression vs the committed baseline (same mode).
+    if baseline is None:
+        failures.append(f"no committed baseline at {BASELINE_PATH}")
+        return failures
+    committed = baseline.get("modes", {}).get(mode)
+    if committed is None:
+        failures.append(f"committed baseline has no '{mode}' mode entry")
+        return failures
+    ratios = (
+        (
+            "load: hybrimoe goodput vs ondemand",
+            load["hybrimoe_goodput_vs_ondemand"],
+            committed["scenarios"]["load"]["hybrimoe_goodput_vs_ondemand"],
+        ),
+        (
+            "overload: interactive p99 TBT improvement",
+            tbt_improvement,
+            committed["scenarios"]["overload"]["interactive_p99_tbt_improvement"],
+        ),
+        (
+            "overload: interactive p99 TTFT improvement",
+            overload["interactive_p99_ttft_improvement"],
+            committed["scenarios"]["overload"]["interactive_p99_ttft_improvement"],
+        ),
+    )
+    for label, now, then in ratios:
+        floor = then / REGRESSION_FACTOR
+        if now < floor:
+            failures.append(
+                f"{label} regressed >{REGRESSION_FACTOR:.2f}x: "
+                f"{now:.2f}x vs committed {then:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def _print_results(results: dict) -> None:
+    load = results["scenarios"]["load"]
+    print(f"serving bench ({results['mode']}):")
+    print("  load race (per strategy):")
+    for name, row in sorted(
+        load["per_strategy"].items(), key=lambda kv: kv[1]["p99_tbt_s"]
+    ):
+        print(
+            f"    {name:13s} goodput {row['goodput_rps']:6.2f} req/s  "
+            f"p99 TBT {row['p99_tbt_s'] * 1e3:7.2f} ms  "
+            f"hit rate {row['hit_rate']:.3f}"
+        )
+    print(
+        f"    hybrimoe goodput vs ondemand: "
+        f"{load['hybrimoe_goodput_vs_ondemand']:.2f}x"
+    )
+    overload = results["scenarios"]["overload"]
+    print("  overload (FCFS vs SLO scheduler, hybrimoe):")
+    for config in ("fcfs", "slo"):
+        row = overload[config]
+        interactive = row["classes"]["interactive"]
+        batch = row["classes"]["batch"]
+        print(
+            f"    {config:5s} goodput {row['goodput_rps']:6.2f} req/s  "
+            f"interactive p99 TBT {interactive['p99_tbt_s'] * 1e3:6.2f} ms / "
+            f"TTFT {interactive['p99_ttft_s'] * 1e3:7.2f} ms  "
+            f"batch p99 TBT {batch['p99_tbt_s'] * 1e3:6.2f} ms  "
+            f"(goodput int {interactive['goodput_rps']:.2f} / "
+            f"batch {batch['goodput_rps']:.2f}, "
+            f"preemptions {row['preemptions']})"
+        )
+    print(
+        f"    interactive p99 TBT {overload['interactive_p99_tbt_improvement']:.2f}x"
+        f" better, TTFT {overload['interactive_p99_ttft_improvement']:.2f}x better,"
+        f" total goodput {overload['goodput_ratio']:.3f}x FCFS"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on regression vs the committed BENCH_serving.json",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=BASELINE_PATH,
+        help="where to write results (default: repo-root BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Read the committed baseline before writing anything: `--check`
+    # must compare against the pre-run state even when --out points at
+    # the baseline file itself.
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    results = run(args.smoke)
+
+    if args.out == BASELINE_PATH:
+        # The baseline keeps one entry per mode, so a smoke run never
+        # clobbers the committed full-mode trajectory (or vice versa).
+        merged = {
+            "schema": SCHEMA_VERSION,
+            "criteria": results["criteria"],
+            "modes": dict((baseline or {}).get("modes", {})),
+        }
+        merged["modes"][results["mode"]] = {
+            "scenarios": results["scenarios"]
+        }
+        args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    else:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    _print_results(results)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest benchmark (the historical load race at bench scale)
+# ----------------------------------------------------------------------
+
 def test_serving_under_load(benchmark, report):
-    rows = benchmark.pedantic(_race, rounds=1, iterations=1)
+    from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+    rows = benchmark.pedantic(
+        lambda: run_load_race(
+            num_layers=BENCH_SCALE.num_layers,
+            num_requests=16,
+            arrival_rate=4.0,
+            decode_steps=24,
+            max_batch_size=8,
+            cache_ratio=0.25,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
     rows.sort(key=lambda r: r["p99_tbt_s"])
     table = format_table(
         rows,
@@ -57,8 +433,8 @@ def test_serving_under_load(benchmark, report):
             "hit_rate",
         ],
         title=(
-            f"serving race — deepseek @ {CACHE_RATIO:.0%} cache, "
-            f"{NUM_REQUESTS} requests @ {ARRIVAL_RATE:.0f} req/s (best tail first)"
+            "serving race — deepseek @ 25% cache, "
+            "16 requests @ 4 req/s (best tail first)"
         ),
     )
     by_strategy = {r["strategy"]: r for r in rows}
@@ -81,3 +457,7 @@ def test_serving_under_load(benchmark, report):
     # Contention multiplies the single-generation gap vs on-demand.
     assert hybrimoe["goodput_rps"] >= 1.5 * ondemand["goodput_rps"]
     assert hybrimoe["mean_queue_delay_s"] < ondemand["mean_queue_delay_s"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ import argparse
 import sys
 
 from repro.cache.placement import available_placements
+from repro.errors import ConfigError
 from repro.engine.factory import (
     available_strategies,
     make_engine,
@@ -116,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--decode-steps", type=int, default=16)
     serve.add_argument("--max-batch-size", type=int, default=8)
+    serve.add_argument(
+        "--priority-mix",
+        default=None,
+        help="per-class arrival fractions, e.g. 'interactive=0.25,batch=0.75' "
+        "(default: every request in the batch class — pure FCFS)",
+    )
+    serve.add_argument(
+        "--prefill-chunk",
+        type=int,
+        default=None,
+        metavar="TOKENS",
+        help="chunked prefill: bound each prefill step to TOKENS prompt "
+        "tokens, interleaving slices with decode steps",
+    )
+    serve.add_argument(
+        "--preempt",
+        action="store_true",
+        help="allow arrived higher-priority requests to pause the "
+        "lowest-priority decoder when the batch is full",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--num-gpus", type=int, default=1, help="simulated GPU devices (sharded cache above 1)"
@@ -172,6 +193,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_priority_mix(text: str | None) -> dict[str, float] | None:
+    """Parse ``'interactive=0.25,batch=0.75'`` into a mix mapping."""
+    if text is None:
+        return None
+    mix: dict[str, float] = {}
+    for part in text.split(","):
+        name, _, fraction = part.partition("=")
+        if not _ or not name.strip():
+            raise ConfigError(
+                f"bad --priority-mix entry {part!r}; expected CLASS=FRACTION"
+            )
+        try:
+            mix[name.strip()] = float(fraction)
+        except ValueError:
+            raise ConfigError(
+                f"bad --priority-mix fraction {fraction!r} for {name.strip()!r}"
+            ) from None
+    return mix
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     serving = make_serving_engine(
         model=args.model,
@@ -184,6 +225,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         placement=args.placement,
         planner_fast_path=args.planner == "fast",
         max_batch_size=args.max_batch_size,
+        prefill_chunk_tokens=args.prefill_chunk,
+        preemption=args.preempt,
     )
     arrival_times = None
     arrival_rate: float | None = args.arrival_rate
@@ -197,17 +240,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         decode_steps=args.decode_steps,
         vocab_size=serving.engine.model.vocab_size,
         seed=args.seed,
+        priority_mix=_parse_priority_mix(args.priority_mix),
     )
     report = serving.serve_trace(trace)
     topology = "" if args.num_gpus == 1 else f", {args.num_gpus} GPUs ({args.placement})"
+    slo = ""
+    if args.prefill_chunk is not None:
+        slo += f", chunk={args.prefill_chunk}"
+    if args.preempt:
+        slo += ", preemption"
     print(
         format_table(
             report.per_request_rows(),
             title=f"serving report: {args.strategy} on {args.model} @ "
-            f"{args.cache_ratio:.0%} cache, batch<={args.max_batch_size}{topology}",
+            f"{args.cache_ratio:.0%} cache, batch<={args.max_batch_size}"
+            f"{topology}{slo}",
         )
     )
     print(format_table([report.summary()], title="aggregate"))
+    if len(report.priority_classes()) > 1:
+        print(format_table(report.class_summary(), title="per-class SLO"))
     if args.num_gpus > 1:
         cache = serving.engine.runtime.cache
         device_rows = [

@@ -135,6 +135,8 @@ def make_serving_engine(
     placement: str = "round_robin",
     planner_fast_path: bool | None = None,
     max_batch_size: int = 8,
+    prefill_chunk_tokens: int | None = None,
+    preemption: bool = False,
     serving_config=None,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
@@ -144,9 +146,16 @@ def make_serving_engine(
 
     Builds a fresh :func:`make_engine` (cold clock, warm cache) and
     wraps it in a :class:`~repro.serving.engine.ServingEngine`.
-    ``serving_config`` overrides ``max_batch_size`` when given;
+    ``serving_config`` overrides ``max_batch_size`` /
+    ``prefill_chunk_tokens`` / ``preemption`` when given;
     ``num_gpus``/``placement`` configure the sharded expert cache and
     device-aware dispatch exactly as in :func:`make_engine`.
+
+    ``prefill_chunk_tokens`` bounds each prefill step to that many
+    prompt tokens (slices interleave with fused decode steps);
+    ``preemption`` lets arrived higher-priority requests pause the
+    lowest-priority decoder when the batch is full. The defaults keep
+    the historical FCFS behaviour bit-identically.
     """
     # Imported lazily: repro.serving builds on repro.engine, so a
     # top-level import here would be circular.
@@ -168,5 +177,9 @@ def make_serving_engine(
         model_kwargs=model_kwargs,
     )
     if serving_config is None:
-        serving_config = ServingConfig(max_batch_size=max_batch_size)
+        serving_config = ServingConfig(
+            max_batch_size=max_batch_size,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            preemption=preemption,
+        )
     return ServingEngine(engine, serving_config)

@@ -191,11 +191,30 @@ class RequestRecord:
     finish_time: float
     tbt_values: tuple[float, ...]
     result: "GenerationResult | None" = None
+    #: Priority class the request was served under.
+    priority: str = "batch"
+    #: Per-request TBT SLO target in seconds (None = no deadline).
+    tbt_deadline: float | None = None
+    #: Times the request was paused by cooperative preemption.
+    num_preemptions: int = 0
 
     @property
     def queueing_delay(self) -> float:
         """Seconds the request waited before its prefill started."""
         return self.prefill_start - self.arrival_time
+
+    @property
+    def meets_tbt_deadline(self) -> bool | None:
+        """Whether p99 TBT stayed within the deadline (None = no SLO).
+
+        Prefill-only requests with a deadline trivially meet it (they
+        emit no decode tokens to violate it).
+        """
+        if self.tbt_deadline is None:
+            return None
+        if not self.tbt_values:
+            return True
+        return self.p99_tbt <= self.tbt_deadline
 
     @property
     def ttft(self) -> float:
@@ -235,6 +254,7 @@ class RequestRecord:
         has_tbt = bool(self.tbt_values)
         return {
             "request": self.request_id,
+            "class": self.priority,
             "prompt_len": self.prompt_len,
             "tokens": self.decode_tokens,
             "arrival_s": self.arrival_time,
@@ -244,6 +264,7 @@ class RequestRecord:
             "p95_tbt_s": self.p95_tbt if has_tbt else float("nan"),
             "p99_tbt_s": self.p99_tbt if has_tbt else float("nan"),
             "e2e_s": self.e2e_latency,
+            "preemptions": self.num_preemptions,
         }
 
 
@@ -258,6 +279,8 @@ class ServingReport:
     requests: list[RequestRecord] = field(default_factory=list)
     total_hits: int = 0
     total_misses: int = 0
+    #: Total cooperative preemptions performed during the run.
+    preemptions: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -320,6 +343,67 @@ class ServingReport:
         """Per-request table rows, ordered by request id."""
         return [r.summary() for r in sorted(self.requests, key=lambda r: r.request_id)]
 
+    # ------------------------------------------------------------------
+    # per-class (SLO) views
+    # ------------------------------------------------------------------
+    def priority_classes(self) -> list[str]:
+        """Priority classes present, sorted by name."""
+        return sorted({r.priority for r in self.requests})
+
+    def requests_of_class(self, priority: str) -> list[RequestRecord]:
+        """Finished requests of one priority class, by request id."""
+        return sorted(
+            (r for r in self.requests if r.priority == priority),
+            key=lambda r: r.request_id,
+        )
+
+    def class_goodput(self, priority: str) -> float:
+        """Completed requests of a class per second of the full window."""
+        span = self.makespan
+        if span <= 0.0:
+            raise SimulationError("serving window is empty")
+        return len(self.requests_of_class(priority)) / span
+
+    def class_summary(self) -> list[dict[str, float | int | str]]:
+        """One aggregate row per priority class (the SLO view).
+
+        Each row carries the class's request count, goodput over the
+        shared serving window, TTFT and TBT percentiles, preemption
+        count, and — when any request of the class has a
+        ``tbt_deadline`` — the fraction whose p99 TBT met it
+        (``slo_attainment``).
+        """
+        rows: list[dict[str, float | int | str]] = []
+        for priority in self.priority_classes():
+            records = self.requests_of_class(priority)
+            row: dict[str, float | int | str] = {
+                "class": priority,
+                "requests": len(records),
+                "goodput_rps": self.class_goodput(priority),
+                "preemptions": sum(r.num_preemptions for r in records),
+            }
+            for name, value in latency_percentiles(
+                [r.ttft for r in records]
+            ).items():
+                row[f"{name}_ttft_s"] = value
+            pooled = [tbt for r in records for tbt in r.tbt_values]
+            if pooled:
+                tbt = latency_percentiles(pooled)
+            else:
+                tbt = {f"p{q}": float("nan") for q in PERCENTILES}
+            for name, value in tbt.items():
+                row[f"{name}_tbt_s"] = value
+            verdicts = [
+                r.meets_tbt_deadline
+                for r in records
+                if r.meets_tbt_deadline is not None
+            ]
+            row["slo_attainment"] = (
+                sum(verdicts) / len(verdicts) if verdicts else float("nan")
+            )
+            rows.append(row)
+        return rows
+
     def summary(self) -> dict[str, float | int | str]:
         """Flat aggregate record for tabulation and benchmarks."""
         record: dict[str, float | int | str] = {
@@ -332,6 +416,7 @@ class ServingReport:
             "token_throughput": self.token_throughput,
             "mean_queue_delay_s": self.mean_queueing_delay,
             "hit_rate": self.hit_rate,
+            "preemptions": self.preemptions,
         }
         for name, value in self.ttft_percentiles().items():
             record[f"{name}_ttft_s"] = value

@@ -2,12 +2,15 @@
 
 This package turns the single-generation engine into a serving system:
 
-- :mod:`repro.serving.request` — the queued → prefill → decoding →
-  finished request lifecycle;
-- :mod:`repro.serving.scheduler` — FCFS admission + iteration-level
-  continuous batching policy;
+- :mod:`repro.serving.request` — the queued → prefill → decoding ⇄
+  preempted → finished request lifecycle, with priority classes and
+  optional per-request TBT deadlines;
+- :mod:`repro.serving.scheduler` — priority-then-FCFS admission (plain
+  FCFS with a single class), iteration-level continuous batching,
+  chunked prefill and cooperative preemption policy;
 - :mod:`repro.serving.engine` — the serving loop fusing concurrent
-  decode steps through one shared cache/scheduler/clock.
+  decode steps (and chunked-prefill slices) through one shared
+  cache/scheduler/clock.
 
 Quickstart::
 
@@ -22,7 +25,13 @@ Quickstart::
 """
 
 from repro.serving.engine import ServingEngine, requests_from_trace
-from repro.serving.request import Request, RequestStatus
+from repro.serving.request import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    Request,
+    RequestStatus,
+    priority_rank,
+)
 from repro.serving.scheduler import (
     Action,
     ContinuousBatchingScheduler,
@@ -30,6 +39,9 @@ from repro.serving.scheduler import (
 )
 
 __all__ = [
+    "PRIORITY_CLASSES",
+    "DEFAULT_PRIORITY",
+    "priority_rank",
     "Request",
     "RequestStatus",
     "ServingConfig",

@@ -3,30 +3,42 @@
 :class:`ServingEngine` drives an :class:`~repro.engine.engine.InferenceEngine`'s
 batch-capable :class:`~repro.engine.pipeline.StepPipeline` for many
 concurrent requests against **one** shared expert cache, hybrid
-scheduler and CPU/GPU/PCIe clock. Each iteration either admits the
-head-of-line request (running its prefill as a dedicated step) or
-advances every running request one token in a single fused decode step,
-so per-layer routing is the union of the batch's activated experts —
-the realistic multi-request contention the cache and prefetcher face in
-production serving.
+scheduler and CPU/GPU/PCIe clock. Each iteration runs one of the
+actions decided by the
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`:
 
-Numerical contract: serving a single request reproduces
-``InferenceEngine.generate`` **bit-identically** — same hidden states,
-same sampled tokens, same step metrics — because the fused pipeline
-degenerates to the historical single-sequence step and the decode
-sampler derives from the same stream. The serving equivalence tests
-enforce this.
+- **admit** the best queued request (priority class first, FCFS within
+  a class), running its prefill as a dedicated step — or, with chunked
+  prefill on and an SLO-class request decoding, its first bounded
+  slice;
+- **prefill** the remainder of an in-progress chunked prefill once the
+  decode batch has drained (no stall left to bound — one step);
+- **decode** every running request one token in a single fused step —
+  carrying the next bounded slice of an in-progress chunked prefill as
+  one extra sequence (a *hybrid* step) — so per-layer routing is the
+  union of the batch's activated experts: the realistic multi-request
+  contention the cache and prefetcher face in production serving;
+- **preempt** / **resume** the lowest-priority decoder under overload
+  (its :class:`~repro.models.model.DecodeState` stays registered and
+  expert-cache contents untouched, so resumption needs no recompute).
+
+Numerical contract: with the default configuration (single priority
+class, chunking off, preemption off) serving reproduces the historical
+FCFS loop **bit-identically** — and a single request reproduces
+``InferenceEngine.generate`` — because the fused pipeline degenerates
+to the historical step sequence and the decode sampler derives from
+the same stream. The serving equivalence tests enforce both.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 from typing import Iterable
 
 import numpy as np
 
 from repro.engine.engine import InferenceEngine
-from repro.engine.metrics import GenerationResult, ServingReport
+from repro.engine.metrics import GenerationResult, ServingReport, StepMetrics
 from repro.engine.pipeline import SequenceStep
 from repro.errors import ConfigError
 from repro.rng import derive_rng
@@ -37,8 +49,42 @@ from repro.workloads.generator import ArrivedWorkload
 __all__ = ["ServingEngine", "requests_from_trace"]
 
 
+def _remove_by_identity(items: list[Request], target: Request) -> None:
+    """Drop ``target`` from ``items`` by object identity.
+
+    ``list.remove`` falls back to ``__eq__`` (field-wise on the
+    dataclass, touching numpy arrays) for non-matching entries; the
+    loop always holds the exact object, so identity is both safer and
+    cheaper.
+    """
+    for index, item in enumerate(items):
+        if item is target:
+            del items[index]
+            return
+    raise ValueError(f"request {target.request_id} not in list")  # pragma: no cover
+
+
 def requests_from_trace(entries: Iterable[ArrivedWorkload]) -> list[Request]:
-    """Materialise serving-trace entries as requests (ids = trace order)."""
+    """Materialise serving-trace entries as requests (ids = trace order).
+
+    Arrival instants are validated: a negative arrival raises
+    :class:`~repro.errors.ConfigError`, and a non-monotone trace (an
+    entry arriving before its predecessor) is accepted with a
+    ``UserWarning`` — the serving loop orders admission by arrival
+    time, so the trace is effectively sorted, but out-of-order traces
+    usually signal a bug in trace construction.
+    """
+    entries = list(entries)
+    arrivals = [float(e.arrival_time) for e in entries]
+    if any(a < 0 for a in arrivals):
+        bad = min(arrivals)
+        raise ConfigError(f"arrival times must be non-negative, got {bad}")
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        warnings.warn(
+            "serving trace arrival times are not non-decreasing; the serving "
+            "loop admits by arrival time, so entries will be reordered",
+            stacklevel=2,
+        )
     return [
         Request.from_workload(index, entry) for index, entry in enumerate(entries)
     ]
@@ -56,7 +102,8 @@ class ServingEngine:
         times shift onto the warm clock and cache stats are reported as
         deltas — but residency carries over, by design.
     config:
-        Serving knobs (batch ceiling, decode token source).
+        Serving knobs (batch ceiling, decode token source, chunked
+        prefill, preemption).
     """
 
     def __init__(
@@ -74,9 +121,10 @@ class ServingEngine:
     def serve(self, requests: Iterable[Request]) -> ServingReport:
         """Serve all requests to completion; returns the serving report.
 
-        Requests are admitted FCFS by ``(arrival_time, request_id)``.
-        The loop is fully deterministic under fixed seeds: identical
-        request sets produce identical reports.
+        Requests are admitted by ``(priority class, arrival_time,
+        request_id)`` — with a single class, plain FCFS. The loop is
+        fully deterministic under fixed seeds: identical request sets
+        produce identical reports.
 
         Requests are single-use and owned by the loop once submitted:
         on a warm engine each admitted request's ``arrival_time`` is
@@ -111,38 +159,101 @@ class ServingEngine:
         stats_start = cache.stats  # one snapshot: aggregated on sharded caches
         hits_before, misses_before = stats_start.hits, stats_start.misses
         self._stats_baseline = (hits_before, misses_before)
-        queue: deque[Request] = deque(pending)
+        queue: list[Request] = list(pending)
         running: list[Request] = []
+        preempted: list[Request] = []
+        prefilling: Request | None = None
         finished: list[Request] = []
         samplers: dict[int, np.random.Generator] = {}
         solo = len(pending) == 1
+        preemptions = 0
 
         try:
-            while queue or running:
+            while queue or running or preempted or prefilling is not None:
                 # The policy reasons in trace-relative time; admission
                 # floors are translated back to absolute clock time.
                 now = engine.runtime.clock.compute_frontier - origin
-                action = self.scheduler.next_action(now, queue, len(running))
+                action = self.scheduler.next_action(
+                    now,
+                    queue,
+                    running,
+                    prefilling=prefilling,
+                    preempted=preempted,
+                )
                 if action is None:  # pragma: no cover - defensive
                     break
                 if action.kind == "admit":
-                    # FCFS invariant: the policy only admits the head.
-                    request = queue.popleft()
-                    assert request is action.request
+                    request = action.request
+                    assert request is not None
+                    _remove_by_identity(queue, request)
+                    request.arrival_shift = origin
                     request.arrival_time += origin
-                    self._prefill(
-                        request, action.not_before + origin, samplers, solo
+                    # Chunk boundaries exist to bound the decode stalls
+                    # of *SLO-class* decoders (any class above the
+                    # default): while one is decoding, every admitted
+                    # prompt — whatever its own class — prefills in
+                    # slices. Default-class decoders eat whole-prompt
+                    # stalls, so a default-only run never pays slice
+                    # overhead.
+                    protect = any(r.priority_rank > 0 for r in running)
+                    complete = self._prefill(
+                        request,
+                        action.not_before + origin,
+                        samplers,
+                        solo,
+                        chunked=protect,
                     )
+                    if not complete:
+                        prefilling = request
+                    elif request.decode_steps == 0:
+                        self._finish(request, request.first_token_time)
+                        finished.append(request)
+                    else:
+                        request.status = RequestStatus.DECODING
+                        running.append(request)
+                elif action.kind == "prefill":
+                    request = action.request
+                    assert request is prefilling and not running
+                    # No decoders left to protect: the remaining prompt
+                    # runs as one dedicated step.
+                    self._prefill_remainder(request, samplers, solo)
+                    prefilling = None
                     if request.decode_steps == 0:
                         self._finish(request, request.first_token_time)
                         finished.append(request)
                     else:
                         request.status = RequestStatus.DECODING
                         running.append(request)
+                elif action.kind == "preempt":
+                    victim = action.request
+                    assert victim is not None
+                    _remove_by_identity(running, victim)
+                    victim.status = RequestStatus.PREEMPTED
+                    victim.num_preemptions += 1
+                    preempted.append(victim)
+                    preemptions += 1
+                elif action.kind == "resume":
+                    request = action.request
+                    assert request is not None
+                    _remove_by_identity(preempted, request)
+                    request.status = RequestStatus.DECODING
+                    running.append(request)
                 else:
-                    for request in self._decode_step(running, samplers):
-                        running.remove(request)
+                    done, chunk_complete = self._decode_step(
+                        running, samplers, prefilling, solo
+                    )
+                    for request in done:
+                        _remove_by_identity(running, request)
                         finished.append(request)
+                    if chunk_complete:
+                        request = prefilling
+                        prefilling = None
+                        if request.decode_steps == 0:
+                            self._finish(request, request.first_token_time)
+                            finished.append(request)
+                        else:
+                            request.status = RequestStatus.DECODING
+                            running.append(request)
         finally:
             # A mid-run failure (strategy bug, interrupt) must not leave
             # orphaned decode states behind: the engine stays usable.
@@ -161,10 +272,15 @@ class ServingEngine:
             ),
             total_hits=final_stats.hits - hits_before,
             total_misses=final_stats.misses - misses_before,
+            preemptions=preemptions,
         )
 
     def serve_trace(self, entries: Iterable[ArrivedWorkload]) -> ServingReport:
-        """Convenience: build requests from a serving trace and serve."""
+        """Convenience: build requests from a serving trace and serve.
+
+        Trace arrivals are validated by :func:`requests_from_trace`
+        (negative arrivals raise, non-monotone traces warn).
+        """
         return self.serve(requests_from_trace(entries))
 
     # ------------------------------------------------------------------
@@ -196,13 +312,36 @@ class ServingEngine:
         not_before: float,
         samplers: dict[int, np.random.Generator],
         solo: bool,
-    ) -> None:
-        """Admit one request: create its state and run its prefill step."""
+        chunked: bool = False,
+    ) -> bool:
+        """Admit one request: create its state and start its prefill.
+
+        Returns True when the prefill completed; False when the request
+        entered a chunked prefill and owes more chunks. ``chunked`` is
+        whether a strictly-higher-priority request is currently
+        decoding: chunk boundaries exist to bound *its* stalls, so with
+        nothing to protect (idle platform, or only peers/lower classes
+        decoding) the whole prompt runs in one step instead of paying
+        per-slice step overhead for nobody's benefit.
+        """
         engine = self.engine
+        chunk = self.config.prefill_chunk_tokens
         # Leave QUEUED before any fallible work: a failed admission must
         # not leave the request replayable (its arrival was shifted).
         request.status = RequestStatus.PREFILL
         state = engine.states.create(request.request_id)
+        if chunked and chunk is not None and request.prompt_len > chunk:
+            # First slice of a chunked prefill; the remaining slices
+            # ride the fused decode steps (one hybrid step per slice).
+            result = engine.pipeline.run_batch(
+                [SequenceStep(request.prompt_tokens[:chunk], state)],
+                "prefill",
+                not_before=max(not_before, request.arrival_time),
+            )
+            request.prefill_pos = chunk
+            request.prefill_chunks.append(result.metrics)
+            request.prefill_start = result.metrics.start
+            return False
         result = engine.pipeline.run_batch(
             [SequenceStep(request.prompt_tokens, state)],
             "prefill",
@@ -210,9 +349,79 @@ class ServingEngine:
         )
         metrics = result.metrics
         request.prefill_start = metrics.start
+        self._seal_prefill(request, metrics, result.hidden[0][-1], samplers, solo)
+        return True
+
+    def _prefill_remainder(
+        self,
+        request: Request,
+        samplers: dict[int, np.random.Generator],
+        solo: bool,
+    ) -> None:
+        """Finish a chunked prefill with the batch drained.
+
+        With no request left decoding there is no stall to bound, so
+        the whole remaining prompt runs as one final slice instead of
+        paying per-chunk step overhead for nobody's benefit.
+        """
+        engine = self.engine
+        assert request.prefill_pos > 0
+        tokens = request.prompt_tokens[request.prefill_pos :]
+        result = engine.pipeline.run_batch(
+            [SequenceStep(tokens, engine.states.get(request.request_id))],
+            "prefill",
+        )
+        request.prefill_pos = request.prompt_len
+        request.prefill_chunks.append(result.metrics)
+        merged = self._merged_prefill_metrics(request)
+        self._seal_prefill(request, merged, result.hidden[0][-1], samplers, solo)
+
+    def _merged_prefill_metrics(self, request: Request) -> StepMetrics:
+        """Collapse a chunked prefill into one logical prefill metric.
+
+        The span runs from the first chunk's start to the last chunk's
+        end — the price the request actually paid. Hits/misses are
+        summed (hybrid slices share their fused step's counters with
+        the decode batch, the same fleet-level convention as fused
+        decode metrics) and utilisation is the duration-weighted mean
+        of the chunks' own windows.
+        """
+        chunks = request.prefill_chunks
+        durations = [c.duration for c in chunks]
+        total = sum(durations)
+        keys = chunks[0].utilization.keys()
+        if total > 0:
+            utilization = {
+                k: sum(c.utilization.get(k, 0.0) * d for c, d in zip(chunks, durations))
+                / total
+                for k in keys
+            }
+        else:  # pragma: no cover - zero-duration steps do not occur
+            utilization = dict(chunks[0].utilization)
+        return StepMetrics(
+            stage="prefill",
+            n_tokens=request.prompt_len,
+            start=chunks[0].start,
+            end=chunks[-1].end,
+            hits=sum(c.hits for c in chunks),
+            misses=sum(c.misses for c in chunks),
+            utilization=utilization,
+            batch_size=1,
+        )
+
+    def _seal_prefill(
+        self,
+        request: Request,
+        metrics: StepMetrics,
+        last_hidden: np.ndarray,
+        samplers: dict[int, np.random.Generator],
+        solo: bool,
+    ) -> None:
+        """Record prefill completion: first token, result, sampler."""
+        engine = self.engine
         request.first_token_time = metrics.end
         request.last_token_time = metrics.end
-        request.last_hidden = result.hidden[0][-1]
+        request.last_hidden = last_hidden
         request.result = GenerationResult(
             model_name=engine.model.config.name,
             strategy_name=engine.strategy.name,
@@ -225,8 +434,20 @@ class ServingEngine:
         self,
         running: list[Request],
         samplers: dict[int, np.random.Generator],
-    ) -> list[Request]:
-        """Advance every running request one token in one fused step."""
+        prefilling: Request | None = None,
+        solo: bool = False,
+    ) -> tuple[list[Request], bool]:
+        """Advance every running request one token in one fused step.
+
+        With a chunked prefill in progress, its next slice rides the
+        same step as one extra sequence (a *hybrid* step): attention is
+        charged once for the combined token count and the slice's
+        experts are planned together with the decode batch's union, so
+        chunking adds no dedicated steps while anyone is decoding.
+
+        Returns the requests that finished and whether the hybrid
+        slice completed the prefill.
+        """
         engine = self.engine
         model = engine.model
         batch: list[SequenceStep] = []
@@ -244,25 +465,50 @@ class ServingEngine:
                     np.array([token]), engine.states.get(request.request_id)
                 )
             )
+        chunk_end = 0
+        if prefilling is not None:
+            chunk = self.config.prefill_chunk_tokens
+            assert chunk is not None and prefilling.prefill_pos > 0
+            chunk_end = min(prefilling.prefill_pos + chunk, prefilling.prompt_len)
+            batch.append(
+                SequenceStep(
+                    prefilling.prompt_tokens[prefilling.prefill_pos : chunk_end],
+                    engine.states.get(prefilling.request_id),
+                )
+            )
         result = engine.pipeline.run_batch(batch, "decode")
         metrics = result.metrics
+        chunk_complete = False
+        if prefilling is not None:
+            prefilling.prefill_pos = chunk_end
+            prefilling.prefill_chunks.append(metrics)
+            if chunk_end == prefilling.prompt_len:
+                self._seal_prefill(
+                    prefilling,
+                    self._merged_prefill_metrics(prefilling),
+                    result.hidden[-1][-1],
+                    samplers,
+                    solo,
+                )
+                chunk_complete = True
         done: list[Request] = []
         for index, request in enumerate(running):
             request.last_hidden = result.hidden[index][-1]
             assert request.result is not None
             request.result.decode_steps.append(metrics)
             # TBT is the gap between consecutive token *emissions*, so
-            # stalls from interleaved prefills of other requests count
-            # against the waiting request's tokens. With contiguous
-            # decode steps (any single-request run) the gap equals the
-            # step duration exactly, preserving generate-equivalence.
+            # stalls from interleaved prefills of other requests (and
+            # time spent preempted) count against the waiting
+            # request's tokens. With contiguous decode steps (any
+            # single-request run) the gap equals the step duration
+            # exactly, preserving generate-equivalence.
             assert request.last_token_time is not None
             request.tbt_values.append(metrics.end - request.last_token_time)
             request.last_token_time = metrics.end
             if request.tokens_remaining == 0:
                 self._finish(request, metrics.end)
                 done.append(request)
-        return done
+        return done, chunk_complete
 
     def _finish(self, request: Request, finish_time: float | None) -> None:
         """Seal a completed request and release its decode state.

@@ -1,14 +1,23 @@
 """Request lifecycle for multi-request serving.
 
 A :class:`Request` is the unit of admission: it arrives at a simulated
-instant, waits in the FCFS queue, runs one prefill step, then decodes
-one token per fused batch step until its budget is exhausted:
+instant, waits in the priority-then-FCFS queue, runs its prefill (one
+dedicated step, or several bounded chunks when chunked prefill is on),
+then decodes one token per fused batch step until its budget is
+exhausted:
 
-    QUEUED → PREFILL → DECODING → FINISHED
+    QUEUED → PREFILL → DECODING ⇄ PREEMPTED → FINISHED
 
-The live object is mutated by the serving loop; :meth:`Request.to_record`
-freezes the lifecycle into a :class:`~repro.engine.metrics.RequestRecord`
-for reporting once the request finishes.
+``PREEMPTED`` is only reachable with cooperative preemption enabled: a
+paused request keeps its decode state and cache residency and resumes
+decoding without recompute.
+
+Each request carries a **priority class** (``"batch"`` < ``"interactive"``)
+and an optional per-request TBT deadline used for SLO attainment
+reporting. The live object is mutated by the serving loop;
+:meth:`Request.to_record` freezes the lifecycle into a
+:class:`~repro.engine.metrics.RequestRecord` for reporting once the
+request finishes.
 """
 
 from __future__ import annotations
@@ -18,11 +27,32 @@ from enum import Enum
 
 import numpy as np
 
-from repro.engine.metrics import GenerationResult, RequestRecord
+from repro.engine.metrics import GenerationResult, RequestRecord, StepMetrics
 from repro.errors import ConfigError, SimulationError
-from repro.workloads.generator import ArrivedWorkload
+from repro.workloads.generator import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    ArrivedWorkload,
+)
 
-__all__ = ["RequestStatus", "Request"]
+__all__ = [
+    "PRIORITY_CLASSES",
+    "DEFAULT_PRIORITY",
+    "priority_rank",
+    "RequestStatus",
+    "Request",
+]
+
+
+def priority_rank(priority: str) -> int:
+    """Numeric precedence of a priority class (higher = served first)."""
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        known = ", ".join(PRIORITY_CLASSES)
+        raise ConfigError(
+            f"unknown priority class {priority!r} (known: {known})"
+        ) from None
 
 
 class RequestStatus(str, Enum):
@@ -31,6 +61,7 @@ class RequestStatus(str, Enum):
     QUEUED = "queued"
     PREFILL = "prefill"
     DECODING = "decoding"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 
@@ -56,6 +87,14 @@ class Request:
         ``generate``. ``None`` in a multi-request serve falls back to
         the request id, so concurrent default requests sample
         independently; :meth:`from_workload` sets the id explicitly.
+    priority:
+        Priority class (one of :data:`PRIORITY_CLASSES`); higher
+        classes are admitted first and, with preemption on, may pause
+        lower-class decoders under overload.
+    tbt_deadline:
+        Optional per-request TBT SLO target in seconds; requests whose
+        p99 TBT stays within it count as SLO-attained in the serving
+        report. Purely observational — it never changes scheduling.
     """
 
     request_id: int
@@ -63,9 +102,17 @@ class Request:
     decode_steps: int
     arrival_time: float = 0.0
     sample_seed: int | None = None
+    priority: str = DEFAULT_PRIORITY
+    tbt_deadline: float | None = None
 
     # lifecycle fields, filled in by the serving loop -------------------
     status: RequestStatus = RequestStatus.QUEUED
+    #: Warm-engine clock offset added to ``arrival_time`` at admission
+    #: (0 on a fresh engine). ``relative_arrival`` undoes it so queue
+    #: ordering always compares trace-relative instants, even when
+    #: admitted-then-preempted requests (shifted) compete with
+    #: still-queued ones (unshifted).
+    arrival_shift: float = 0.0
     prefill_start: float | None = None
     first_token_time: float | None = None
     #: Emission instant of the most recent token; TBT entries are gaps
@@ -77,6 +124,12 @@ class Request:
     tbt_values: list[float] = field(default_factory=list)
     last_hidden: np.ndarray | None = None
     result: GenerationResult | None = None
+    #: Prompt tokens already prefilled (chunked prefill cursor).
+    prefill_pos: int = 0
+    #: Per-chunk step metrics of a chunked prefill, merged at completion.
+    prefill_chunks: list[StepMetrics] = field(default_factory=list)
+    #: Times this request was paused by cooperative preemption.
+    num_preemptions: int = 0
 
     def __post_init__(self) -> None:
         self.prompt_tokens = np.asarray(self.prompt_tokens, dtype=np.int64)
@@ -95,6 +148,12 @@ class Request:
                 f"request {self.request_id}: arrival_time must be non-negative, "
                 f"got {self.arrival_time}"
             )
+        priority_rank(self.priority)  # validates the class name
+        if self.tbt_deadline is not None and self.tbt_deadline <= 0:
+            raise ConfigError(
+                f"request {self.request_id}: tbt_deadline must be positive, "
+                f"got {self.tbt_deadline}"
+            )
 
     @classmethod
     def from_workload(cls, request_id: int, arrived: ArrivedWorkload) -> "Request":
@@ -105,9 +164,21 @@ class Request:
             decode_steps=arrived.workload.decode_steps,
             arrival_time=arrived.arrival_time,
             sample_seed=request_id,
+            priority=arrived.priority,
+            tbt_deadline=arrived.tbt_deadline,
         )
 
     # ------------------------------------------------------------------
+    @property
+    def priority_rank(self) -> int:
+        """Numeric precedence of this request's class."""
+        return priority_rank(self.priority)
+
+    @property
+    def relative_arrival(self) -> float:
+        """Trace-relative arrival instant (warm-engine shift undone)."""
+        return self.arrival_time - self.arrival_shift
+
     @property
     def prompt_len(self) -> int:
         """Prompt length in tokens."""
@@ -122,6 +193,11 @@ class Request:
     def is_finished(self) -> bool:
         """Whether the request reached the FINISHED state."""
         return self.status is RequestStatus.FINISHED
+
+    @property
+    def is_preempted(self) -> bool:
+        """Whether the request is currently paused by preemption."""
+        return self.status is RequestStatus.PREEMPTED
 
     def to_record(self) -> RequestRecord:
         """Freeze the finished lifecycle into a reporting record."""
@@ -141,4 +217,7 @@ class Request:
             finish_time=self.finish_time,
             tbt_values=tuple(self.tbt_values),
             result=self.result,
+            priority=self.priority,
+            tbt_deadline=self.tbt_deadline,
+            num_preemptions=self.num_preemptions,
         )

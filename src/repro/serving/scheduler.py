@@ -3,19 +3,31 @@
 The scheduler implements iteration-level ("continuous") batching in the
 style of Orca/vLLM, adapted to the simulated hybrid platform:
 
-- **FCFS admission** — queued requests are admitted in arrival order,
-  each running its prefill as a dedicated step (prefill-prioritised:
-  new work joins the decode batch at the next fused step);
+- **priority-then-FCFS admission** — queued requests are admitted by
+  priority class first (``interactive`` before ``batch``), then arrival
+  order within a class; with a single class this degenerates to pure
+  FCFS, bit-identical to the historical policy;
 - **fused decode** — all running requests advance one token per step in
   a single batched forward pass, so the hybrid scheduler, MRS cache and
   prefetcher see the *merged* expert working set of the whole batch;
+- **chunked prefill** — with ``prefill_chunk_tokens`` set, a long
+  prompt admitted while an SLO-class request (any class above the
+  default) decodes prefills in bounded slices that *ride the fused
+  decode steps* (one hybrid step per slice), so a long prompt can no
+  longer head-of-line-block an SLO-class decoder for its whole
+  prefill, and the slice's expert work amortises with the decode
+  batch's plan instead of paying dedicated extra steps;
+- **cooperative preemption** — with ``preemption`` on, an arrived
+  higher-priority request may pause the lowest-priority decoding
+  request when the batch is full; the victim's decode state survives
+  untouched and it resumes (no recompute) once capacity frees up;
 - **work conservation with idle jump** — when nothing is running and no
-  request has arrived yet, the head-of-line request is admitted with a
-  ``not_before`` floor at its arrival instant; the discrete-event clock
-  simply idles up to it.
+  request has arrived yet, the earliest-arriving request is admitted
+  with a ``not_before`` floor at its arrival instant; the
+  discrete-event clock simply idles up to it.
 
-Decisions are pure functions of ``(now, queue, num_running)`` so the
-policy is unit-testable without an engine.
+Decisions are pure functions of ``(now, queue, running, prefilling,
+preempted)`` so the policy is unit-testable without an engine.
 """
 
 from __future__ import annotations
@@ -39,14 +51,34 @@ class ServingConfig:
     ----------
     max_batch_size:
         Maximum number of concurrently decoding requests (the fused
-        decode step's batch size ceiling).
+        decode step's batch size ceiling). A request mid-chunked-prefill
+        counts against the ceiling — it will decode as soon as its
+        prefill completes.
     decode_token_source:
         ``"sampled"`` (default, matches ``InferenceEngine.generate``) or
         ``"greedy"``.
+    prefill_chunk_tokens:
+        Split a prompt longer than this many tokens into prefill
+        slices of at most this size whenever an **SLO-class** request
+        (any class above the default) is decoding — whatever the
+        admitted prompt's own class; each slice rides the next fused
+        decode step as one hybrid batch, bounding the protected
+        decoder's stall to a slice's worth of prefill work.
+        Default-class decoders eat the whole-prompt stall (so a
+        default-class-only run never pays slice overhead), and with
+        the decode batch drained mid-prefill the remaining prompt runs
+        as one step. ``None`` (default) always runs the whole prefill
+        as one dedicated step — the historical behaviour.
+    preemption:
+        Allow an *arrived* strictly-higher-priority queued request to
+        pause the lowest-priority decoding request when the batch is
+        full. Off by default.
     """
 
     max_batch_size: int = 8
     decode_token_source: str = "sampled"
+    prefill_chunk_tokens: int | None = None
+    preemption: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -58,15 +90,30 @@ class ServingConfig:
                 f"decode_token_source must be 'sampled' or 'greedy', got "
                 f"{self.decode_token_source!r}"
             )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ConfigError(
+                f"prefill_chunk_tokens must be >= 1 (or None), got "
+                f"{self.prefill_chunk_tokens}"
+            )
 
 
 @dataclass(frozen=True)
 class Action:
     """One scheduling decision for the next engine iteration.
 
-    ``kind`` is ``"admit"`` (run ``request``'s prefill, starting no
-    earlier than ``not_before``) or ``"decode"`` (advance every running
-    request one token in a fused step).
+    ``kind`` is one of:
+
+    - ``"admit"`` — start ``request``'s prefill (first chunk when
+      chunking is on and others are decoding), no earlier than
+      ``not_before``;
+    - ``"prefill"`` — finish the in-progress chunked prefill (only
+      issued when nothing decodes, so the remainder runs as one step);
+    - ``"decode"`` — advance every running request one token in a
+      fused step, carrying the next slice of an in-progress chunked
+      prefill when there is one (a hybrid step);
+    - ``"preempt"`` — pause ``request`` (the chosen victim), freeing a
+      batch slot for a higher-priority arrival;
+    - ``"resume"`` — return the paused ``request`` to the decode batch.
     """
 
     kind: str
@@ -74,8 +121,19 @@ class Action:
     not_before: float = 0.0
 
 
+def _admission_key(request: "Request") -> tuple:
+    """Sort key for admission candidates: priority, then FCFS.
+
+    Arrival is compared trace-relative (``relative_arrival``): preempted
+    requests had their ``arrival_time`` shifted onto the warm clock at
+    admission, while queued ones have not, and FCFS-within-class must
+    not depend on that bookkeeping difference.
+    """
+    return (-request.priority_rank, request.relative_arrival, request.request_id)
+
+
 class ContinuousBatchingScheduler:
-    """FCFS admission + iteration-level batching policy."""
+    """Priority-then-FCFS admission + iteration-level batching policy."""
 
     def __init__(self, config: ServingConfig | None = None) -> None:
         self.config = config or ServingConfig()
@@ -84,7 +142,9 @@ class ContinuousBatchingScheduler:
         self,
         now: float,
         queued: "Sequence[Request]",
-        num_running: int,
+        running: "Sequence[Request]",
+        prefilling: "Request | None" = None,
+        preempted: "Sequence[Request]" = (),
     ) -> Action | None:
         """Decide the next iteration given queue/batch occupancy.
 
@@ -94,22 +154,91 @@ class ContinuousBatchingScheduler:
             Current simulated time (the clock's compute frontier).
         queued:
             Pending requests in arrival order (head first).
-        num_running:
-            Requests currently in the decode batch.
+        running:
+            Requests currently decoding in the fused batch.
+        prefilling:
+            The request mid-chunked-prefill, if any (at most one).
+        preempted:
+            Paused requests awaiting resumption, in preemption order.
 
         Returns
         -------
         Action or None
             ``None`` when there is nothing left to do (loop ends).
         """
-        if queued and num_running < self.config.max_batch_size:
-            head = queued[0]
-            if head.arrival_time <= now or num_running == 0:
+        config = self.config
+        occupancy = len(running) + (1 if prefilling is not None else 0)
+
+        # 1. An in-progress chunked prefill rides the decode steps: the
+        #    next slice fuses into the running batch's hybrid step. With
+        #    the decoders drained there is no stall left to bound, so
+        #    the remainder runs as one dedicated prefill step.
+        if prefilling is not None:
+            if running:
+                return Action(kind="decode")
+            return Action(kind="prefill", request=prefilling)
+
+        arrived = [r for r in queued if r.arrival_time <= now]
+
+        # 2. Cooperative preemption: a full batch yields its lowest-
+        #    priority member to an arrived strictly-higher-priority
+        #    arrival. The victim is the newest request of the lowest
+        #    class, so older work keeps finishing.
+        if (
+            config.preemption
+            and running
+            and occupancy >= config.max_batch_size
+            and arrived
+        ):
+            best = min(arrived, key=_admission_key)
+            victim = min(
+                running,
+                key=lambda r: (
+                    r.priority_rank,
+                    -r.relative_arrival,
+                    -r.request_id,
+                ),
+            )
+            if best.priority_rank > victim.priority_rank:
+                return Action(kind="preempt", request=victim)
+
+        # 3. Admission / resumption: arrived queued requests and paused
+        #    requests compete for free slots by (priority, arrival, id).
+        if occupancy < config.max_batch_size:
+            candidates = list(arrived) + list(preempted)
+            if candidates:
+                best = min(candidates, key=_admission_key)
+                if best.is_preempted:
+                    return Action(kind="resume", request=best)
+                return Action(
+                    kind="admit",
+                    request=best,
+                    not_before=max(now, best.arrival_time),
+                )
+            if not running and not preempted and queued:
+                # Idle jump: nothing has arrived and the platform is
+                # drained — admit the earliest future arrival and let
+                # the clock idle up to it.
+                head = min(
+                    queued,
+                    key=lambda r: (
+                        r.arrival_time,
+                        -r.priority_rank,
+                        r.request_id,
+                    ),
+                )
                 return Action(
                     kind="admit",
                     request=head,
                     not_before=max(now, head.arrival_time),
                 )
-        if num_running > 0:
+
+        if running:
             return Action(kind="decode")
+        if preempted:
+            # Batch drained with paused work left (only reachable when
+            # the ceiling is consumed by queued arrivals in the same
+            # iteration — defensively resume the best candidate).
+            best = min(preempted, key=_admission_key)  # pragma: no cover
+            return Action(kind="resume", request=best)  # pragma: no cover
         return None

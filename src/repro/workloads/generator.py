@@ -21,14 +21,26 @@ from repro.workloads.datasets import (
 )
 
 __all__ = [
+    "PRIORITY_CLASSES",
+    "DEFAULT_PRIORITY",
     "WorkloadSpec",
     "prefill_workloads",
     "decode_workload",
     "ArrivedWorkload",
     "poisson_arrivals",
     "trace_arrivals",
+    "priority_assignment",
     "serving_workload",
 ]
+
+#: Priority classes in ascending precedence. Defined here (the lowest
+#: layer that needs them) and re-exported by :mod:`repro.serving`:
+#: traces stamp a class on every entry, the serving scheduler orders
+#: admission by it.
+PRIORITY_CLASSES: tuple[str, ...] = ("batch", "interactive")
+
+#: Class used when a trace or request does not specify one.
+DEFAULT_PRIORITY = "batch"
 
 
 @dataclass(frozen=True)
@@ -116,15 +128,28 @@ def decode_workload(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ArrivedWorkload:
-    """One serving-trace entry: a workload plus its arrival instant."""
+    """One serving-trace entry: a workload plus its arrival instant.
+
+    ``priority`` names the request's priority class (``"batch"`` by
+    default — pure FCFS when every entry uses it) and ``tbt_deadline``
+    an optional per-request TBT SLO target in seconds, both forwarded
+    onto the :class:`~repro.serving.request.Request` built from the
+    entry.
+    """
 
     arrival_time: float
     workload: WorkloadSpec
+    priority: str = "batch"
+    tbt_deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ConfigError(
                 f"arrival_time must be non-negative, got {self.arrival_time}"
+            )
+        if self.tbt_deadline is not None and self.tbt_deadline <= 0:
+            raise ConfigError(
+                f"tbt_deadline must be positive, got {self.tbt_deadline}"
             )
 
 
@@ -162,6 +187,50 @@ def trace_arrivals(times) -> np.ndarray:
     return arr
 
 
+def priority_assignment(
+    num_requests: int,
+    priority_mix: dict[str, float] | None,
+    seed: int = 0,
+) -> list[str]:
+    """Deterministic per-request priority classes from a class mix.
+
+    ``priority_mix`` maps class names to arrival fractions (must sum to
+    1); classes are drawn i.i.d. from the mix with a derived generator,
+    so the assignment is a pure function of ``(num_requests,
+    priority_mix, seed)``. ``None`` assigns every request the default
+    class.
+    """
+    if num_requests <= 0:
+        raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    if priority_mix is None:
+        return [DEFAULT_PRIORITY] * num_requests
+    if not priority_mix:
+        raise ConfigError("priority_mix must not be empty")
+    for name, fraction in priority_mix.items():
+        if name not in PRIORITY_CLASSES:
+            known = ", ".join(PRIORITY_CLASSES)
+            raise ConfigError(
+                f"unknown priority class {name!r} in priority_mix (known: {known})"
+            )
+        if fraction < 0:
+            raise ConfigError(
+                f"priority_mix fraction for {name!r} must be non-negative, "
+                f"got {fraction}"
+            )
+    total = float(sum(priority_mix.values()))
+    if abs(total - 1.0) > 1e-9:
+        raise ConfigError(f"priority_mix fractions must sum to 1, got {total}")
+    # Stable class order (precedence order) regardless of dict order.
+    names = [c for c in PRIORITY_CLASSES if c in priority_mix]
+    edges = np.cumsum([priority_mix[n] for n in names])
+    rng = derive_rng(seed, "workload", "priorities", num_requests)
+    draws = rng.random(size=num_requests)
+    # side="right" + clip: a draw exactly on an edge (or a mix whose
+    # float sum lands slightly under 1) still maps to a valid class.
+    indices = np.minimum(np.searchsorted(edges, draws, side="right"), len(names) - 1)
+    return [names[int(i)] for i in indices]
+
+
 def serving_workload(
     num_requests: int | None = None,
     arrival_rate: float | None = None,
@@ -170,6 +239,8 @@ def serving_workload(
     vocab_size: int = 512,
     datasets: tuple[str, ...] = ("mtbench", "vicuna", "chatgpt-prompts"),
     seed: int = 0,
+    priority_mix: dict[str, float] | None = None,
+    class_deadlines: dict[str, float] | None = None,
 ) -> list[ArrivedWorkload]:
     """Build a serving trace of ``num_requests`` arriving requests.
 
@@ -179,6 +250,13 @@ def serving_workload(
     length when ``arrival_times`` is given, else to 8. Prompts cycle
     through ``datasets`` with dataset-typical lengths; each request
     decodes ``decode_steps`` tokens.
+
+    ``priority_mix`` maps priority classes to arrival fractions (e.g.
+    ``{"interactive": 0.25, "batch": 0.75}``); omitted, every request
+    is the default class and serving degenerates to FCFS.
+    ``class_deadlines`` optionally stamps a per-class TBT deadline
+    (seconds) on every request of that class, for SLO-attainment
+    reporting.
     """
     if (arrival_rate is None) == (arrival_times is None):
         raise ConfigError("pass exactly one of arrival_rate / arrival_times")
@@ -187,6 +265,14 @@ def serving_workload(
     for dataset in datasets:
         if dataset not in DATASET_PROFILES:
             raise ConfigError(f"unknown dataset {dataset!r}")
+    if class_deadlines is not None:
+        for name in class_deadlines:
+            if name not in PRIORITY_CLASSES:
+                known = ", ".join(PRIORITY_CLASSES)
+                raise ConfigError(
+                    f"unknown priority class {name!r} in class_deadlines "
+                    f"(known: {known})"
+                )
     if arrival_times is not None:
         times = trace_arrivals(arrival_times)
         if num_requests is None:
@@ -203,6 +289,7 @@ def serving_workload(
         if num_requests <= 0:
             raise ConfigError(f"num_requests must be positive, got {num_requests}")
         times = poisson_arrivals(num_requests, arrival_rate, seed=seed)
+    priorities = priority_assignment(num_requests, priority_mix, seed=seed)
     entries = []
     for index in range(num_requests):
         dataset = datasets[index % len(datasets)]
@@ -213,7 +300,14 @@ def serving_workload(
             prompt_tokens=tokens,
             decode_steps=decode_steps,
         )
+        priority = priorities[index]
+        deadline = (class_deadlines or {}).get(priority)
         entries.append(
-            ArrivedWorkload(arrival_time=float(times[index]), workload=workload)
+            ArrivedWorkload(
+                arrival_time=float(times[index]),
+                workload=workload,
+                priority=priority,
+                tbt_deadline=deadline,
+            )
         )
     return entries

@@ -1,7 +1,6 @@
 """Behavioural contracts of the four baseline strategies."""
 
 import numpy as np
-import pytest
 
 from repro.engine.engine import EngineConfig, InferenceEngine
 from repro.engine.factory import make_strategy

@@ -1,9 +1,6 @@
 """Fixed-mapping and GPU-only plan builders (prior-art behaviour)."""
 
-import pytest
-
 from repro.core.fixed_plan import fixed_mapping_plan, gpu_only_plan
-from repro.core.tasks import Device
 
 ACTIVATED = [(0, 3), (1, 1), (2, 5), (3, 2)]
 CACHED = {0, 2}

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
-from repro.core.tasks import SHARED_BLOCK, Device
+from repro.core.tasks import SHARED_BLOCK
 from repro.errors import SchedulingError
 
 # The Fig. 5 scenario: A=0:1, B=1:1, C=2:3 uncached; D=3:4, E=4:1 cached.

@@ -9,7 +9,6 @@ scheduler level, through every strategy's ``plan_layer`` (single- and
 multi-GPU-shaped contexts), and end-to-end through the engine.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
-from repro.core.tasks import Device, LayerCostOracle
+from repro.core.tasks import LayerCostOracle
 from repro.models.config import ExpertShape, MoEModelConfig
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.engine import EngineConfig, InferenceEngine
-from repro.engine.factory import make_engine, make_strategy
+from repro.engine.factory import make_strategy
 from repro.errors import ConfigError
 from repro.hardware.platform_presets import paper_testbed
 from repro.models.model import ReferenceMoEModel

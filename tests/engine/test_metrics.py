@@ -118,7 +118,16 @@ class TestLatencyPercentiles:
             latency_percentiles([])
 
 
-def _record(request_id=0, arrival=1.0, prefill_start=1.5, first_token=2.0, finish=3.0):
+def _record(
+    request_id=0,
+    arrival=1.0,
+    prefill_start=1.5,
+    first_token=2.0,
+    finish=3.0,
+    priority="batch",
+    tbt_deadline=None,
+    num_preemptions=0,
+):
     return RequestRecord(
         request_id=request_id,
         prompt_len=16,
@@ -128,6 +137,9 @@ def _record(request_id=0, arrival=1.0, prefill_start=1.5, first_token=2.0, finis
         first_token_time=first_token,
         finish_time=finish,
         tbt_values=(0.4, 0.6),
+        priority=priority,
+        tbt_deadline=tbt_deadline,
+        num_preemptions=num_preemptions,
     )
 
 
@@ -175,3 +187,76 @@ class TestServingReport:
         empty = ServingReport("t", "s", 0.5, max_batch_size=1)
         with pytest.raises(SimulationError):
             _ = empty.makespan
+
+
+class TestDeadlines:
+    def test_no_deadline_is_unscored(self):
+        assert _record().meets_tbt_deadline is None
+
+    def test_met_and_missed_deadlines(self):
+        assert _record(tbt_deadline=10.0).meets_tbt_deadline is True
+        # p99 of (0.4, 0.6) is ~0.598 > 0.5.
+        assert _record(tbt_deadline=0.5).meets_tbt_deadline is False
+
+    def test_prefill_only_request_meets_trivially(self):
+        record = RequestRecord(
+            request_id=0,
+            prompt_len=8,
+            decode_tokens=0,
+            arrival_time=0.0,
+            prefill_start=0.0,
+            first_token_time=1.0,
+            finish_time=1.0,
+            tbt_values=(),
+            tbt_deadline=0.01,
+        )
+        assert record.meets_tbt_deadline is True
+
+
+class TestClassSummary:
+    def _report(self):
+        return ServingReport(
+            model_name="tiny",
+            strategy_name="hybrimoe",
+            cache_ratio=0.5,
+            max_batch_size=4,
+            requests=[
+                _record(0, arrival=0.0, prefill_start=0.0, first_token=1.0,
+                        finish=2.0, priority="batch", num_preemptions=1),
+                _record(1, arrival=1.0, prefill_start=2.0, first_token=2.5,
+                        finish=5.0, priority="interactive", tbt_deadline=10.0),
+                _record(2, arrival=1.0, prefill_start=2.0, first_token=2.5,
+                        finish=4.0, priority="interactive", tbt_deadline=0.5),
+            ],
+            total_hits=6,
+            total_misses=2,
+            preemptions=1,
+        )
+
+    def test_classes_and_goodput_partition(self):
+        report = self._report()
+        assert report.priority_classes() == ["batch", "interactive"]
+        assert report.class_goodput("batch") == pytest.approx(1 / 5.0)
+        assert report.class_goodput("interactive") == pytest.approx(2 / 5.0)
+        assert sum(
+            report.class_goodput(c) for c in report.priority_classes()
+        ) == pytest.approx(report.goodput)
+
+    def test_class_rows(self):
+        rows = {row["class"]: row for row in self._report().class_summary()}
+        assert rows["batch"]["requests"] == 1
+        assert rows["batch"]["preemptions"] == 1
+        assert rows["interactive"]["requests"] == 2
+        # One of the two interactive deadlines (10.0) is met, one (0.5)
+        # is missed by the ~0.598 p99.
+        assert rows["interactive"]["slo_attainment"] == pytest.approx(0.5)
+        assert rows["batch"]["slo_attainment"] != rows["batch"]["slo_attainment"]  # NaN
+        assert {"p50_ttft_s", "p99_tbt_s", "goodput_rps"} <= set(rows["batch"])
+
+    def test_summary_carries_preemptions(self):
+        assert self._report().summary()["preemptions"] == 1
+
+    def test_per_request_rows_carry_class(self):
+        rows = self._report().per_request_rows()
+        assert rows[0]["class"] == "batch"
+        assert rows[0]["preemptions"] == 1

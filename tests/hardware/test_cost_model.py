@@ -1,6 +1,5 @@
 """Cost-model semantics: roofline shapes, calibration, noise."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

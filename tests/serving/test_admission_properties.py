@@ -1,0 +1,253 @@
+"""Property tests for the continuous-batching admission policy.
+
+The scheduler is a pure function of the queue/batch state, so its
+invariants can be checked against an abstract driver that mimics the
+serving loop without an engine (time advances one tick per action):
+
+1. batch occupancy (decoding + mid-prefill requests) never exceeds
+   ``max_batch_size``;
+2. no queued request is starved forever — every burst drains and every
+   request finishes within a bounded number of actions;
+3. admission is priority-then-FCFS: an admit never picks a request
+   while a strictly-higher-priority request is queued *and arrived*
+   (and within a class, never skips an earlier arrival);
+4. with a single class and no chunking/preemption, decisions are
+   exactly the legacy FCFS policy's.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.request import PRIORITY_CLASSES, Request, RequestStatus
+from repro.serving.scheduler import Action, ContinuousBatchingScheduler, ServingConfig
+
+AMOUNT = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def burst(draw, classes=PRIORITY_CLASSES):
+    """A burst of requests with clustered arrivals and mixed classes."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    requests = []
+    for i in range(n):
+        requests.append(
+            Request(
+                request_id=i,
+                prompt_tokens=np.arange(draw(st.integers(1, 12))),
+                decode_steps=draw(AMOUNT),
+                # Clustered arrivals (many ties) stress the ordering.
+                arrival_time=float(draw(st.integers(0, 6))),
+                priority=draw(st.sampled_from(classes)),
+            )
+        )
+    return requests
+
+
+def _drive(requests, config, max_actions=10_000):
+    """Run the policy against an abstract one-tick-per-action loop.
+
+    Returns the action trace; raises AssertionError on any invariant
+    violation. Completion is modelled minimally, mirroring the engine:
+    a long prompt admitted while others decode owes
+    ``ceil((prompt - chunk) / chunk)`` hybrid slices that ride decode
+    steps; a drained batch finishes the remainder in one "prefill"
+    action; then one decode step per owed token.
+    """
+    scheduler = ContinuousBatchingScheduler(config)
+    queue = list(requests)
+    running: list[Request] = []
+    preempted: list[Request] = []
+    prefilling: Request | None = None
+    chunks_left = 0
+    remaining = {r.request_id: r.decode_steps for r in requests}
+    finished: list[Request] = []
+    now = 0.0
+    trace: list[Action] = []
+
+    def complete_prefill(request):
+        if remaining[request.request_id] == 0:
+            request.status = RequestStatus.FINISHED
+            finished.append(request)
+        else:
+            request.status = RequestStatus.DECODING
+            running.append(request)
+
+    for _ in range(max_actions):
+        if not (queue or running or preempted or prefilling is not None):
+            break
+        action = scheduler.next_action(
+            now, queue, running, prefilling=prefilling, preempted=preempted
+        )
+        assert action is not None, "policy stalled with work outstanding"
+        trace.append(action)
+        occupancy = len(running) + (1 if prefilling is not None else 0)
+
+        if action.kind == "admit":
+            request = action.request
+            assert occupancy < config.max_batch_size
+            assert prefilling is None
+            arrived = [r for r in queue if r.arrival_time <= now]
+            if arrived:
+                # Priority-then-FCFS over what has actually arrived.
+                assert request.arrival_time <= now
+                best = min(
+                    arrived,
+                    key=lambda r: (-r.priority_rank, r.arrival_time, r.request_id),
+                )
+                assert request is best
+            queue = [r for r in queue if r is not request]
+            now = max(now, action.not_before)
+            chunk = config.prefill_chunk_tokens
+            protect = any(r.priority_rank > 0 for r in running)
+            if chunk is not None and request.prompt_len > chunk and protect:
+                prefilling = request
+                request.status = RequestStatus.PREFILL
+                chunks_left = math.ceil((request.prompt_len - chunk) / chunk)
+            else:
+                complete_prefill(request)
+        elif action.kind == "prefill":
+            # Only issued with the batch drained: remainder in one step.
+            assert action.request is prefilling
+            assert not running
+            request = prefilling
+            prefilling = None
+            complete_prefill(request)
+        elif action.kind == "preempt":
+            assert config.preemption
+            victim = action.request
+            assert victim in running
+            arrived = [r for r in queue if r.arrival_time <= now]
+            assert arrived, "preemption without an arrived candidate"
+            assert max(r.priority_rank for r in arrived) > victim.priority_rank
+            running = [r for r in running if r is not victim]
+            victim.status = RequestStatus.PREEMPTED
+            preempted.append(victim)
+        elif action.kind == "resume":
+            request = action.request
+            assert request in preempted
+            assert occupancy < config.max_batch_size
+            preempted = [r for r in preempted if r is not request]
+            request.status = RequestStatus.DECODING
+            running.append(request)
+        else:
+            assert action.kind == "decode"
+            assert running, "decode with an empty batch"
+            still = []
+            for request in running:
+                remaining[request.request_id] -= 1
+                if remaining[request.request_id] == 0:
+                    request.status = RequestStatus.FINISHED
+                    finished.append(request)
+                else:
+                    still.append(request)
+            running = still
+            if prefilling is not None:
+                # The hybrid step carried one prefill slice.
+                chunks_left -= 1
+                if chunks_left == 0:
+                    request = prefilling
+                    prefilling = None
+                    complete_prefill(request)
+
+        occupancy = len(running) + (1 if prefilling is not None else 0)
+        assert occupancy <= config.max_batch_size
+        now += 1.0
+    else:
+        raise AssertionError("burst did not drain within the action budget")
+
+    assert len(finished) == len(requests), "a request was starved"
+    assert all(r.is_finished for r in requests)
+    return trace
+
+
+class TestBurstInvariants:
+    @given(
+        requests=burst(),
+        max_batch=st.integers(1, 4),
+        preemption=st.booleans(),
+        chunk=st.one_of(st.none(), st.integers(1, 6)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_policy_invariants_under_bursts(
+        self, requests, max_batch, preemption, chunk
+    ):
+        config = ServingConfig(
+            max_batch_size=max_batch,
+            preemption=preemption,
+            prefill_chunk_tokens=chunk,
+        )
+        _drive(requests, config)
+
+    @given(requests=burst(), max_batch=st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_preemption_only_fires_under_priority_pressure(
+        self, requests, max_batch
+    ):
+        """Preemption never triggers with preemption disabled, and with
+        a single class never triggers even when enabled."""
+        config = ServingConfig(max_batch_size=max_batch)
+        trace = _drive(requests, config)
+        assert all(a.kind != "preempt" for a in trace)
+
+    @given(requests=burst(classes=("batch",)), max_batch=st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_single_class_preemption_never_fires(self, requests, max_batch):
+        config = ServingConfig(max_batch_size=max_batch, preemption=True)
+        trace = _drive(requests, config)
+        assert all(a.kind != "preempt" for a in trace)
+
+
+def _legacy_next_action(config, now, queued, num_running):
+    """The pre-SLO FCFS policy, verbatim."""
+    if queued and num_running < config.max_batch_size:
+        head = queued[0]
+        if head.arrival_time <= now or num_running == 0:
+            return Action(
+                kind="admit",
+                request=head,
+                not_before=max(now, head.arrival_time),
+            )
+    if num_running > 0:
+        return Action(kind="decode")
+    return None
+
+
+class TestLegacyEquivalence:
+    @given(
+        requests=burst(classes=("batch",)),
+        max_batch=st.integers(1, 4),
+        now=st.floats(0.0, 8.0),
+        num_running=st.integers(0, 4),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_default_config_decisions_match_legacy_fcfs(
+        self, requests, max_batch, now, num_running
+    ):
+        """With defaults, every (state → action) mapping equals the
+        legacy policy's — the decision-level half of the default
+        bit-equivalence contract (the engine-level half lives in
+        test_slo_serving.py)."""
+        config = ServingConfig(max_batch_size=max_batch)
+        scheduler = ContinuousBatchingScheduler(config)
+        queued = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        running = [
+            Request(
+                request_id=100 + i,
+                prompt_tokens=np.arange(4),
+                decode_steps=2,
+                status=RequestStatus.DECODING,
+            )
+            for i in range(num_running)
+        ]
+        new = scheduler.next_action(now, queued, running)
+        legacy = _legacy_next_action(config, now, queued, num_running)
+        if legacy is None:
+            assert new is None
+        else:
+            assert new is not None
+            assert new.kind == legacy.kind
+            assert new.request is legacy.request
+            assert new.not_before == legacy.not_before

@@ -163,6 +163,57 @@ class TestSharedCacheContention:
         assert all(r.is_finished for r in requests)
 
 
+class TestTraceValidation:
+    def _entry(self, arrival):
+        """A trace entry duck-typed for arrival validation paths."""
+        from repro.workloads.generator import ArrivedWorkload, WorkloadSpec
+
+        workload = WorkloadSpec(
+            kind="decode",
+            dataset="mtbench",
+            prompt_tokens=np.arange(4),
+            decode_steps=1,
+        )
+        entry = ArrivedWorkload.__new__(ArrivedWorkload)
+        object.__setattr__(entry, "arrival_time", arrival)
+        object.__setattr__(entry, "workload", workload)
+        object.__setattr__(entry, "priority", "batch")
+        object.__setattr__(entry, "tbt_deadline", None)
+        return entry
+
+    def test_negative_arrival_rejected(self):
+        from repro.serving.engine import requests_from_trace
+
+        with pytest.raises(ConfigError):
+            requests_from_trace([self._entry(-0.5), self._entry(1.0)])
+
+    def test_unsorted_trace_warns_but_serves(self, tiny_config):
+        from repro.serving.engine import requests_from_trace
+
+        entries = [self._entry(2.0), self._entry(0.0)]
+        with pytest.warns(UserWarning, match="not non-decreasing"):
+            requests = requests_from_trace(entries)
+        # Ids keep trace order; the serve loop orders by arrival.
+        assert [r.request_id for r in requests] == [0, 1]
+        assert [r.arrival_time for r in requests] == [2.0, 0.0]
+        engine = _fresh_engine(tiny_config)
+        report = ServingEngine(engine).serve(requests)
+        assert report.num_requests == 2
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id[1].prefill_start <= by_id[0].prefill_start
+
+    def test_sorted_trace_does_not_warn(self):
+        import warnings as warnings_module
+
+        from repro.serving.engine import requests_from_trace
+
+        entries = [self._entry(0.0), self._entry(0.0), self._entry(1.5)]
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            requests = requests_from_trace(entries)
+        assert len(requests) == 3
+
+
 class TestArrivalDeterminism:
     def _serve(self, tiny_config, seed):
         engine = _fresh_engine(tiny_config)

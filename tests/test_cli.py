@@ -57,3 +57,70 @@ class TestCommands:
     def test_figure_fig3e(self, capsys):
         assert main(["figure", "fig3e"]) == 0
         assert "cpu_time_s" in capsys.readouterr().out
+
+    def test_serve(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--num-requests",
+                "3",
+                "--arrival-rate",
+                "20",
+                "--decode-steps",
+                "2",
+                "--num-layers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving report" in out and "aggregate" in out
+        # Single class: no per-class SLO table.
+        assert "per-class SLO" not in out
+
+    def test_serve_slo_flags(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--num-requests",
+                "4",
+                "--arrival-rate",
+                "40",
+                "--decode-steps",
+                "2",
+                "--num-layers",
+                "2",
+                "--priority-mix",
+                "interactive=0.5,batch=0.5",
+                "--prefill-chunk",
+                "32",
+                "--preempt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-class SLO" in out
+        assert "chunk=32" in out and "preemption" in out
+
+    @pytest.mark.parametrize(
+        "mix", ["interactive", "interactive=x", "urgent=1.0", "interactive=0.5"]
+    )
+    def test_serve_bad_priority_mix_rejected(self, mix):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(
+                [
+                    "serve",
+                    "--num-requests",
+                    "2",
+                    "--arrival-rate",
+                    "20",
+                    "--decode-steps",
+                    "1",
+                    "--num-layers",
+                    "2",
+                    "--priority-mix",
+                    mix,
+                ]
+            )

@@ -5,9 +5,11 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.workloads.generator import (
+    DEFAULT_PRIORITY,
     ArrivedWorkload,
     WorkloadSpec,
     poisson_arrivals,
+    priority_assignment,
     serving_workload,
     trace_arrivals,
 )
@@ -104,4 +106,75 @@ class TestServingWorkload:
                     prompt_tokens=np.arange(4),
                     decode_steps=2,
                 ),
+            )
+
+
+class TestPriorityAssignment:
+    def test_default_is_single_class(self):
+        assert priority_assignment(5, None) == [DEFAULT_PRIORITY] * 5
+
+    def test_deterministic_under_seed(self):
+        mix = {"interactive": 0.3, "batch": 0.7}
+        assert priority_assignment(50, mix, seed=1) == priority_assignment(
+            50, mix, seed=1
+        )
+
+    def test_mix_fractions_tracked(self):
+        mix = {"interactive": 0.25, "batch": 0.75}
+        classes = priority_assignment(4000, mix, seed=0)
+        fraction = classes.count("interactive") / len(classes)
+        assert fraction == pytest.approx(0.25, abs=0.03)
+
+    def test_degenerate_mix(self):
+        assert priority_assignment(4, {"interactive": 1.0}) == ["interactive"] * 4
+
+    @pytest.mark.parametrize(
+        "mix",
+        [
+            {},
+            {"urgent": 1.0},
+            {"interactive": 0.5, "batch": 0.6},
+            {"interactive": -0.5, "batch": 1.5},
+        ],
+    )
+    def test_invalid_mix_rejected(self, mix):
+        with pytest.raises(ConfigError):
+            priority_assignment(4, mix)
+
+    def test_serving_workload_stamps_classes_and_deadlines(self):
+        entries = serving_workload(
+            num_requests=40,
+            arrival_rate=4.0,
+            decode_steps=2,
+            seed=0,
+            priority_mix={"interactive": 0.5, "batch": 0.5},
+            class_deadlines={"interactive": 0.25},
+        )
+        classes = {e.priority for e in entries}
+        assert classes == {"interactive", "batch"}
+        for entry in entries:
+            if entry.priority == "interactive":
+                assert entry.tbt_deadline == 0.25
+            else:
+                assert entry.tbt_deadline is None
+
+    def test_unknown_deadline_class_rejected(self):
+        with pytest.raises(ConfigError):
+            serving_workload(
+                num_requests=2,
+                arrival_rate=1.0,
+                class_deadlines={"urgent": 0.1},
+            )
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            ArrivedWorkload(
+                arrival_time=0.0,
+                workload=WorkloadSpec(
+                    kind="decode",
+                    dataset="mtbench",
+                    prompt_tokens=np.arange(4),
+                    decode_steps=2,
+                ),
+                tbt_deadline=0.0,
             )
