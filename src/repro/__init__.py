@@ -10,7 +10,8 @@ Scheduling and Cache Management for Efficient MoE Inference* (DAC
   timelines (:mod:`repro.hardware`);
 - the HybriMoE scheduling system — schedule-simulation planning,
   impact-driven prefetching, score-aware MRS caching
-  (:mod:`repro.core`, :mod:`repro.cache`);
+  (:mod:`repro.core`, :mod:`repro.cache`) — generalised to a tiered
+  GPU/DRAM/disk memory hierarchy for models that outgrow host RAM;
 - four baseline frameworks re-implemented on the same substrate
   (:mod:`repro.baselines`);
 - an inference engine with TTFT/TBT metrics (:mod:`repro.engine`),

@@ -1,7 +1,8 @@
-"""Expert cache management: policies and the capacity manager.
+"""Expert cache management: policies and the per-tier capacity managers.
 
-GPU memory holds a bounded number of routed experts; this package
-decides *which*. Keys are ``(layer, expert)`` pairs. Policies:
+Each tier of the memory hierarchy (GPU memory, and optionally host
+DRAM) holds a bounded number of routed experts; this package decides
+*which*. Keys are ``(layer, expert)`` pairs. Policies:
 
 - :class:`~repro.cache.lru.LRUPolicy` — least recently used;
 - :class:`~repro.cache.lfu.LFUPolicy` — least frequently used;
@@ -18,9 +19,20 @@ On a multi-GPU platform the cache shards into per-device
 :class:`~repro.cache.sharded.ShardedCacheManager`; a
 :class:`~repro.cache.placement.PlacementPolicy` (round-robin,
 layer-striped or load-aware) routes every key to its home device.
+
+When host DRAM is itself capacity-limited,
+:class:`~repro.cache.tiered.TieredCacheManager` composes the GPU cache
+(sharded or not) with a second, capacity-limited DRAM-tier
+:class:`ExpertCache`; experts resident in neither tier are spilled to
+disk and pay a disk read before any use.
 """
 
-from repro.cache.base import EvictionPolicy, ExpertKey, make_policy
+from repro.cache.base import (
+    EvictionPolicy,
+    ExpertKey,
+    available_policies,
+    make_policy,
+)
 from repro.cache.lfu import LFUPolicy
 from repro.cache.lru import LRUPolicy
 from repro.cache.manager import CacheStats, ExpertCache
@@ -34,10 +46,12 @@ from repro.cache.placement import (
     make_placement,
 )
 from repro.cache.sharded import CacheSpec, ShardedCacheManager, split_capacity
+from repro.cache.tiered import TieredCacheManager
 
 __all__ = [
     "ExpertKey",
     "EvictionPolicy",
+    "available_policies",
     "make_policy",
     "LRUPolicy",
     "LFUPolicy",
@@ -53,4 +67,5 @@ __all__ = [
     "CacheSpec",
     "ShardedCacheManager",
     "split_capacity",
+    "TieredCacheManager",
 ]

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import CacheError
 
-__all__ = ["ExpertKey", "EvictionPolicy", "make_policy"]
+__all__ = ["ExpertKey", "EvictionPolicy", "available_policies", "make_policy"]
 
 #: Cache key: ``(layer_index, expert_index)``.
 ExpertKey = tuple[int, int]
@@ -63,18 +63,27 @@ class EvictionPolicy(ABC):
         return {}
 
 
+def _policy_registry() -> dict:
+    # Imported here to avoid circular imports at package load.
+    from repro.cache.lfu import LFUPolicy
+    from repro.cache.lru import LRUPolicy
+    from repro.cache.mrs import MRSPolicy
+
+    return {"lru": LRUPolicy, "lfu": LFUPolicy, "mrs": MRSPolicy}
+
+
+def available_policies() -> list[str]:
+    """Short names accepted by :func:`make_policy`, sorted."""
+    return sorted(_policy_registry())
+
+
 def make_policy(name: str, **kwargs) -> EvictionPolicy:
     """Instantiate a policy by short name (``"lru"``, ``"lfu"``, ``"mrs"``).
 
     Keyword arguments are forwarded to the policy constructor (e.g.
     ``alpha`` and ``top_p`` for MRS).
     """
-    # Imported here to avoid circular imports at package load.
-    from repro.cache.lfu import LFUPolicy
-    from repro.cache.lru import LRUPolicy
-    from repro.cache.mrs import MRSPolicy
-
-    policies = {"lru": LRUPolicy, "lfu": LFUPolicy, "mrs": MRSPolicy}
+    policies = _policy_registry()
     try:
         cls = policies[name]
     except KeyError:

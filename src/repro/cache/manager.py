@@ -1,6 +1,9 @@
 """Expert cache: capacity, pinning, locking and statistics.
 
-:class:`ExpertCache` owns GPU-resident expert membership. It enforces:
+:class:`ExpertCache` owns the expert membership of one memory tier —
+historically the GPU tier only; a
+:class:`~repro.cache.tiered.TieredCacheManager` runs a second instance
+as the capacity-limited host-DRAM tier. It enforces:
 
 - **capacity** — at most ``capacity`` unpinned routed experts resident;
 - **pinning** — pinned keys (e.g. kTransformers' frequency-pinned set)
@@ -58,7 +61,7 @@ class CacheStats:
 
 
 class ExpertCache:
-    """Bounded set of GPU-resident routed experts with pluggable eviction.
+    """Bounded set of one tier's resident routed experts, pluggable eviction.
 
     Parameters
     ----------

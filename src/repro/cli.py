@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cache.base import available_policies
 from repro.cache.placement import available_placements
 from repro.errors import ConfigError
 from repro.engine.factory import (
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' is the pre-fast-path planner — from-scratch "
         "simulation, no memo — for perf baselines)",
     )
+    _add_tiered_memory_args(run)
 
     serve = sub.add_parser(
         "serve", help="serve a multi-request arrival trace with continuous batching"
@@ -155,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' is the pre-fast-path planner — from-scratch "
         "simulation, no memo — for perf baselines)",
     )
+    _add_tiered_memory_args(serve)
 
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
     compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
@@ -174,6 +177,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_tiered_memory_args(parser: argparse.ArgumentParser) -> None:
+    """The tiered-memory knob trio shared by ``run`` and ``serve``."""
+    parser.add_argument(
+        "--cpu-cache-capacity",
+        type=int,
+        default=None,
+        metavar="SLOTS",
+        help="routed-expert slots of host DRAM (default: unbounded — "
+        "the classic two-tier engine); experts outside both caches "
+        "spill to disk",
+    )
+    parser.add_argument(
+        "--cpu-cache-policy",
+        default="lru",
+        choices=available_policies(),
+        help="eviction policy of the DRAM tier",
+    )
+    parser.add_argument(
+        "--disk-bandwidth",
+        type=float,
+        default=None,
+        metavar="BYTES_PER_S",
+        help="override the hardware profile's disk read bandwidth",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     engine = make_engine(
         model=args.model,
@@ -185,12 +214,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_gpus=args.num_gpus,
         placement=args.placement,
         planner_fast_path=args.planner == "fast",
+        cpu_cache_capacity=args.cpu_cache_capacity,
+        cpu_cache_policy=args.cpu_cache_policy,
+        disk_bandwidth=args.disk_bandwidth,
     )
     rng = derive_rng(args.seed, "cli", "prompt")
     prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
     result = engine.generate(prompt, decode_steps=args.decode_steps)
     print(format_table([result.summary()], title="run result"))
+    _print_tier_table(engine)
     return 0
+
+
+def _print_tier_table(engine) -> None:
+    """Per-tier cache table plus disk-link traffic (tiered runs only)."""
+    runtime = engine.runtime
+    if not runtime.tiered:
+        return
+    cache = runtime.cache
+    rows = [
+        {
+            "tier": tier,
+            "hit_rate": stats.hit_rate,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+        }
+        for tier, stats in cache.tier_stats().items()
+    ]
+    print(format_table(rows, title="per-tier cache"))
+    disk = runtime.clock.disk
+    print(f"disk link: {len(disk.intervals)} reads, {disk.busy_time():.4f}s busy")
 
 
 def _parse_priority_mix(text: str | None) -> dict[str, float] | None:
@@ -224,6 +278,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_gpus=args.num_gpus,
         placement=args.placement,
         planner_fast_path=args.planner == "fast",
+        cpu_cache_capacity=args.cpu_cache_capacity,
+        cpu_cache_policy=args.cpu_cache_policy,
+        disk_bandwidth=args.disk_bandwidth,
         max_batch_size=args.max_batch_size,
         prefill_chunk_tokens=args.prefill_chunk,
         preemption=args.preempt,
@@ -244,6 +301,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     report = serving.serve_trace(trace)
     topology = "" if args.num_gpus == 1 else f", {args.num_gpus} GPUs ({args.placement})"
+    if args.cpu_cache_capacity is not None:
+        topology += (
+            f", DRAM<={args.cpu_cache_capacity} ({args.cpu_cache_policy})"
+        )
     slo = ""
     if args.prefill_chunk is not None:
         slo += f", chunk={args.prefill_chunk}"
@@ -273,6 +334,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for device, stats in enumerate(cache.per_device_stats())
         ]
         print(format_table(device_rows, title="per-device cache"))
+    _print_tier_table(serving.engine)
     return 0
 
 

@@ -13,7 +13,10 @@ Dependencies honoured:
 - a GPU compute task flagged ``after_transfer`` cannot start before its
   transfer finishes;
 - externally in-flight arrivals (prefetches from earlier layers) gate
-  GPU tasks through the ``arrivals`` map.
+  GPU tasks through the ``arrivals`` map;
+- on a tiered-memory platform, a **spilled** expert's weights are first
+  staged disk -> DRAM on the clock's shared disk link; its PCIe
+  transfer and/or CPU compute cannot start before that read finishes.
 """
 
 from __future__ import annotations
@@ -69,6 +72,7 @@ def execute_plan(
     start_time: float,
     external_arrivals: dict[tuple[int, int], float] | None = None,
     device: int = 0,
+    spilled: frozenset[int] | set[int] | None = None,
 ) -> LayerExecutionResult:
     """Execute a validated plan, reserving real timeline intervals.
 
@@ -92,6 +96,11 @@ def execute_plan(
         ``clock.gpus[device]`` and its transfers on that device's PCIe
         link. CPU tasks always run on the shared CPU timeline, so
         multi-device plans executed in sequence serialise there.
+    spilled:
+        Expert ids of this layer resident in no memory tier (tiered
+        platforms): each first reserves a disk read on ``clock.disk``,
+        gating its PCIe transfer or CPU compute. ``None``/empty keeps
+        the historical two-tier execution byte-for-byte.
 
     Returns
     -------
@@ -100,17 +109,33 @@ def execute_plan(
     """
     if start_time < 0:
         raise SchedulingError(f"start_time must be non-negative, got {start_time}")
+    spilled = spilled or frozenset()
+    if spilled and clock.disk is None:
+        raise SchedulingError(
+            "plan has spilled experts but the clock models no disk tier"
+        )
     arrivals = dict(external_arrivals or {})
     records: list[TaskRecord] = []
     gpu_timeline = clock.gpu_timeline(device)
     pcie_timeline = clock.pcie_timeline(device)
 
+    def stage_from_disk(layer: int, expert: int) -> float:
+        """Reserve the disk -> DRAM read; returns its finish time."""
+        start, finish = clock.disk.reserve(
+            start_time, oracle.disk_fetch(), f"disk L{layer} E{expert}"
+        )
+        records.append(TaskRecord("disk", layer, expert, "disk_fetch", start, finish))
+        return finish
+
     # --- PCIe: on-demand transfers, in plan order ----------------------
     transfer_end = start_time
     for transfer in plan.transfers:
+        earliest = start_time
+        if transfer.expert in spilled:
+            earliest = max(earliest, stage_from_disk(transfer.layer, transfer.expert))
         duration = oracle.transfer()
         start, finish = pcie_timeline.reserve(
-            start_time, duration, f"xfer L{transfer.layer} E{transfer.expert}"
+            earliest, duration, f"xfer L{transfer.layer} E{transfer.expert}"
         )
         arrivals[(transfer.layer, transfer.expert)] = finish
         transfer_end = max(transfer_end, finish)
@@ -138,15 +163,20 @@ def execute_plan(
     # --- CPU compute ----------------------------------------------------
     first_cpu = True
     for task in plan.cpu_tasks:
+        earliest = start_time
         if task.is_shared:
             duration = oracle.shared_compute(Device.CPU, first_task=first_cpu)
             kind = "shared"
         else:
+            if task.expert in spilled:
+                # The CPU computes in place from DRAM: a spilled expert
+                # must be staged off disk before its compute can start.
+                earliest = max(earliest, stage_from_disk(task.layer, task.expert))
             duration = oracle.cpu_compute(task.load, first_task=first_cpu)
             kind = "compute"
         first_cpu = False
         start, finish = clock.cpu.reserve(
-            start_time, duration, f"cpu L{task.layer} E{task.expert}"
+            earliest, duration, f"cpu L{task.layer} E{task.expert}"
         )
         compute_end = max(compute_end, finish)
         records.append(TaskRecord("cpu", task.layer, task.expert, kind, start, finish))

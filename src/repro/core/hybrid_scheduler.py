@@ -33,9 +33,19 @@ Two search implementations produce **bit-identical plans**:
   materialises only the winning allocation through the reference
   simulator.
 
+On a **tiered-memory platform** (capacity-limited host DRAM over disk
+spill) the planner additionally receives the layer's *spilled* expert
+set and the estimated per-expert disk -> DRAM read time. A spilled
+expert pays that read before either use: its PCIe transfer chain grows
+by one disk hop (disk -> CPU -> GPU) and its CPU-fallback compute is
+delayed by the same fetch. Both search paths apply the surcharge with
+identical float operations, so fast-vs-reference bit-identity is
+preserved; with an empty spilled set (the default two-tier platform)
+every duration is byte-for-byte the historical one.
+
 On top of either path sits a bounded LRU **plan memo** keyed on the
 planner's exact inputs (layer, activated loads, cached set, in-flight
-offsets, backlogs, token count, shared flag). Keys are value-complete —
+offsets, backlogs, token count, shared flag, spilled set + disk cost). Keys are value-complete —
 identical inputs always produce identical plans — so nothing is ever
 invalidated; decode steps repeat near-identical routing, making hits
 the common case. Memoization assumes the oracle factory is
@@ -216,6 +226,8 @@ class HybridScheduler:
         include_shared: bool = True,
         inflight: dict[int, float] | None = None,
         cpu_backlog: float = 0.0,
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
     ) -> ExecutionPlan:
         """Produce the minimal-makespan execution plan for one layer.
 
@@ -249,6 +261,12 @@ class HybridScheduler:
             how each device's planner arbitrates its own CPU fallback
             against the fleet-shared CPU (the per-device min-latency
             rule).
+        spilled:
+            Expert ids of this layer resident in *no* memory tier
+            (tiered platforms only): each pays ``disk_fetch_s`` before
+            its PCIe transfer or CPU compute can start.
+        disk_fetch_s:
+            Estimated disk -> DRAM read time per spilled expert.
         """
         key = self._memo_key(
             "plan",
@@ -261,6 +279,8 @@ class HybridScheduler:
             inflight,
             cpu_backlog,
             False,
+            spilled,
+            disk_fetch_s,
         )
         if key is not None:
             hit = self._memo_get(key)
@@ -275,6 +295,8 @@ class HybridScheduler:
             include_shared,
             inflight,
             cpu_backlog=cpu_backlog,
+            spilled=spilled,
+            disk_fetch_s=disk_fetch_s,
         )
         plan = self._materialise(layer, n_tokens, best, oracle, include_shared)
         if key is not None:
@@ -291,6 +313,8 @@ class HybridScheduler:
         quick: bool = False,
         inflight: dict[int, float] | None = None,
         cpu_backlog: float = 0.0,
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
     ) -> float:
         """Estimated makespan of the best allocation (no plan object).
 
@@ -308,6 +332,8 @@ class HybridScheduler:
             inflight,
             cpu_backlog,
             quick,
+            spilled,
+            disk_fetch_s,
         )
         if key is not None:
             hit = self._memo_get(key)
@@ -315,8 +341,9 @@ class HybridScheduler:
                 return hit
         oracle = self._oracle_factory(n_tokens)
         if self.config.fast_path:
-            loads, inflight_eff = self._validated_inputs(
-                activated, cached_experts, pcie_backlog, cpu_backlog, inflight
+            loads, inflight_eff, spilled_eff = self._validated_inputs(
+                activated, cached_experts, pcie_backlog, cpu_backlog, inflight,
+                spilled, disk_fetch_s,
             )
             _, makespan = self._search_fast(
                 loads,
@@ -327,6 +354,8 @@ class HybridScheduler:
                 inflight_eff,
                 cpu_backlog,
                 force_quick=quick,
+                spilled=spilled_eff,
+                disk_fetch_s=disk_fetch_s,
             )
         else:
             best = self._best_simulation(
@@ -338,6 +367,8 @@ class HybridScheduler:
                 inflight,
                 force_quick=quick,
                 cpu_backlog=cpu_backlog,
+                spilled=spilled,
+                disk_fetch_s=disk_fetch_s,
             )
             makespan = best.makespan
         if key is not None:
@@ -349,6 +380,8 @@ class HybridScheduler:
         activated: list[tuple[int, int]],
         cached_experts: set[int],
         n_tokens: int,
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
     ) -> float:
         """Cheap lower bound on the quick (two-extremes) makespan.
 
@@ -357,9 +390,12 @@ class HybridScheduler:
         :meth:`simulate_makespan` with ``quick=True`` (and zero
         backlogs) would return, built from the same duration floats the
         simulation would use, so screening on it can never change an
-        exact decision.
+        exact decision. Spilled experts carry their disk-fetch
+        surcharge on both branches, mirroring the simulation exactly.
         """
-        loads, _ = self._validated_inputs(activated, cached_experts, 0.0, 0.0, None)
+        loads, _, spilled_eff = self._validated_inputs(
+            activated, cached_experts, 0.0, 0.0, None, spilled, disk_fetch_s
+        )
         table = self._duration_table(n_tokens)
         by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
         uncached_desc = [e for e in by_load_desc if e not in cached_experts]
@@ -368,10 +404,13 @@ class HybridScheduler:
             return gpu_t0
         # k = |uncached|: every uncached expert rides the PCIe chain and
         # must be computed on the GPU after its arrival (transferred
-        # experts are never stolen).
+        # experts are never stolen). Spilled experts first hop over the
+        # disk link.
         t_pcie = 0.0
         chain = gpu_t0
         for expert in uncached_desc:
+            if expert in spilled_eff:
+                t_pcie += disk_fetch_s
             t_pcie += table.transfer
             chain = max(chain, t_pcie) + table.gpu(loads[expert])
         # k = 0: every uncached expert runs on the CPU, back to back, in
@@ -380,7 +419,10 @@ class HybridScheduler:
         t_cpu = 0.0
         first = True
         for expert in cpu_jobs:
-            t_cpu += table.cpu(loads[expert], first)
+            duration = table.cpu(loads[expert], first)
+            if expert in spilled_eff:
+                duration += disk_fetch_s
+            t_cpu += duration
             first = False
         return min(chain, max(gpu_t0, t_cpu))
 
@@ -408,6 +450,8 @@ class HybridScheduler:
         inflight,
         cpu_backlog: float,
         quick: bool,
+        spilled=None,
+        disk_fetch_s: float = 0.0,
     ) -> tuple | None:
         if self.config.plan_cache_size == 0:
             return None
@@ -425,6 +469,8 @@ class HybridScheduler:
             tuple(sorted(activated)),
             frozenset(cached_experts),
             tuple(sorted((inflight or {}).items())),
+            frozenset(spilled or ()),
+            disk_fetch_s,
         )
 
     def _memo_get(self, key: tuple):
@@ -488,12 +534,24 @@ class HybridScheduler:
         pcie_backlog: float,
         cpu_backlog: float,
         inflight,
-    ) -> tuple[dict[int, int], dict[int, float]]:
-        """Shared input validation of both search paths."""
+        spilled=None,
+        disk_fetch_s: float = 0.0,
+    ) -> tuple[dict[int, int], dict[int, float], frozenset[int]]:
+        """Shared input validation of both search paths.
+
+        The effective spilled set is intersected with the *uncached*
+        activated experts: a GPU-cached expert never touches disk, and
+        spill state of non-activated experts is irrelevant to this
+        layer's plan.
+        """
         if pcie_backlog < 0:
             raise SchedulingError(f"pcie_backlog must be non-negative, got {pcie_backlog}")
         if cpu_backlog < 0:
             raise SchedulingError(f"cpu_backlog must be non-negative, got {cpu_backlog}")
+        if disk_fetch_s < 0:
+            raise SchedulingError(
+                f"disk_fetch_s must be non-negative, got {disk_fetch_s}"
+            )
         loads = dict(activated)
         if len(loads) != len(activated):
             raise SchedulingError("duplicate expert ids in activated list")
@@ -504,7 +562,10 @@ class HybridScheduler:
             for e, ready in (inflight or {}).items()
             if e in loads and e in cached_experts
         }
-        return loads, inflight_eff
+        spilled_eff = frozenset(
+            e for e in (spilled or ()) if e in loads and e not in cached_experts
+        )
+        return loads, inflight_eff, spilled_eff
 
     def _best_simulation(
         self,
@@ -516,9 +577,12 @@ class HybridScheduler:
         inflight: dict[int, float] | None = None,
         force_quick: bool = False,
         cpu_backlog: float = 0.0,
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
     ) -> SimulationResult:
-        loads, inflight_eff = self._validated_inputs(
-            activated, cached_experts, pcie_backlog, cpu_backlog, inflight
+        loads, inflight_eff, spilled_eff = self._validated_inputs(
+            activated, cached_experts, pcie_backlog, cpu_backlog, inflight,
+            spilled, disk_fetch_s,
         )
         if self.config.fast_path:
             best_k, _ = self._search_fast(
@@ -530,6 +594,8 @@ class HybridScheduler:
                 inflight_eff,
                 cpu_backlog,
                 force_quick=force_quick,
+                spilled=spilled_eff,
+                disk_fetch_s=disk_fetch_s,
             )
             # Materialise only the winner, through the reference
             # simulator — the plan object is reference output by
@@ -543,6 +609,8 @@ class HybridScheduler:
                 include_shared,
                 inflight_eff,
                 cpu_backlog=cpu_backlog,
+                spilled=spilled_eff,
+                disk_fetch_s=disk_fetch_s,
             )
 
         uncached = [e for e, _ in activated if e not in cached_experts]
@@ -557,6 +625,8 @@ class HybridScheduler:
                 include_shared,
                 inflight_eff,
                 cpu_backlog=cpu_backlog,
+                spilled=spilled_eff,
+                disk_fetch_s=disk_fetch_s,
             )
             better = best is None or result.makespan < best.makespan - _TIE_EPS
             tie_fewer_transfers = (
@@ -582,6 +652,8 @@ class HybridScheduler:
         inflight: dict[int, float],
         cpu_backlog: float,
         force_quick: bool = False,
+        spilled: frozenset[int] = frozenset(),
+        disk_fetch_s: float = 0.0,
     ) -> tuple[int, float]:
         """Find the optimal transfer count without building plans.
 
@@ -603,10 +675,12 @@ class HybridScheduler:
         # Transfer-timeline prefix: moving k -> k+1 appends exactly one
         # arrival, so the whole family of PCIe timelines is one shared
         # accumulation (same `t_pcie += transfer` float sequence as the
-        # reference).
+        # reference). A spilled expert's chain grows by its disk hop.
         arrival_prefix: list[float] = []
         t_pcie = pcie_backlog
-        for _ in uncached_desc:
+        for expert in uncached_desc:
+            if expert in spilled:
+                t_pcie += disk_fetch_s
             t_pcie += table.transfer
             arrival_prefix.append(t_pcie)
         gpu_t0 = table.shared_gpu if include_shared and table.shared_gpu > 0.0 else 0.0
@@ -635,13 +709,17 @@ class HybridScheduler:
             )
             if best_k >= 0 and cpu_jobs:
                 # CPU-side lower bound: the CPU queue runs back to back
-                # from the backlog with exactly these float durations;
-                # steals only extend it. Not monotone in k, so this one
-                # skips a single candidate rather than terminating.
+                # from the backlog with exactly these float durations
+                # (disk-fetch surcharges included); steals only extend
+                # it. Not monotone in k, so this one skips a single
+                # candidate rather than terminating.
                 t_cpu = cpu_backlog
                 first = True
                 for expert in cpu_jobs:
-                    t_cpu += table.cpu(loads[expert], first)
+                    duration = table.cpu(loads[expert], first)
+                    if expert in spilled:
+                        duration += disk_fetch_s
+                    t_cpu += duration
                     first = False
                 if t_cpu >= best_mk - _TIE_EPS:
                     continue
@@ -657,6 +735,8 @@ class HybridScheduler:
                 cached_desc,
                 gpu_t0,
                 cpu_backlog,
+                spilled,
+                disk_fetch_s,
             )
             # Ascending k: ties keep the earlier (fewer-transfer)
             # incumbent, exactly like the reference tie-break.
@@ -680,6 +760,8 @@ class HybridScheduler:
         cached_desc: list[int],
         gpu_t0: float,
         cpu_backlog: float,
+        spilled: frozenset[int] = frozenset(),
+        disk_fetch_s: float = 0.0,
     ) -> float:
         """Record-free replica of :meth:`_simulate`'s event loop.
 
@@ -767,6 +849,8 @@ class HybridScheduler:
                     expert = cpu_jobs[cpu_idx]
                     cpu_idx += 1
                 else:
+                    # Steal candidates are GPU-cached, hence never
+                    # spilled — no disk surcharge on this branch.
                     candidate = min(steal_candidates, key=lambda e: (loads[e], e))
                     duration = table.cpu(loads[candidate], not cpu_any)
                     threshold = gpu_finish_estimate() * steal_factor
@@ -775,7 +859,10 @@ class HybridScheduler:
                         continue
                     gpu_pool.remove(candidate)
                     expert = candidate
-                t_cpu += table.cpu(loads[expert], not cpu_any)
+                duration = table.cpu(loads[expert], not cpu_any)
+                if expert in spilled:
+                    duration += disk_fetch_s
+                t_cpu += duration
                 cpu_any = True
 
         cpu_end = t_cpu if cpu_any else 0.0
@@ -794,6 +881,8 @@ class HybridScheduler:
         include_shared: bool,
         inflight: dict[int, float] | None = None,
         cpu_backlog: float = 0.0,
+        spilled: frozenset[int] = frozenset(),
+        disk_fetch_s: float = 0.0,
     ) -> SimulationResult:
         """Fill the three timelines for one transfer allocation.
 
@@ -801,6 +890,9 @@ class HybridScheduler:
         *starts* earliest, exactly reproducing the interleaving a real
         run with these priority queues would produce. This is the
         reference oracle the fast path is property-tested against.
+        Spilled experts (tiered memory) pay ``disk_fetch_s`` before
+        their PCIe transfer or CPU compute — the planner's serialised
+        estimate of the disk -> CPU -> GPU chain.
         """
         inflight = inflight or {}
         by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
@@ -822,6 +914,8 @@ class HybridScheduler:
         ]
         t_pcie = pcie_backlog
         for expert in transfer_list:
+            if expert in spilled:
+                t_pcie += disk_fetch_s
             t_pcie += oracle.transfer()
             arrivals.append((t_pcie, expert))
         arrivals.sort(key=lambda pair: (pair[0], -loads[pair[1]], pair[1]))
@@ -919,6 +1013,7 @@ class HybridScheduler:
                 else:
                     # Steal the lowest-load cached expert if the CPU can
                     # finish it before the GPU would get everything done.
+                    # (Cached, hence never spilled — no disk surcharge.)
                     candidate = min(steal_candidates, key=lambda e: (loads[e], e))
                     duration = oracle.cpu_compute(
                         loads[candidate], first_task=not cpu_order
@@ -931,6 +1026,8 @@ class HybridScheduler:
                     stolen.append(candidate)
                     expert = candidate
                 duration = oracle.cpu_compute(loads[expert], first_task=not cpu_order)
+                if expert in spilled:
+                    duration += disk_fetch_s
                 cpu_order.append(
                     SimulatedTask(expert, t_cpu, t_cpu + duration, "cpu")
                 )

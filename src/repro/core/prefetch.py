@@ -62,12 +62,17 @@ class PredictedLayer:
         Tokens the step will route (same as the current step's).
     cached_experts:
         Expert ids of that layer currently resident or in flight.
+    spilled_experts:
+        Expert ids of that layer resident in *no* memory tier (tiered
+        platforms only): their impact simulations carry the disk-fetch
+        surcharge, and a granted prefetch first stages them into DRAM.
     """
 
     layer: int
     scores: np.ndarray
     n_tokens: int
     cached_experts: frozenset[int]
+    spilled_experts: frozenset[int] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,11 @@ class ImpactDrivenPrefetcher:
         When set, at most this many screening survivors (best bound
         first) receive the exact simulation; the rest are dropped. An
         approximation knob — ``None`` (default) keeps decisions exact.
+    disk_fetch_s:
+        Estimated disk -> DRAM read time per spilled expert (tiered
+        platforms; 0 keeps the two-tier behaviour). Impact simulations
+        then cost the full disk -> CPU -> GPU chain, and prefetching a
+        spilled expert is charged ``disk_fetch_s`` of extra lead time.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class ImpactDrivenPrefetcher:
         min_gain: float = 0.0,
         delta_screen: bool = True,
         exact_top_m: int | None = None,
+        disk_fetch_s: float = 0.0,
     ) -> None:
         if lookahead < 1:
             raise SchedulingError(f"lookahead must be >= 1, got {lookahead}")
@@ -137,6 +148,10 @@ class ImpactDrivenPrefetcher:
                 raise SchedulingError(f"exact_top_m must be >= 1, got {exact_top_m}")
             if not delta_screen:
                 raise SchedulingError("exact_top_m requires delta_screen=True")
+        if disk_fetch_s < 0:
+            raise SchedulingError(
+                f"disk_fetch_s must be non-negative, got {disk_fetch_s}"
+            )
         self.scheduler = scheduler
         self.transfer_time_fn = transfer_time_fn
         self.num_activated = num_activated
@@ -145,6 +160,7 @@ class ImpactDrivenPrefetcher:
         self.min_gain = min_gain
         self.delta_screen = delta_screen
         self.exact_top_m = exact_top_m
+        self.disk_fetch_s = disk_fetch_s
 
     # ------------------------------------------------------------------
     def predicted_activation(
@@ -186,25 +202,37 @@ class ImpactDrivenPrefetcher:
             candidates = [e for e, _ in activated if e not in cached]
             if not candidates:
                 continue
+            spilled = prediction.spilled_experts
             base = self.scheduler.simulate_makespan(
-                activated, cached, prediction.n_tokens, quick=True
+                activated, cached, prediction.n_tokens, quick=True,
+                spilled=spilled, disk_fetch_s=self.disk_fetch_s,
             )
             confidence = self.confidence_decay ** (distance - 1)
             survivors = self._screen(
-                activated, cached, candidates, base, confidence, prediction.n_tokens
+                activated, cached, candidates, base, confidence,
+                prediction.n_tokens, spilled,
             )
             for expert in survivors:
+                # Simulating `expert` as cached: its own spill state is
+                # moot (the scheduler intersects spilled with uncached),
+                # but the rest of the layer keeps its surcharges.
                 with_expert = self.scheduler.simulate_makespan(
-                    activated, cached | {expert}, prediction.n_tokens, quick=True
+                    activated, cached | {expert}, prediction.n_tokens, quick=True,
+                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
                 )
                 gain = (base - with_expert) * confidence
                 if gain > self.min_gain:
+                    cost = self.transfer_time_fn()
+                    if expert in spilled:
+                        # A spilled expert rides the disk link first —
+                        # more lead time and more budget consumed.
+                        cost += self.disk_fetch_s
                     decisions.append(
                         PrefetchDecision(
                             layer=prediction.layer,
                             expert=expert,
                             gain=gain,
-                            cost=self.transfer_time_fn(),
+                            cost=cost,
                             distance=distance,
                         )
                     )
@@ -219,6 +247,7 @@ class ImpactDrivenPrefetcher:
         base: float,
         confidence: float,
         n_tokens: int,
+        spilled: frozenset[int] = frozenset(),
     ) -> list[int]:
         """Candidates whose exact simulation could still clear min_gain.
 
@@ -235,7 +264,8 @@ class ImpactDrivenPrefetcher:
         scored: list[tuple[float, int]] = []
         for expert in candidates:
             bound = self.scheduler.quick_makespan_lower_bound(
-                activated, cached | {expert}, n_tokens
+                activated, cached | {expert}, n_tokens,
+                spilled=spilled, disk_fetch_s=self.disk_fetch_s,
             )
             gain_bound = (base - bound) * confidence
             if gain_bound > self.min_gain:

@@ -74,6 +74,7 @@ class HybriMoEStrategy(Strategy):
                 lookahead=runtime.config.prefetch_lookahead,
                 confidence_decay=runtime.config.prefetch_confidence_decay,
                 exact_top_m=runtime.config.prefetch_exact_top_m,
+                disk_fetch_s=runtime.disk_fetch_est_s,
             )
 
     def cache_spec(self) -> CacheSpec:
@@ -125,6 +126,8 @@ class HybriMoEStrategy(Strategy):
                 include_shared=ctx.include_shared,
                 inflight=ctx.inflight_dict(),
                 cpu_backlog=ctx.cpu_backlog,
+                spilled=ctx.spilled_experts,
+                disk_fetch_s=ctx.disk_fetch_s,
             )
         return fixed_mapping_plan(
             layer=ctx.layer,
@@ -197,7 +200,7 @@ class HybriMoEStrategy(Strategy):
         budget_s: float,
         layer_span_s: float = float("inf"),
         backlog_s: float = 0.0,
-    ) -> list[tuple[int, int]]:
+    ) -> list[tuple]:
         if not self.prefetching or self._prefetcher is None:
             return []
         if not self.caching:
@@ -212,17 +215,27 @@ class HybriMoEStrategy(Strategy):
             layer_span_s=layer_span_s,
             backlog_s=backlog_s,
         )
-        if self.caching:
-            # Admission check before paying for the transfer: a prefetch
-            # the MRS policy would immediately evict is pure PCIe waste.
-            # The margin keeps speculative (prediction-driven) inserts
-            # from churning residents of nearly equal priority.
-            runtime = self._runtime()
-            decisions = [
-                d
-                for d in decisions
-                if runtime.cache.would_admit(
-                    (d.layer, d.expert), margin=self.prefetch_admit_margin
-                )
-            ]
-        return [(d.layer, d.expert) for d in decisions]
+        if not self.caching:
+            return [(d.layer, d.expert) for d in decisions]
+        # Admission check before paying for the transfer: a prefetch
+        # the MRS policy would immediately evict is pure PCIe waste.
+        # The margin keeps speculative (prediction-driven) inserts
+        # from churning residents of nearly equal priority.
+        runtime = self._runtime()
+        cache = runtime.cache
+        requests: list[tuple] = []
+        for d in decisions:
+            key = (d.layer, d.expert)
+            if cache.would_admit(key, margin=self.prefetch_admit_margin):
+                requests.append((d.layer, d.expert))
+            elif (
+                runtime.tiered
+                and cache.is_spilled(key)
+                and cache.dram_would_admit(key)
+            ):
+                # GPU admission lost, but the expert is on disk and the
+                # impact simulation still found it valuable: promote it
+                # into DRAM only, so a later miss is a PCIe transfer or
+                # in-place CPU compute instead of a full disk chain.
+                requests.append((d.layer, d.expert, "dram"))
+        return requests

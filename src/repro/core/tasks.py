@@ -254,6 +254,15 @@ class LayerCostOracle:
         """Seconds to move one routed expert's weights over PCIe."""
         return self.cost.transfer_time(self.routed_shape)
 
+    def disk_fetch(self) -> float:
+        """Seconds to read one routed expert's weights disk -> DRAM.
+
+        Only valid when the cost model describes a disk tier; the first
+        hop of the disk -> CPU -> GPU transfer chain a spilled expert
+        pays.
+        """
+        return self.cost.disk_transfer_time(self.routed_shape)
+
     def shared_compute(self, device: Device, first_task: bool = False) -> float:
         """Seconds for the fused shared-experts block on ``device``.
 

@@ -22,9 +22,11 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.cache.base import available_policies, make_policy
 from repro.cache.manager import ExpertCache
 from repro.cache.placement import available_placements, make_placement
 from repro.cache.sharded import ShardedCacheManager
+from repro.cache.tiered import TieredCacheManager
 from repro.core.hybrid_scheduler import HybridScheduler, SchedulerConfig
 from repro.core.tasks import LayerCostOracle
 from repro.engine.metrics import GenerationResult, StepMetrics
@@ -101,6 +103,21 @@ class EngineConfig:
         ``sharded_cache=True`` with one GPU runs the full sharding path
         on a single shard — bit-identical to the unsharded engine, the
         property the multi-GPU equivalence tests enforce.
+    cpu_cache_capacity:
+        Routed-expert slots of host DRAM (the CPU tier of the memory
+        hierarchy). ``None`` (default) keeps the paper's unbounded CPU
+        store — bit-identical to the historical two-tier engine,
+        test-enforced. An integer caps DRAM residency: experts outside
+        both caches are **spilled to disk** and pay a disk read (on the
+        clock's shared disk link) before any CPU compute or PCIe
+        transfer.
+    cpu_cache_policy:
+        Eviction policy of the DRAM tier, from the same registry as
+        the GPU tier (``"lru"``, ``"lfu"``, ``"mrs"``).
+    disk_bandwidth:
+        Override of the hardware profile's disk read bandwidth in
+        bytes/s (e.g. to model SATA vs NVMe without a new profile).
+        Requires a capacity-limited CPU tier.
     """
 
     cache_ratio: float = 0.5
@@ -119,6 +136,9 @@ class EngineConfig:
     num_gpus: int = 1
     placement: str = "round_robin"
     sharded_cache: bool | None = None
+    cpu_cache_capacity: int | None = None
+    cpu_cache_policy: str = "lru"
+    disk_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cache_ratio <= 1.0:
@@ -152,6 +172,32 @@ class EngineConfig:
             raise ConfigError(
                 f"prefetch_exact_top_m must be >= 1, got {self.prefetch_exact_top_m}"
             )
+        if self.cpu_cache_capacity is not None and self.cpu_cache_capacity < 0:
+            raise ConfigError(
+                f"cpu_cache_capacity must be non-negative, got "
+                f"{self.cpu_cache_capacity}"
+            )
+        if self.cpu_cache_policy not in available_policies():
+            known = ", ".join(available_policies())
+            raise ConfigError(
+                f"unknown cpu_cache_policy {self.cpu_cache_policy!r} "
+                f"(known: {known})"
+            )
+        if self.disk_bandwidth is not None:
+            if self.disk_bandwidth <= 0:
+                raise ConfigError(
+                    f"disk_bandwidth must be positive, got {self.disk_bandwidth}"
+                )
+            if self.cpu_cache_capacity is None:
+                raise ConfigError(
+                    "disk_bandwidth requires a capacity-limited CPU tier "
+                    "(set cpu_cache_capacity)"
+                )
+
+    @property
+    def tiered(self) -> bool:
+        """Whether the engine runs the three-tier memory hierarchy."""
+        return self.cpu_cache_capacity is not None
 
     def scheduler_config(self) -> SchedulerConfig:
         """The effective scheduler config (fast-path override applied).
@@ -182,9 +228,22 @@ class EngineRuntime:
         self.config = config
         self.cost_actual = cost_actual
         self.cost_estimated = cost_estimated
-        self.clock = ThreeResourceClock(config.num_gpus)
+        self.clock = ThreeResourceClock(config.num_gpus, disk=config.tiered)
         self.arrivals: dict[tuple[int, int], float] = {}
-        self.cache: ExpertCache | ShardedCacheManager | None = None
+        #: In-flight disk -> DRAM stagings issued by prefetching, keyed
+        #: by expert with the read's finish time. Residency flips only
+        #: when a layer starts after the read has landed — the DRAM
+        #: analogue of the GPU tier's ``arrivals`` gating.
+        self.pending_dram: dict[tuple[int, int], float] = {}
+        self.cache: ExpertCache | ShardedCacheManager | TieredCacheManager | None = None
+        #: Planner-side disk -> DRAM read estimate per routed expert
+        #: (0 on two-tier platforms, where disk is never consulted).
+        if config.tiered:
+            self.disk_fetch_est_s = cost_estimated.disk_transfer_time(
+                model.config.routed_expert_shape
+            )
+        else:
+            self.disk_fetch_est_s = 0.0
         self.scheduler = HybridScheduler(self.estimated_oracle, config.scheduler_config())
         self._warmup_trace: RoutingTrace | None = None
         # Oracles are frozen value objects deterministic per n_tokens;
@@ -208,6 +267,11 @@ class EngineRuntime:
         if self.config.sharded_cache is not None:
             return self.config.sharded_cache
         return self.config.num_gpus > 1
+
+    @property
+    def tiered(self) -> bool:
+        """Whether the engine runs the three-tier memory hierarchy."""
+        return self.config.tiered
 
     # ------------------------------------------------------------------
     # oracles
@@ -295,6 +359,14 @@ class InferenceEngine:
     ) -> None:
         self.config = config or EngineConfig()
         profile = hardware_profile or paper_testbed()
+        if self.config.disk_bandwidth is not None:
+            profile = replace(profile, disk_bw=self.config.disk_bandwidth)
+        if self.config.tiered and profile.disk_bw is None:
+            raise ConfigError(
+                f"cpu_cache_capacity is set but hardware profile "
+                f"{profile.name!r} models no disk tier; set disk_bandwidth "
+                "or pick a profile with disk_bw"
+            )
         ground_truth = AnalyticCostModel(profile)
         cost_actual: CostModel = ground_truth
         if self.config.noise_sigma > 0:
@@ -314,9 +386,17 @@ class InferenceEngine:
         strategy.bind(self.runtime)
         if self.runtime.sharded:
             placement = make_placement(self.config.placement, self.config.num_gpus)
-            self.runtime.cache = strategy.cache_spec().build_sharded(placement)
+            gpu_cache: ExpertCache | ShardedCacheManager = (
+                strategy.cache_spec().build_sharded(placement)
+            )
         else:
-            self.runtime.cache = strategy.build_cache()
+            gpu_cache = strategy.build_cache()
+        if self.config.tiered:
+            self.runtime.cache = TieredCacheManager(
+                gpu_cache, self._build_cpu_tier()
+            )
+        else:
+            self.runtime.cache = gpu_cache
         self.runtime.cache.validate()
         #: Batch-capable step executor; the serving layer drives it
         #: directly with many concurrent sequence states.
@@ -325,6 +405,29 @@ class InferenceEngine:
         #: serving); :meth:`generate` keeps its own private state below.
         self.states = SequenceStateStore(model)
         self._state = model.new_state()
+
+    def _build_cpu_tier(self) -> ExpertCache:
+        """The capacity-limited DRAM tier of the memory hierarchy.
+
+        Engine-owned (not strategy-owned): host DRAM is a platform
+        property shared by every scheduling strategy, unlike the GPU
+        cache whose policy *is* part of each framework's design. The
+        tier is warm-filled by warmup activation frequency — the
+        hottest experts are DRAM-resident at start, mirroring a loader
+        that streams the model in until host memory fills up.
+        """
+        policy_kwargs = {}
+        if self.config.cpu_cache_policy == "mrs":
+            policy_kwargs = {
+                "alpha": self.config.mrs_alpha,
+                "top_p": 2 * self.model.config.num_activated_experts,
+            }
+        tier = ExpertCache(
+            self.config.cpu_cache_capacity,
+            make_policy(self.config.cpu_cache_policy, **policy_kwargs),
+        )
+        tier.warm_fill(self.runtime.frequency_ranking())
+        return tier
 
     # ------------------------------------------------------------------
     # public API

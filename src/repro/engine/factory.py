@@ -64,6 +64,9 @@ def make_engine(
     num_gpus: int = 1,
     placement: str = "round_robin",
     planner_fast_path: bool | None = None,
+    cpu_cache_capacity: int | None = None,
+    cpu_cache_policy: str = "lru",
+    disk_bandwidth: float | None = None,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
@@ -98,9 +101,20 @@ def make_engine(
         memo disabled), None = scheduler-config default (the fast
         path). Plans are bit-identical either way (ignored when
         ``engine_config`` given).
+    cpu_cache_capacity:
+        Routed-expert slots of host DRAM; ``None`` keeps the unbounded
+        CPU store (the classic two-tier engine). An integer enables the
+        tiered memory hierarchy — experts outside both caches spill to
+        disk (ignored when ``engine_config`` given).
+    cpu_cache_policy:
+        DRAM-tier eviction policy: ``"lru"``, ``"lfu"`` or ``"mrs"``
+        (ignored when ``engine_config`` given).
+    disk_bandwidth:
+        Disk read-bandwidth override in bytes/s, replacing the hardware
+        profile's ``disk_bw`` (ignored when ``engine_config`` given).
     engine_config:
         Full engine configuration; overrides ``cache_ratio``/``seed``/
-        ``num_gpus``/``placement``.
+        ``num_gpus``/``placement``/the tiered-memory knobs.
     strategy_kwargs / model_kwargs:
         Extra constructor arguments for strategy / functional model.
     """
@@ -120,6 +134,9 @@ def make_engine(
             num_gpus=num_gpus,
             placement=placement,
             planner_fast_path=planner_fast_path,
+            cpu_cache_capacity=cpu_cache_capacity,
+            cpu_cache_policy=cpu_cache_policy,
+            disk_bandwidth=disk_bandwidth,
         )
     return InferenceEngine(model, strategy, hardware, engine_config)
 
@@ -134,6 +151,9 @@ def make_serving_engine(
     num_gpus: int = 1,
     placement: str = "round_robin",
     planner_fast_path: bool | None = None,
+    cpu_cache_capacity: int | None = None,
+    cpu_cache_policy: str = "lru",
+    disk_bandwidth: float | None = None,
     max_batch_size: int = 8,
     prefill_chunk_tokens: int | None = None,
     preemption: bool = False,
@@ -156,6 +176,10 @@ def make_serving_engine(
     ``preemption`` lets arrived higher-priority requests pause the
     lowest-priority decoder when the batch is full. The defaults keep
     the historical FCFS behaviour bit-identically.
+    ``cpu_cache_capacity``/``cpu_cache_policy``/``disk_bandwidth``
+    configure the tiered memory hierarchy exactly as in
+    :func:`make_engine` (the shared serving cache then spans all three
+    tiers).
     """
     # Imported lazily: repro.serving builds on repro.engine, so a
     # top-level import here would be circular.
@@ -172,6 +196,9 @@ def make_serving_engine(
         num_gpus=num_gpus,
         placement=placement,
         planner_fast_path=planner_fast_path,
+        cpu_cache_capacity=cpu_cache_capacity,
+        cpu_cache_policy=cpu_cache_policy,
+        disk_bandwidth=disk_bandwidth,
         engine_config=engine_config,
         strategy_kwargs=strategy_kwargs,
         model_kwargs=model_kwargs,

@@ -18,6 +18,20 @@ With a single sequence the pipeline performs the same numpy operations
 in the same order as the historical ``_run_step``, so hidden states are
 bit-identical — the property the serving equivalence tests pin down.
 
+**Tiered memory.** On a tiered platform
+(``EngineConfig.cpu_cache_capacity``) each layer's *spilled* experts —
+resident in neither the GPU cache nor the DRAM tier — are computed
+before planning and threaded to the strategy via
+:class:`LayerContext`; execution stages them disk -> DRAM on the
+clock's shared disk link before their CPU compute or PCIe transfer,
+and every staged expert is promoted into the DRAM tier afterwards
+(policy-managed, so hot experts converge DRAM-resident). Prefetches of
+spilled experts ride the full disk -> CPU -> GPU chain, and a strategy
+may request a DRAM-only promotion (``(layer, expert, "dram")``) that
+pays the disk read without spending PCIe bandwidth. With no CPU-tier
+cap the spilled set is always empty and every code path reduces to the
+two-tier engine, bit-identically.
+
 **Multi-GPU dispatch.** When the engine runs with a sharded cache
 (``num_gpus > 1``, or ``sharded_cache=True``), each layer's activated
 experts are partitioned by their home device (the shard that holds or
@@ -43,6 +57,7 @@ import numpy as np
 
 from repro.cache.manager import ExpertCache
 from repro.cache.sharded import ShardedCacheManager
+from repro.cache.tiered import TieredCacheManager
 from repro.core.executor import execute_plan
 from repro.core.prefetch import PredictedLayer
 from repro.core.tasks import ComputeTask
@@ -108,8 +123,8 @@ class StepPipeline:
         self.runtime = runtime
 
     # ------------------------------------------------------------------
-    def _cache(self) -> ExpertCache | ShardedCacheManager:
-        """The engine's bound expert cache (sharded on a GPU fleet)."""
+    def _cache(self) -> ExpertCache | ShardedCacheManager | TieredCacheManager:
+        """The engine's bound expert cache (sharded and/or tiered)."""
         cache = self.runtime.cache
         if cache is None:
             raise ConfigError("engine runtime has no cache bound")
@@ -210,6 +225,13 @@ class StepPipeline:
                 for expert in router.activated_experts()
             )
             cached = frozenset(cache.cached_experts_of_layer(layer))
+            if runtime.tiered:
+                self._commit_landed_promotions(attn_end)
+                spilled = cache.spilled_experts(
+                    layer, (expert for expert, _ in activated)
+                )
+            else:
+                spilled = frozenset()
             for expert, _ in activated:
                 cache.access((layer, expert))
 
@@ -233,6 +255,8 @@ class StepPipeline:
                 moe_start=attn_end,
                 pcie_backlog=pcie_backlog,
                 inflight_offsets=inflight_offsets,
+                spilled_experts=spilled,
+                disk_fetch_s=runtime.disk_fetch_est_s,
             )
             self.strategy.observe_scores(ctx)
             if runtime.sharded:
@@ -251,7 +275,9 @@ class StepPipeline:
                     runtime.actual_oracle(n_tokens),
                     attn_end,
                     runtime.arrivals,
+                    spilled=spilled,
                 )
+                self._promote_spilled(layer, spilled)
                 self.strategy.after_layer(ctx, plan)
                 cache.unlock_all()
                 routed_tasks = plan.routed_compute_tasks()
@@ -284,6 +310,47 @@ class StepPipeline:
         return BatchStepResult(hidden=hidden, metrics=metrics)
 
     # ------------------------------------------------------------------
+    def _commit_landed_promotions(self, now: float) -> None:
+        """Flip DRAM residency for prefetch stagings that have landed.
+
+        A prefetch-issued disk read is in flight until its reserved
+        finish time; an expert becomes DRAM-resident only for layers
+        whose MoE phase starts after that — otherwise a backlogged disk
+        link could make spilled weights usable before they exist in
+        host memory. Commits run in (finish, key) order so runs stay
+        deterministic.
+        """
+        runtime = self.runtime
+        if not runtime.pending_dram:
+            return
+        cache = self._cache()
+        landed = sorted(
+            (ready, key)
+            for key, ready in runtime.pending_dram.items()
+            if ready <= now
+        )
+        for ready, key in landed:
+            del runtime.pending_dram[key]
+            cache.promote_to_dram(key)
+
+    def _promote_spilled(self, layer: int, spilled: frozenset[int]) -> None:
+        """DRAM-insert every spilled expert the layer just staged.
+
+        The plan covers all activated experts, so each spilled one paid
+        a disk read (for its CPU compute or its transfer chain); its
+        weights now sit in host DRAM and the tier's policy decides what
+        they displace. Ascending expert id keeps runs deterministic.
+        """
+        if not spilled:
+            return
+        cache = self._cache()
+        for expert in sorted(spilled):
+            key = (layer, expert)
+            cache.promote_to_dram(key)
+            # The layer just paid its own read; a prefetch staging of
+            # the same key still in flight is superseded.
+            self.runtime.pending_dram.pop(key, None)
+
     def _run_sharded_layer(self, ctx: LayerContext) -> list[ComputeTask]:
         """Plan and execute one layer's experts across the GPU fleet.
 
@@ -331,6 +398,9 @@ class StepPipeline:
                 )
                 > 0.0
             )
+            dev_spilled = frozenset(
+                expert for expert, _ in group if expert in ctx.spilled_experts
+            )
             dev_ctx = LayerContext(
                 layer=layer,
                 stage=ctx.stage,
@@ -344,6 +414,8 @@ class StepPipeline:
                 device_id=device,
                 include_shared=device == shared_device,
                 cpu_backlog=cpu_backlog,
+                spilled_experts=dev_spilled,
+                disk_fetch_s=ctx.disk_fetch_s,
             )
             plan = self.strategy.plan_layer(dev_ctx)
             if self.config.validate_plans:
@@ -359,7 +431,9 @@ class StepPipeline:
                 ctx.moe_start,
                 runtime.arrivals,
                 device=device,
+                spilled=dev_spilled,
             )
+            self._promote_spilled(layer, dev_spilled)
             self.strategy.after_layer(dev_ctx, plan)
             manager.unlock_all()
             routed_tasks.extend(plan.routed_compute_tasks())
@@ -409,12 +483,19 @@ class StepPipeline:
             if future >= num_layers:
                 break
             scores = self.model.gate_scores(z, future).mean(axis=0)
+            if runtime.tiered:
+                future_spilled = cache.spilled_experts(
+                    future, range(cfg.num_routed_experts)
+                )
+            else:
+                future_spilled = frozenset()
             predictions.append(
                 PredictedLayer(
                     layer=future,
                     scores=scores,
                     n_tokens=ctx.n_tokens,
                     cached_experts=frozenset(cache.cached_experts_of_layer(future)),
+                    spilled_experts=future_spilled,
                 )
             )
         if not predictions:
@@ -442,9 +523,35 @@ class StepPipeline:
             layer_span_s=max(layer_span, attn_est),
             backlog_s=backlog,
         )
-        for future_layer, expert in requests:
+        for request in requests:
+            future_layer, expert = request[0], request[1]
+            target = request[2] if len(request) > 2 else "gpu"
             key = (future_layer, expert)
             if key in cache:
+                continue
+            # A spilled expert is staged disk -> DRAM first; a GPU-bound
+            # prefetch then rides PCIe *after* the disk read lands, and
+            # a "dram" request stops there (staging without spending
+            # PCIe bandwidth or a GPU slot). DRAM residency flips when
+            # a later layer starts past the read's finish time
+            # (_commit_landed_promotions); a key already staging is
+            # never re-read.
+            ready = ctx.moe_start
+            if runtime.tiered and cache.is_spilled(key):
+                pending_ready = runtime.pending_dram.get(key)
+                if pending_ready is None:
+                    disk_duration = runtime.cost_actual.disk_transfer_time(
+                        cfg.routed_expert_shape
+                    )
+                    _, ready = runtime.clock.disk.reserve(
+                        ctx.moe_start,
+                        disk_duration,
+                        f"disk L{future_layer} E{expert}",
+                    )
+                    runtime.pending_dram[key] = ready
+                else:
+                    ready = max(ctx.moe_start, pending_ready)
+            if target == "dram":
                 continue
             if runtime.sharded:
                 device = cache.device_of(key)
@@ -457,7 +564,7 @@ class StepPipeline:
                 device = 0
             duration = runtime.cost_actual.transfer_time(cfg.routed_expert_shape)
             _, finish = runtime.clock.pcie_timeline(device).reserve(
-                ctx.moe_start, duration, f"prefetch L{future_layer} E{expert}"
+                ready, duration, f"prefetch L{future_layer} E{expert}"
             )
             runtime.arrivals[key] = finish
             cache.insert(key)

@@ -64,6 +64,12 @@ class LayerContext:
     #: ``moe_start`` (earlier devices' CPU fallback queues ahead;
     #: always 0 on a single-GPU platform thanks to the layer barrier).
     cpu_backlog: float = 0.0
+    #: Activated experts of this context resident in *no* memory tier
+    #: (tiered platforms only — empty on the classic two-tier engine).
+    #: Using one first pays ``disk_fetch_s`` on the shared disk link.
+    spilled_experts: frozenset[int] = frozenset()
+    #: Estimated disk -> DRAM read seconds per spilled expert.
+    disk_fetch_s: float = 0.0
 
     def activated_dict(self) -> dict[int, int]:
         return dict(self.activated)
@@ -143,7 +149,7 @@ class Strategy(ABC):
         budget_s: float,
         layer_span_s: float = float("inf"),
         backlog_s: float = 0.0,
-    ) -> list[tuple[int, int]]:
+    ) -> list[tuple]:
         """Experts of future layers to transfer during idle PCIe time.
 
         ``layer_span_s`` estimates the wall time of one layer and
@@ -151,6 +157,12 @@ class Strategy(ABC):
         which transfers can land before their target layer. Returns
         ``(layer, expert)`` keys in issue order; default is no
         prefetching.
+
+        On a tiered-memory platform a request may instead be the
+        triple ``(layer, expert, "dram")``: promote the (spilled)
+        expert into host DRAM only — pay the disk read now so a later
+        use is a plain CPU compute or PCIe transfer — without spending
+        PCIe bandwidth or a GPU cache slot on it.
         """
         return []
 

@@ -7,6 +7,12 @@ behaviour (Fig. 3e/f): GPU expert time is roughly constant in the token
 load (weight-bandwidth bound at inference batch sizes), CPU time grows
 linearly with load (FLOP bound) with a first-task warmup penalty, and
 PCIe transfer time is constant per expert.
+
+Profiles also describe a disk tier (``disk_bw``), the bottom of the
+tiered memory hierarchy: on platforms whose host DRAM is itself
+capacity-limited, spilled experts pay a constant-per-expert disk read
+on a platform-shared disk link before any CPU compute or PCIe
+transfer (see ``docs/MEMORY.md``).
 """
 
 from repro.hardware.cost_model import (

@@ -16,6 +16,13 @@ The scheduler never touches wall-clock time: every duration comes from a
 Durations are in **seconds**; shapes are paper-scale
 :class:`~repro.models.config.ExpertShape` objects, so byte counts match
 the real models (4-bit Marlin quantisation by default).
+
+Profiles may additionally describe a **disk tier** (``disk_bw`` /
+``disk_latency_s``): :meth:`CostModel.disk_transfer_time` is the cost
+of staging one expert's weights disk -> host DRAM, the first hop of the
+disk -> CPU -> GPU transfer chain a tiered-memory engine pays for
+spilled experts. Profiles without ``disk_bw`` keep the paper's two-tier
+assumption and raise on disk queries.
 """
 
 from __future__ import annotations
@@ -66,6 +73,12 @@ class HardwareProfile:
     bits_per_param:
         Stored bits per weight parameter (4-bit Marlin plus scales
         ~= 4.5 bits).
+    disk_bw:
+        Effective disk -> host-DRAM read bandwidth in bytes/s (NVMe or
+        SATA SSD), or ``None`` when the platform models no disk tier
+        (the paper's assumption: every expert is DRAM-resident).
+    disk_latency_s:
+        Fixed per-read setup latency of the disk tier.
     """
 
     name: str
@@ -79,6 +92,8 @@ class HardwareProfile:
     pcie_bw: float
     pcie_latency_s: float
     bits_per_param: float = 4.5
+    disk_bw: float | None = None
+    disk_latency_s: float = 100e-6
 
     def __post_init__(self) -> None:
         positive_fields = [
@@ -89,6 +104,8 @@ class HardwareProfile:
             ("pcie_bw", self.pcie_bw),
             ("bits_per_param", self.bits_per_param),
         ]
+        if self.disk_bw is not None:
+            positive_fields.append(("disk_bw", self.disk_bw))
         for field_name, value in positive_fields:
             if value <= 0:
                 raise ConfigError(f"{field_name} must be positive, got {value}")
@@ -97,6 +114,7 @@ class HardwareProfile:
             ("cpu_task_overhead_s", self.cpu_task_overhead_s),
             ("cpu_warmup_s", self.cpu_warmup_s),
             ("pcie_latency_s", self.pcie_latency_s),
+            ("disk_latency_s", self.disk_latency_s),
         ]
         for field_name, value in non_negative_fields:
             if value < 0:
@@ -127,6 +145,18 @@ class CostModel(ABC):
     @abstractmethod
     def transfer_time(self, shape: ExpertShape) -> float:
         """Seconds to move one expert's weights host -> GPU over PCIe."""
+
+    def disk_transfer_time(self, shape: ExpertShape) -> float:
+        """Seconds to read one expert's weights disk -> host DRAM.
+
+        Only meaningful on platforms modelling a disk tier; the default
+        raises so two-tier models fail loudly rather than returning a
+        fictitious duration.
+        """
+        raise ConfigError(
+            f"{type(self).__name__} models no disk tier; use a hardware "
+            "profile with disk_bw set"
+        )
 
     @abstractmethod
     def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
@@ -195,6 +225,14 @@ class AnalyticCostModel(CostModel):
     def transfer_time(self, shape: ExpertShape) -> float:
         return self.profile.pcie_latency_s + self.expert_bytes(shape) / self.profile.pcie_bw
 
+    def disk_transfer_time(self, shape: ExpertShape) -> float:
+        if self.profile.disk_bw is None:
+            raise ConfigError(
+                f"hardware profile {self.profile.name!r} models no disk tier "
+                "(disk_bw is None)"
+            )
+        return self.profile.disk_latency_s + self.expert_bytes(shape) / self.profile.disk_bw
+
     def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
         if d_model <= 0:
             raise ConfigError(f"d_model must be positive, got {d_model}")
@@ -246,6 +284,7 @@ class FittedCostModel(CostModel):
         transfer_times: dict[ExpertShape, float],
         attention_fits: dict[tuple[int, str], LinearFit],
         bytes_per_param: float,
+        disk_transfer_times: dict[ExpertShape, float] | None = None,
     ) -> None:
         self._gpu_fits = dict(gpu_fits)
         self._cpu_fits = dict(cpu_fits)
@@ -253,6 +292,7 @@ class FittedCostModel(CostModel):
         self._transfer_times = dict(transfer_times)
         self._attention_fits = dict(attention_fits)
         self._bytes_per_param = bytes_per_param
+        self._disk_transfer_times = dict(disk_transfer_times or {})
 
     def _lookup(self, table: dict, key, kind: str):
         try:
@@ -280,6 +320,9 @@ class FittedCostModel(CostModel):
 
     def transfer_time(self, shape: ExpertShape) -> float:
         return self._lookup(self._transfer_times, shape, "transfer")
+
+    def disk_transfer_time(self, shape: ExpertShape) -> float:
+        return self._lookup(self._disk_transfer_times, shape, "disk transfer")
 
     def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
         if tokens < 0:
@@ -321,6 +364,9 @@ class NoisyCostModel(CostModel):
 
     def transfer_time(self, shape: ExpertShape) -> float:
         return self._jitter(self._base.transfer_time(shape))
+
+    def disk_transfer_time(self, shape: ExpertShape) -> float:
+        return self._jitter(self._base.disk_transfer_time(shape))
 
     def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
         return self._jitter(self._base.attention_time(d_model, tokens, device))

@@ -17,6 +17,16 @@ drive every scheduling decision, so they are matched with care:
 - small DeepSeek experts transfer quickly relative to their CPU time,
   moving the crossover point — which is exactly why the paper evaluates
   models with heterogeneous expert sizes.
+
+Every preset also carries a **disk tier** (``disk_bw``): an NVMe-class
+drive on the paper's rig, a SATA-class drive on ``disk-slow``. The disk
+only matters when the engine is configured with a capacity-limited CPU
+DRAM tier (``EngineConfig.cpu_cache_capacity``); the default unbounded
+DRAM tier never touches it, preserving the paper's two-tier behaviour.
+The ordering that drives tiered scheduling is ``disk_bw < pcie_bw <<
+cpu_mem_bw < gpu_mem_bw`` — fetching a spilled expert from disk costs
+several PCIe transfers, so keeping hot experts DRAM-resident matters
+more than keeping them GPU-resident.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ __all__ = [
     "paper_testbed",
     "cpu_weak_testbed",
     "pcie_fast_testbed",
+    "disk_slow_testbed",
     "HARDWARE_PRESETS",
     "get_hardware_preset",
 ]
@@ -47,6 +58,8 @@ def paper_testbed() -> HardwareProfile:
         pcie_bw=20e9,             # PCIe 3.0 x16 effective
         pcie_latency_s=40e-6,
         bits_per_param=4.5,       # Marlin 4-bit + scales
+        disk_bw=3.2e9,            # NVMe PCIe 3.0 x4 effective read
+        disk_latency_s=80e-6,
     )
 
 
@@ -65,6 +78,8 @@ def cpu_weak_testbed() -> HardwareProfile:
         pcie_bw=base.pcie_bw,
         pcie_latency_s=base.pcie_latency_s,
         bits_per_param=base.bits_per_param,
+        disk_bw=base.disk_bw,
+        disk_latency_s=base.disk_latency_s,
     )
 
 
@@ -83,6 +98,33 @@ def pcie_fast_testbed() -> HardwareProfile:
         pcie_bw=2 * base.pcie_bw,
         pcie_latency_s=base.pcie_latency_s / 2,
         bits_per_param=base.bits_per_param,
+        disk_bw=base.disk_bw,
+        disk_latency_s=base.disk_latency_s,
+    )
+
+
+def disk_slow_testbed() -> HardwareProfile:
+    """Variant with a SATA-SSD-class disk tier (spill-hostile regime).
+
+    Used by the tiered-memory study: with disk reads ~6x slower than
+    NVMe, DRAM-tier eviction quality dominates end-to-end latency once
+    the model outgrows host RAM.
+    """
+    base = paper_testbed()
+    return HardwareProfile(
+        name="a6000-sata",
+        gpu_flops=base.gpu_flops,
+        gpu_mem_bw=base.gpu_mem_bw,
+        gpu_overhead_s=base.gpu_overhead_s,
+        cpu_flops=base.cpu_flops,
+        cpu_mem_bw=base.cpu_mem_bw,
+        cpu_task_overhead_s=base.cpu_task_overhead_s,
+        cpu_warmup_s=base.cpu_warmup_s,
+        pcie_bw=base.pcie_bw,
+        pcie_latency_s=base.pcie_latency_s,
+        bits_per_param=base.bits_per_param,
+        disk_bw=0.5e9,            # SATA 3 effective read
+        disk_latency_s=150e-6,
     )
 
 
@@ -90,6 +132,7 @@ HARDWARE_PRESETS = {
     "paper": paper_testbed,
     "cpu-weak": cpu_weak_testbed,
     "pcie-fast": pcie_fast_testbed,
+    "disk-slow": disk_slow_testbed,
 }
 
 

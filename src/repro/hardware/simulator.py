@@ -1,4 +1,4 @@
-"""Multi-resource discrete-event clock (N GPUs, CPU, N PCIe links).
+"""Multi-resource discrete-event clock (N GPUs, CPU, N PCIe links, disk).
 
 :class:`ThreeResourceClock` bundles the serial resources of the hybrid
 platform and provides the barrier semantics the engine needs:
@@ -19,6 +19,14 @@ off its own root-port lanes). The CPU remains a single shared resource.
 With ``num_gpus=1`` the clock is bit-identical to the historical
 three-resource behaviour: ``clock.gpu`` and ``clock.pcie`` alias device
 0's timelines and carry the original resource names.
+
+With ``disk=True`` the clock additionally owns a single **disk -> host
+link** shared by the whole platform (one NVMe/SSD feeding DRAM). It
+serialises the disk reads of the tiered memory hierarchy: staging a
+spilled expert into DRAM before it can be CPU-computed or ride a PCIe
+link to a GPU. Like PCIe, the disk link is excluded from the layer
+barrier — reads overlap the next layer's attention. Without the flag
+(the default) no disk timeline exists and the clock is unchanged.
 """
 
 from __future__ import annotations
@@ -32,11 +40,12 @@ __all__ = ["Resource", "ThreeResourceClock"]
 
 
 class Resource(str, Enum):
-    """The three resource kinds of the hybrid platform."""
+    """The resource kinds of the hybrid platform."""
 
     GPU = "gpu"
     CPU = "cpu"
     PCIE = "pcie"
+    DISK = "disk"
 
 
 class ThreeResourceClock:
@@ -48,9 +57,12 @@ class ThreeResourceClock:
         Number of simulated GPU devices. Each device ``g`` owns two
         timelines: ``gpus[g]`` (compute) and ``pcie_links[g]`` (its
         host-to-device link). The CPU timeline is shared by all.
+    disk:
+        Model a platform-shared disk -> host link (the third tier of
+        the memory hierarchy). ``clock.disk`` is ``None`` when False.
     """
 
-    def __init__(self, num_gpus: int = 1) -> None:
+    def __init__(self, num_gpus: int = 1, disk: bool = False) -> None:
         if num_gpus < 1:
             raise SimulationError(f"num_gpus must be >= 1, got {num_gpus}")
         self.num_gpus = num_gpus
@@ -63,6 +75,7 @@ class ThreeResourceClock:
             self.gpus = [ResourceTimeline(f"gpu{g}") for g in range(num_gpus)]
             self.pcie_links = [ResourceTimeline(f"pcie{g}") for g in range(num_gpus)]
         self.cpu = ResourceTimeline("cpu")
+        self.disk: ResourceTimeline | None = ResourceTimeline("disk") if disk else None
 
     # ------------------------------------------------------------------
     # device accessors
@@ -99,7 +112,17 @@ class ThreeResourceClock:
             return self.gpu_timeline(device)
         if resource == Resource.CPU:
             return self.cpu
+        if resource == Resource.DISK:
+            return self.disk_timeline()
         return self.pcie_timeline(device)
+
+    def disk_timeline(self) -> ResourceTimeline:
+        """The platform-shared disk -> host link (tiered memory only)."""
+        if self.disk is None:
+            raise SimulationError(
+                "clock models no disk tier; construct with disk=True"
+            )
+        return self.disk
 
     # ------------------------------------------------------------------
     # frontiers
@@ -118,10 +141,13 @@ class ThreeResourceClock:
     @property
     def frontier(self) -> float:
         """Earliest time every resource (links included) is free."""
-        return max(
+        frontier = max(
             self.compute_frontier,
             max(t.available_at for t in self.pcie_links),
         )
+        if self.disk is not None:
+            frontier = max(frontier, self.disk.available_at)
+        return frontier
 
     @property
     def min_pcie_available_at(self) -> float:
@@ -140,21 +166,28 @@ class ThreeResourceClock:
         triple. With ``num_gpus > 1`` the summary reports each device
         (``gpu0``, ``pcie0``, ...) plus ``gpu`` and ``pcie`` aggregates
         (mean across devices) so downstream consumers that average
-        "the" GPU utilisation keep working.
+        "the" GPU utilisation keep working. When the clock models a
+        disk tier a ``disk`` entry is added (absent otherwise, keeping
+        two-tier summaries schema-identical to the historical ones).
         """
         if self.num_gpus == 1:
-            return {
+            summary = {
                 "gpu": self.gpu.utilization(window_start, window_end),
                 "cpu": self.cpu.utilization(window_start, window_end),
                 "pcie": self.pcie.utilization(window_start, window_end),
             }
+            if self.disk is not None:
+                summary["disk"] = self.disk.utilization(window_start, window_end)
+            return summary
         gpu_utils = [t.utilization(window_start, window_end) for t in self.gpus]
         pcie_utils = [t.utilization(window_start, window_end) for t in self.pcie_links]
-        summary: dict[str, float] = {
+        summary = {
             "gpu": sum(gpu_utils) / len(gpu_utils),
             "cpu": self.cpu.utilization(window_start, window_end),
             "pcie": sum(pcie_utils) / len(pcie_utils),
         }
+        if self.disk is not None:
+            summary["disk"] = self.disk.utilization(window_start, window_end)
         for g, (gu, pu) in enumerate(zip(gpu_utils, pcie_utils)):
             summary[f"gpu{g}"] = gu
             summary[f"pcie{g}"] = pu
@@ -167,3 +200,5 @@ class ThreeResourceClock:
         self.cpu.validate()
         for timeline in self.pcie_links:
             timeline.validate()
+        if self.disk is not None:
+            self.disk.validate()

@@ -91,6 +91,7 @@ class WarmupCalibrator:
         gpu_fits: dict[ExpertShape, LinearFit] = {}
         cpu_fits: dict[ExpertShape, LinearFit] = {}
         transfer_times: dict[ExpertShape, float] = {}
+        disk_transfer_times: dict[ExpertShape, float] = {}
         for shape in unique_shapes:
             gpu_durations = self._probe(
                 lambda t, s=shape: self._ground_truth.gpu_expert_time(s, int(t))
@@ -104,6 +105,18 @@ class WarmupCalibrator:
                 self._ground_truth.transfer_time(shape) for _ in range(self._repeats)
             ]
             transfer_times[shape] = float(np.mean(transfers))
+            # Platforms with a disk tier get their disk reads probed
+            # too; two-tier platforms raise, and the fitted model then
+            # raises on disk queries exactly like the ground truth.
+            try:
+                disk_reads = [
+                    self._ground_truth.disk_transfer_time(shape)
+                    for _ in range(self._repeats)
+                ]
+            except ConfigError:
+                pass
+            else:
+                disk_transfer_times[shape] = float(np.mean(disk_reads))
 
         # Estimate the CPU cold-start penalty by differencing first-task
         # and steady-state probes at one token.
@@ -146,4 +159,5 @@ class WarmupCalibrator:
             transfer_times=transfer_times,
             attention_fits=attention_fits,
             bytes_per_param=bytes_per_param,
+            disk_transfer_times=disk_transfer_times,
         )

@@ -63,6 +63,9 @@ class ToyCostModel:
     def transfer_time(self, shape) -> float:
         return 3.0
 
+    def disk_transfer_time(self, shape) -> float:
+        return 4.0
+
     def attention_time(self, d_model: int, tokens: int, device: str = "gpu") -> float:
         if tokens == 0:
             return 0.0

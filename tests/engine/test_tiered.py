@@ -1,0 +1,306 @@
+"""Tiered memory engine: two-tier equivalence, spill mechanics, knobs.
+
+Two contracts are pinned here:
+
+- **Equivalence** — the default configuration (unbounded CPU tier, no
+  disk) is bit-identical to the pre-tiering engine. Enforced the same
+  way PR 2 pinned the sharding refactor: forcing the *tiered machinery*
+  on with a DRAM tier big enough that nothing ever spills must
+  reproduce the default engine bit-for-bit (same hidden states, same
+  step timings, same hit/miss counters) for all five strategies.
+- **Spill mechanics** — under a DRAM-constrained configuration spilled
+  experts pay disk reads on the shared disk link, get promoted into
+  the DRAM tier afterwards, and every clock/cache invariant holds, on
+  one GPU and on a sharded fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.factory import make_engine, make_serving_engine, make_strategy
+from repro.errors import ConfigError
+from repro.hardware.platform_presets import paper_testbed
+from repro.models.model import ReferenceMoEModel
+from repro.workloads.generator import serving_workload
+
+STRATEGIES = ["hybrimoe", "ktransformers", "adapmoe", "llamacpp", "ondemand"]
+
+
+def build_engine(tiny_config, strategy_name, **overrides):
+    model = ReferenceMoEModel(tiny_config, seed=0)
+    config = EngineConfig(
+        cache_ratio=0.25,
+        seed=0,
+        profile_prompt_len=8,
+        profile_decode_steps=2,
+        **overrides,
+    )
+    return InferenceEngine(
+        model, make_strategy(strategy_name), paper_testbed(), config
+    )
+
+
+def step_fingerprint(metrics, drop_disk=False):
+    utilization = dict(metrics.utilization)
+    if drop_disk:
+        assert utilization.pop("disk") == 0.0
+    return (
+        metrics.stage,
+        metrics.n_tokens,
+        metrics.start,
+        metrics.end,
+        metrics.hits,
+        metrics.misses,
+        metrics.batch_size,
+        tuple(sorted(utilization.items())),
+    )
+
+
+def result_fingerprint(result, drop_disk=False):
+    steps = [result.prefill, *result.decode_steps]
+    return (
+        tuple(step_fingerprint(s, drop_disk) for s in steps),
+        result.total_hits,
+        result.total_misses,
+    )
+
+
+class TestUnboundedTierEquivalence:
+    """Forced-on tiered machinery with an unspillable DRAM tier must be
+    bit-identical to the default two-tier engine (the disk utilisation
+    entry — always 0.0 — is the only schema difference)."""
+
+    @pytest.mark.parametrize("strategy_name", STRATEGIES)
+    def test_generate_bit_identical(self, tiny_config, prompt_tokens, strategy_name):
+        plain = build_engine(tiny_config, strategy_name)
+        tiered = build_engine(
+            tiny_config,
+            strategy_name,
+            cpu_cache_capacity=tiny_config.total_routed_experts,
+        )
+        assert plain.runtime.tiered is False
+        assert tiered.runtime.tiered is True
+
+        result_plain = plain.generate(prompt_tokens, decode_steps=4)
+        result_tiered = tiered.generate(prompt_tokens, decode_steps=4)
+        assert result_fingerprint(result_plain) == result_fingerprint(
+            result_tiered, drop_disk=True
+        )
+        # Nothing ever spilled, so the disk link never saw traffic.
+        assert tiered.runtime.clock.disk.intervals == []
+
+    @pytest.mark.parametrize("strategy_name", STRATEGIES)
+    def test_hidden_states_bit_identical(
+        self, tiny_config, prompt_tokens, strategy_name
+    ):
+        plain = build_engine(tiny_config, strategy_name)
+        tiered = build_engine(
+            tiny_config,
+            strategy_name,
+            cpu_cache_capacity=tiny_config.total_routed_experts,
+        )
+        hidden_plain, _ = plain._run_step(prompt_tokens, "prefill")
+        hidden_tiered, _ = tiered._run_step(prompt_tokens, "prefill")
+        np.testing.assert_array_equal(hidden_plain, hidden_tiered)
+
+
+class TestSpillMechanics:
+    @pytest.mark.parametrize("strategy_name", STRATEGIES)
+    def test_constrained_dram_pays_disk_reads(
+        self, tiny_config, prompt_tokens, strategy_name
+    ):
+        engine = build_engine(tiny_config, strategy_name, cpu_cache_capacity=4)
+        result = engine.generate(prompt_tokens, decode_steps=4)
+        disk = engine.runtime.clock.disk
+        assert disk is not None and len(disk.intervals) > 0
+        assert disk.busy_time() > 0.0
+        # Spilling slows the run down relative to unbounded DRAM.
+        baseline = build_engine(tiny_config, strategy_name)
+        base_result = baseline.generate(prompt_tokens, decode_steps=4)
+        assert result.decode_steps[-1].end > base_result.decode_steps[-1].end
+        engine.runtime.clock.validate()
+        engine.runtime.cache.validate()
+
+    def test_staged_experts_are_promoted_to_dram(self, tiny_config, prompt_tokens):
+        engine = build_engine(tiny_config, "ondemand", cpu_cache_capacity=4)
+        cache = engine.runtime.cache
+        engine.generate(prompt_tokens, decode_steps=2)
+        cpu_tier = cache.cpu_tier
+        # The tier filled up to capacity and its counters moved.
+        assert len(cpu_tier) == 4
+        assert cpu_tier.stats.insertions > 0
+        assert cpu_tier.stats.accesses > 0
+
+    def test_numerics_unaffected_by_spilling(self, tiny_config, prompt_tokens):
+        reference = ReferenceMoEModel(tiny_config, seed=0)
+        ref_hidden, _, _ = reference.forward(prompt_tokens)
+        engine = build_engine(tiny_config, "hybrimoe", cpu_cache_capacity=3)
+        hidden, _ = engine._run_step(prompt_tokens, "prefill")
+        np.testing.assert_allclose(hidden, ref_hidden, rtol=1e-5, atol=1e-6)
+
+    def test_deterministic_under_fixed_seed(self, tiny_config, prompt_tokens):
+        fingerprints = []
+        for _ in range(2):
+            engine = build_engine(tiny_config, "hybrimoe", cpu_cache_capacity=4)
+            result = engine.generate(prompt_tokens, decode_steps=4)
+            cache = engine.runtime.cache
+            fingerprints.append(
+                (
+                    result_fingerprint(result),
+                    sorted(cache.cpu_tier.resident_keys),
+                    len(engine.runtime.clock.disk.intervals),
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_zero_capacity_dram_tier_runs(self, tiny_config, prompt_tokens):
+        """Everything uncached spills — the degenerate GPU-or-disk config."""
+        engine = build_engine(tiny_config, "hybrimoe", cpu_cache_capacity=0)
+        result = engine.generate(prompt_tokens, decode_steps=2)
+        assert result.total_misses > 0
+        assert len(engine.runtime.clock.disk.intervals) > 0
+        assert len(engine.runtime.cache.cpu_tier) == 0
+
+    def test_sharded_fleet_with_tiered_memory(self, tiny_config, prompt_tokens):
+        engine = build_engine(
+            tiny_config, "hybrimoe", num_gpus=2, cpu_cache_capacity=4
+        )
+        engine.generate(prompt_tokens, decode_steps=4)
+        clock = engine.runtime.clock
+        assert len(clock.disk.intervals) > 0
+        clock.validate()
+        cache = engine.runtime.cache
+        cache.validate()
+        assert cache.sharded
+        assert len(cache.per_device_hit_rates()) == 2
+
+    def test_serving_on_tiered_memory(self, tiny_config):
+        serving = make_serving_engine(
+            model="deepseek",
+            strategy="hybrimoe",
+            cache_ratio=0.25,
+            num_layers=2,
+            cpu_cache_capacity=8,
+            max_batch_size=4,
+        )
+        trace = serving_workload(
+            num_requests=4, arrival_rate=8.0, decode_steps=3, seed=0
+        )
+        report = serving.serve_trace(trace)
+        assert report.num_requests == 4
+        rates = serving.engine.runtime.cache.per_tier_hit_rates()
+        assert set(rates) == {"gpu", "cpu"}
+        serving.engine.runtime.clock.validate()
+
+    def test_inflight_dram_staging_gates_residency(self, tiny_config):
+        """A prefetch-issued disk read flips DRAM residency only once a
+        layer starts past its finish time — never while in flight."""
+        engine = build_engine(tiny_config, "hybrimoe", cpu_cache_capacity=4)
+        runtime = engine.runtime
+        cache = runtime.cache
+        pipeline = engine.pipeline
+        spilled_keys = sorted(
+            (layer, expert)
+            for layer in range(tiny_config.num_layers)
+            for expert in cache.spilled_experts(
+                layer, range(tiny_config.num_routed_experts)
+            )
+        )
+        early, late = spilled_keys[0], spilled_keys[1]
+        assert cache.is_spilled(early) and cache.is_spilled(late)
+        runtime.pending_dram = {early: 1.0, late: 5.0}
+
+        pipeline._commit_landed_promotions(0.5)   # neither read landed
+        assert not cache.dram_resident(early) and not cache.dram_resident(late)
+        pipeline._commit_landed_promotions(2.0)   # only the early one
+        assert cache.dram_resident(early)
+        assert not cache.dram_resident(late)
+        assert runtime.pending_dram == {late: 5.0}
+        pipeline._commit_landed_promotions(5.0)   # boundary: ready <= now
+        assert cache.dram_resident(late)
+        assert runtime.pending_dram == {}
+
+    def test_layer_staging_supersedes_pending_prefetch(self, tiny_config):
+        engine = build_engine(tiny_config, "hybrimoe", cpu_cache_capacity=4)
+        runtime = engine.runtime
+        key = (0, 7)
+        runtime.pending_dram = {key: 99.0}
+        engine.pipeline._promote_spilled(0, frozenset({7}))
+        assert runtime.cache.dram_resident(key)
+        assert key not in runtime.pending_dram
+
+    def test_mrs_dram_tier_policy(self, tiny_config, prompt_tokens):
+        engine = build_engine(
+            tiny_config, "hybrimoe", cpu_cache_capacity=4, cpu_cache_policy="mrs"
+        )
+        engine.generate(prompt_tokens, decode_steps=3)
+        assert engine.runtime.cache.cpu_tier.policy.name == "mrs"
+        engine.runtime.cache.validate()
+
+
+class TestConfigKnobs:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(cpu_cache_capacity=-1)
+
+    def test_unknown_dram_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(cpu_cache_capacity=4, cpu_cache_policy="fifo")
+
+    def test_disk_bandwidth_requires_cpu_tier(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(disk_bandwidth=1e9)
+
+    def test_non_positive_disk_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(cpu_cache_capacity=4, disk_bandwidth=0.0)
+
+    def test_profile_without_disk_rejected_when_tiered(self, tiny_config):
+        from dataclasses import replace
+
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        profile = replace(paper_testbed(), disk_bw=None)
+        config = EngineConfig(
+            cpu_cache_capacity=4, profile_prompt_len=8, profile_decode_steps=2
+        )
+        with pytest.raises(ConfigError):
+            InferenceEngine(model, make_strategy("hybrimoe"), profile, config)
+
+    def test_disk_bandwidth_override_restores_disk(self, tiny_config, prompt_tokens):
+        from dataclasses import replace
+
+        model = ReferenceMoEModel(tiny_config, seed=0)
+        profile = replace(paper_testbed(), disk_bw=None)
+        config = EngineConfig(
+            cpu_cache_capacity=4,
+            disk_bandwidth=1e9,
+            profile_prompt_len=8,
+            profile_decode_steps=2,
+        )
+        engine = InferenceEngine(model, make_strategy("hybrimoe"), profile, config)
+        engine.generate(prompt_tokens, decode_steps=2)
+        assert len(engine.runtime.clock.disk.intervals) > 0
+
+    def test_slower_disk_slower_run(self, tiny_config, prompt_tokens):
+        ends = []
+        for bandwidth in (20e9, 0.2e9):
+            engine = build_engine(
+                tiny_config,
+                "ondemand",
+                cpu_cache_capacity=2,
+                disk_bandwidth=bandwidth,
+            )
+            result = engine.generate(prompt_tokens, decode_steps=4)
+            ends.append(result.decode_steps[-1].end)
+        assert ends[1] > ends[0]
+
+    def test_factory_threads_tiered_knobs(self):
+        engine = make_engine(
+            num_layers=2, cpu_cache_capacity=4, cpu_cache_policy="lfu"
+        )
+        assert engine.runtime.tiered is True
+        assert engine.runtime.cache.cpu_tier.capacity == 4
+        assert engine.runtime.cache.cpu_tier.policy.name == "lfu"
+        assert engine.runtime.clock.disk is not None
+        assert engine.runtime.disk_fetch_est_s > 0

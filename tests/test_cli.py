@@ -102,6 +102,95 @@ class TestCommands:
         assert "per-class SLO" in out
         assert "chunk=32" in out and "preemption" in out
 
+    def test_serve_multi_gpu_multi_class_tables(self, capsys):
+        """2-GPU, 2-class smoke: the per-device cache table and the
+        per-class SLO table must both render (previously only exercised
+        manually)."""
+        code = main(
+            [
+                "serve",
+                "--num-requests",
+                "4",
+                "--arrival-rate",
+                "40",
+                "--decode-steps",
+                "2",
+                "--num-layers",
+                "2",
+                "--num-gpus",
+                "2",
+                "--placement",
+                "round_robin",
+                "--priority-mix",
+                "interactive=0.5,batch=0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-device cache" in out
+        # One row per device, columns included.
+        device_table = out.split("per-device cache", 1)[1]
+        assert "hit_rate" in device_table and "evictions" in device_table
+        for device in ("0", "1"):
+            assert any(
+                line.strip().startswith(device)
+                for line in device_table.splitlines()
+            )
+        assert "per-class SLO" in out
+        slo_table = out.split("per-class SLO", 1)[1]
+        assert "interactive" in slo_table and "batch" in slo_table
+        assert "2 GPUs (round_robin)" in out
+
+    def test_serve_tiered_memory_flags(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--num-requests",
+                "3",
+                "--arrival-rate",
+                "20",
+                "--decode-steps",
+                "2",
+                "--num-layers",
+                "2",
+                "--cpu-cache-capacity",
+                "6",
+                "--cpu-cache-policy",
+                "lfu",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-tier cache" in out and "disk link:" in out
+        assert "DRAM<=6 (lfu)" in out
+
+    def test_run_tiered_memory_flags(self, capsys):
+        code = main(
+            [
+                "run",
+                "--num-layers",
+                "2",
+                "--prompt-len",
+                "8",
+                "--decode-steps",
+                "2",
+                "--cpu-cache-capacity",
+                "4",
+                "--disk-bandwidth",
+                "1e9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-tier cache" in out and "disk link:" in out
+
+    def test_run_untiered_prints_no_tier_table(self, capsys):
+        code = main(
+            ["run", "--num-layers", "2", "--prompt-len", "8", "--decode-steps", "1"]
+        )
+        assert code == 0
+        assert "per-tier cache" not in capsys.readouterr().out
+
     @pytest.mark.parametrize(
         "mix", ["interactive", "interactive=x", "urgent=1.0", "interactive=0.5"]
     )
