@@ -13,6 +13,18 @@ as the capacity-limited host-DRAM tier. It enforces:
   free on the real system).
 
 It also keeps the hit/miss counters behind the paper's Fig. 9.
+
+Two structural accelerations ride behind the ``fast_path`` flag (the
+engine threads ``EngineConfig.engine_fast_path`` here; both are
+bit-identical to the historical behaviour and property-tested):
+
+- a **per-layer residency index** so ``cached_experts_of_layer`` reads
+  one bucket instead of scanning every resident key;
+- a **victim memo** keyed on a monotone mutation counter: within one
+  unchanged cache state, ``would_admit`` -> ``insert_if_better`` ->
+  ``insert`` ask the policy for the same victim up to three times — the
+  memo collapses those to a single policy consultation (any mutation
+  bumps the version and invalidates it).
 """
 
 from __future__ import annotations
@@ -91,6 +103,22 @@ class ExpertCache:
         self._locked: set[ExpertKey] = set()
         self._clock = 0
         self.stats = CacheStats()
+        self.fast_path = True
+        # Monotone mutation counter: bumped by every operation that can
+        # change a victim choice (membership, locking, policy state).
+        self._version = 0
+        self._victim_memo: tuple[int, ExpertKey] | None = None
+        # Per-layer residency index (pinned keys included), kept in
+        # lock-step with _resident/_pinned.
+        self._by_layer: dict[int, set[int]] = {}
+        for layer, expert in self._pinned:
+            self._by_layer.setdefault(layer, set()).add(expert)
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the structural accelerations (bit-identical either way)."""
+        self.fast_path = enabled
+        self.policy.fast_path = enabled
+        self._victim_memo = None
 
     # ------------------------------------------------------------------
     # queries
@@ -118,6 +146,9 @@ class ExpertCache:
 
     def cached_experts_of_layer(self, layer: int) -> set[int]:
         """Expert ids of ``layer`` currently resident."""
+        if self.fast_path:
+            bucket = self._by_layer.get(layer)
+            return set(bucket) if bucket else set()
         return {e for (l, e) in self.resident_keys if l == layer}
 
     @property
@@ -137,6 +168,7 @@ class ExpertCache:
         self._clock += 1
         hit = key in self
         if hit and key in self._resident:
+            self._version += 1
             self.policy.on_access(key, self._clock)
         self.stats.record(key[0], hit)
         return hit
@@ -145,7 +177,33 @@ class ExpertCache:
         """Refresh recency of a resident key without counting an access."""
         if key in self._resident:
             self._clock += 1
+            self._version += 1
             self.policy.on_access(key, self._clock)
+
+    def _victim(self) -> ExpertKey | None:
+        """The policy's eviction choice over unlocked residents.
+
+        Memoized per cache version on the fast path: between mutations
+        the candidate set and every policy ranking are frozen, so the
+        policy would return the same key — ``would_admit`` followed by
+        ``insert_if_better`` and the ``insert`` it delegates to ask up
+        to three times per admission.
+        """
+        candidates = self._resident - self._locked
+        if not candidates:
+            return None
+        if self.fast_path:
+            memo = self._victim_memo
+            if memo is not None and memo[0] == self._version:
+                return memo[1]
+            victim_resident = getattr(self.policy, "victim_resident", None)
+            if victim_resident is not None:
+                victim = victim_resident(self._resident, self._locked)
+            else:
+                victim = self.policy.victim(candidates)
+            self._victim_memo = (self._version, victim)
+            return victim
+        return self.policy.victim(candidates)
 
     def insert(self, key: ExpertKey) -> list[ExpertKey]:
         """Make ``key`` resident; returns the list of evicted keys.
@@ -163,17 +221,18 @@ class ExpertCache:
             self.stats.rejected_inserts += 1
             return []
         while len(self._resident) >= self.capacity:
-            candidates = self._resident - self._locked
-            if not candidates:
+            victim = self._victim()
+            if victim is None:
                 self.stats.rejected_inserts += 1
                 return evicted
-            victim = self.policy.victim(candidates)
             if victim not in self._resident:
                 raise CacheError(f"policy chose non-resident victim {victim}")
             self._evict(victim)
             evicted.append(victim)
         self._clock += 1
+        self._version += 1
         self._resident.add(key)
+        self._by_layer.setdefault(key[0], set()).add(key[1])
         self.policy.on_insert(key, self._clock)
         self.stats.insertions += 1
         return evicted
@@ -183,7 +242,11 @@ class ExpertCache:
             raise CacheError(f"attempted to evict pinned key {key}")
         if key in self._locked:
             raise CacheError(f"attempted to evict locked key {key}")
+        self._version += 1
         self._resident.discard(key)
+        bucket = self._by_layer.get(key[0])
+        if bucket is not None:
+            bucket.discard(key[1])
         self.policy.forget(key)
         self.stats.evictions += 1
 
@@ -202,10 +265,9 @@ class ExpertCache:
             return False
         if len(self._resident) < self.capacity:
             return True
-        candidates = self._resident - self._locked
-        if not candidates:
+        victim = self._victim()
+        if victim is None:
             return False
-        victim = self.policy.victim(candidates)
         return self.policy.priority(key) > self.policy.priority(victim) * (1.0 + margin)
 
     def insert_if_better(self, key: ExpertKey) -> list[ExpertKey]:
@@ -224,11 +286,10 @@ class ExpertCache:
             return []
         if len(self._resident) < self.capacity:
             return self.insert(key)
-        candidates = self._resident - self._locked
-        if not candidates:
+        victim = self._victim()
+        if victim is None:
             self.stats.rejected_inserts += 1
             return []
-        victim = self.policy.victim(candidates)
         if self.policy.priority(key) <= self.policy.priority(victim):
             self.stats.rejected_inserts += 1
             return []
@@ -248,7 +309,9 @@ class ExpertCache:
             if key in self:
                 continue
             self._clock += 1
+            self._version += 1
             self._resident.add(key)
+            self._by_layer.setdefault(key[0], set()).add(key[1])
             self.policy.on_insert(key, self._clock)
 
     # ------------------------------------------------------------------
@@ -256,10 +319,13 @@ class ExpertCache:
     # ------------------------------------------------------------------
     def lock(self, keys: Iterable[ExpertKey]) -> None:
         """Protect keys from eviction while a plan that uses them runs."""
+        self._version += 1
         self._locked.update(keys)
 
     def unlock_all(self) -> None:
-        self._locked.clear()
+        if self._locked:
+            self._version += 1
+            self._locked.clear()
 
     @property
     def locked_keys(self) -> set[ExpertKey]:
@@ -268,6 +334,7 @@ class ExpertCache:
     def observe_scores(self, layer: int, scores: np.ndarray) -> None:
         """Feed one layer's routing scores to the policy (MRS signal)."""
         self._clock += 1
+        self._version += 1
         self.policy.on_scores(layer, scores, self._clock)
 
     # ------------------------------------------------------------------
@@ -283,3 +350,13 @@ class ExpertCache:
         overlap = self._resident & self._pinned
         if overlap:
             raise CacheError(f"keys both pinned and dynamic: {sorted(overlap)}")
+        indexed = {
+            (layer, expert)
+            for layer, bucket in self._by_layer.items()
+            for expert in bucket
+        }
+        members = self._resident | self._pinned
+        if indexed != members:
+            raise CacheError(
+                f"per-layer index out of sync: {sorted(indexed ^ members)}"
+            )

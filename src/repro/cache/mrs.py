@@ -25,6 +25,7 @@ performed, so priorities and eviction order are bit-identical
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Iterable
 
 import numpy as np
@@ -63,6 +64,18 @@ class MRSPolicy(EvictionPolicy):
         #: their layer was ever scored, or beyond the array's extent).
         self._stray: dict[ExpertKey, float] = {}
         self._last_used: dict[ExpertKey, int] = {}
+        # Fast-victim support structures (see victim_resident): the
+        # sorted resident key list with parallel (layer, expert) index
+        # arrays, maintained incrementally by on_insert/forget, and a
+        # dense layer×expert mirror of _layer_scores so one fancy-index
+        # gather reads every resident's live score.
+        self._tracked_keys: list[ExpertKey] = []
+        self._tracked_layer_list: list[int] = []
+        self._tracked_expert_list: list[int] = []
+        self._tracked_layers: np.ndarray = np.empty(0, dtype=np.intp)
+        self._tracked_experts: np.ndarray = np.empty(0, dtype=np.intp)
+        self._tracked_dirty = False
+        self._dense: np.ndarray = np.zeros((0, 0), dtype=np.float64)
 
     # ------------------------------------------------------------------
     def _score(self, key: ExpertKey) -> float:
@@ -90,11 +103,55 @@ class MRSPolicy(EvictionPolicy):
         return arr
 
     # ------------------------------------------------------------------
+    def _track_add(self, key: ExpertKey) -> None:
+        i = bisect.bisect_left(self._tracked_keys, key)
+        if i < len(self._tracked_keys) and self._tracked_keys[i] == key:
+            return
+        self._tracked_keys.insert(i, key)
+        self._tracked_layer_list.insert(i, key[0])
+        self._tracked_expert_list.insert(i, key[1])
+        self._tracked_dirty = True
+
+    def _track_remove(self, key: ExpertKey) -> None:
+        i = bisect.bisect_left(self._tracked_keys, key)
+        if i >= len(self._tracked_keys) or self._tracked_keys[i] != key:
+            return
+        del self._tracked_keys[i]
+        del self._tracked_layer_list[i]
+        del self._tracked_expert_list[i]
+        self._tracked_dirty = True
+
+    def _track_rebuild(self, resident: set[ExpertKey]) -> None:
+        self._tracked_keys = sorted(resident)
+        self._tracked_layer_list = [k[0] for k in self._tracked_keys]
+        self._tracked_expert_list = [k[1] for k in self._tracked_keys]
+        self._tracked_dirty = True
+
+    def _index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel (layer, expert) arrays for the tracked key list.
+
+        Maintenance is split by cost: membership churn updates plain
+        Python lists (an O(n) memmove each) and flips a dirty flag; the
+        numpy mirrors are remade only when a victim query actually
+        reads them — one C-speed ``np.array(list)`` conversion per
+        burst of churn instead of an ``np.insert`` reallocation per
+        mutation or a Python-level generator walk per query.
+        """
+        if self._tracked_dirty:
+            self._tracked_layers = np.array(self._tracked_layer_list, dtype=np.intp)
+            self._tracked_experts = np.array(
+                self._tracked_expert_list, dtype=np.intp
+            )
+            self._tracked_dirty = False
+        return self._tracked_layers, self._tracked_experts
+
+    # ------------------------------------------------------------------
     def on_insert(self, key: ExpertKey, now: int) -> None:
         arr = self._layer_scores.get(key[0])
         if arr is None or not 0 <= key[1] < arr.size:
             self._stray.setdefault(key, 0.0)
         self._last_used[key] = now
+        self._track_add(key)
 
     def on_access(self, key: ExpertKey, now: int) -> None:
         self._last_used[key] = now
@@ -119,6 +176,16 @@ class MRSPolicy(EvictionPolicy):
         arr[: scores.size] = (
             self.alpha * contribution + (1.0 - self.alpha) * arr[: scores.size]
         )
+        # Mirror into the dense matrix the fast victim gathers from.
+        dense = self._dense
+        if layer >= dense.shape[0] or arr.size > dense.shape[1]:
+            grown = np.zeros(
+                (max(layer + 1, dense.shape[0]), max(arr.size, dense.shape[1])),
+                dtype=np.float64,
+            )
+            grown[: dense.shape[0], : dense.shape[1]] = dense
+            self._dense = dense = grown
+        dense[layer, : arr.size] = arr
 
     def victim(self, candidates: Iterable[ExpertKey]) -> ExpertKey:
         candidates = list(candidates)
@@ -136,6 +203,68 @@ class MRSPolicy(EvictionPolicy):
         winner = np.lexsort((experts, layers, last, scores))[0]
         return candidates[winner]
 
+    def victim_resident(
+        self,
+        resident: set[ExpertKey],
+        locked: set[ExpertKey],
+    ) -> ExpertKey:
+        """Victim over live residents via the tracked index arrays.
+
+        The ``on_insert``/``forget`` callbacks keep a sorted resident
+        key list with parallel ``(layer, expert)`` index arrays, so
+        each call gathers every resident's live score with **one**
+        fancy-index read of the dense score matrix, masks locked
+        residents to ``+inf`` (excluding them from the min exactly as
+        dropping them from the candidate list does), and takes the
+        min. Ties on the minimum score — an exact float comparison, so
+        the same partition :meth:`victim`'s lexsort produces — fall
+        back to the ``(last_used, layer, expert)`` order on the tied
+        subset only; the selected key is identical to the reference
+        lexsort's. The caller guarantees at least one unlocked
+        resident.
+        """
+        keys = self._tracked_keys
+        if len(keys) != len(resident):
+            # Callback drift (e.g. a policy primed outside a cache):
+            # fall back to a full rebuild, then proceed as usual.
+            self._track_rebuild(resident)
+            keys = self._tracked_keys
+        layers, experts = self._index_arrays()
+        n = len(keys)
+        dense = self._dense
+        rows, cols = dense.shape
+        if rows == 0:
+            inb = np.zeros(n, dtype=bool)
+        else:
+            inb = (layers < rows) & (experts < cols)
+        if inb.all():
+            scores = dense[layers, experts]
+        else:
+            scores = np.zeros(n, dtype=np.float64)
+            scores[inb] = dense[layers[inb], experts[inb]]
+        # Stray keys currently always carry score 0.0 (they are created
+        # with it and folded into the layer arrays before any update),
+        # which the zeros above / dense default already encode; the
+        # overlay guards the invariant should that ever change.
+        for key, value in self._stray.items():
+            if value != 0.0:
+                i = bisect.bisect_left(keys, key)
+                if i < n and keys[i] == key:
+                    scores[i] = value
+        for key in locked:
+            i = bisect.bisect_left(keys, key)
+            if i < n and keys[i] == key:
+                scores[i] = np.inf
+        lowest = scores.min()
+        tied = np.flatnonzero(scores == lowest)
+        if tied.size == 1:
+            return keys[int(tied[0])]
+        last = self._last_used
+        return min(
+            (keys[int(i)] for i in tied),
+            key=lambda k: (last.get(k, -1), k[0], k[1]),
+        )
+
     def priority(self, key: ExpertKey) -> float:
         return self._score(key)
 
@@ -143,6 +272,7 @@ class MRSPolicy(EvictionPolicy):
         # Scores persist across evictions: reuse probability is a
         # property of the expert, not of its cache residency.
         self._last_used.pop(key, None)
+        self._track_remove(key)
 
     def priority_snapshot(self) -> dict[ExpertKey, float]:
         snapshot = {

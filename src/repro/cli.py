@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' is the pre-fast-path planner — from-scratch "
         "simulation, no memo — for perf baselines)",
     )
+    run.add_argument(
+        "--engine",
+        default="fast",
+        choices=["fast", "reference"],
+        help="engine-core implementation (outputs are bit-identical; "
+        "'reference' is the pre-fast-path engine loop — per-task "
+        "records, rescanning frontiers — for perf baselines)",
+    )
     _add_tiered_memory_args(run)
 
     serve = sub.add_parser(
@@ -157,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' is the pre-fast-path planner — from-scratch "
         "simulation, no memo — for perf baselines)",
     )
+    serve.add_argument(
+        "--engine",
+        default="fast",
+        choices=["fast", "reference"],
+        help="engine-core implementation (outputs are bit-identical; "
+        "'reference' is the pre-fast-path engine loop — per-task "
+        "records, rescanning frontiers — for perf baselines)",
+    )
     _add_tiered_memory_args(serve)
 
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
@@ -214,6 +230,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_gpus=args.num_gpus,
         placement=args.placement,
         planner_fast_path=args.planner == "fast",
+        engine_fast_path=args.engine == "fast",
         cpu_cache_capacity=args.cpu_cache_capacity,
         cpu_cache_policy=args.cpu_cache_policy,
         disk_bandwidth=args.disk_bandwidth,
@@ -278,6 +295,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_gpus=args.num_gpus,
         placement=args.placement,
         planner_fast_path=args.planner == "fast",
+        engine_fast_path=args.engine == "fast",
         cpu_cache_capacity=args.cpu_cache_capacity,
         cpu_cache_policy=args.cpu_cache_policy,
         disk_bandwidth=args.disk_bandwidth,

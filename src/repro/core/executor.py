@@ -17,6 +17,14 @@ Dependencies honoured:
 - on a tiered-memory platform, a **spilled** expert's weights are first
   staged disk -> DRAM on the clock's shared disk link; its PCIe
   transfer and/or CPU compute cannot start before that read finishes.
+
+:class:`TaskRecord` materialization is **opt-out**: records feed tests,
+debug reporting and post-hoc analysis, never the timeline state itself
+(every ``reserve`` carries the same label and duration either way), so
+the engine's fast path executes plans with ``collect_records=False`` and
+skips both the per-task record objects and the per-layer copy of the
+in-flight arrivals map (replaced by a write-local/read-through overlay —
+the same lookups, no bulk copy).
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ from repro.errors import SchedulingError
 from repro.hardware.simulator import ThreeResourceClock
 
 __all__ = ["TaskRecord", "LayerExecutionResult", "execute_plan"]
+
+_NO_ARRIVALS: dict[tuple[int, int], float] = {}
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,9 @@ class LayerExecutionResult:
     compute_end: float
     transfer_end: float
     records: list[TaskRecord] = field(default_factory=list)
+    _by_resource: dict[str, list[TaskRecord]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def makespan(self) -> float:
@@ -62,7 +75,13 @@ class LayerExecutionResult:
         return self.compute_end - self.start_time
 
     def records_on(self, resource: str) -> list[TaskRecord]:
-        return [r for r in self.records if r.resource == resource]
+        """Records of one resource, grouped lazily on first access."""
+        if self._by_resource is None:
+            grouped: dict[str, list[TaskRecord]] = {}
+            for record in self.records:
+                grouped.setdefault(record.resource, []).append(record)
+            self._by_resource = grouped
+        return list(self._by_resource.get(resource, ()))
 
 
 def execute_plan(
@@ -73,6 +92,7 @@ def execute_plan(
     external_arrivals: dict[tuple[int, int], float] | None = None,
     device: int = 0,
     spilled: frozenset[int] | set[int] | None = None,
+    collect_records: bool = True,
 ) -> LayerExecutionResult:
     """Execute a validated plan, reserving real timeline intervals.
 
@@ -101,6 +121,11 @@ def execute_plan(
         platforms): each first reserves a disk read on ``clock.disk``,
         gating its PCIe transfer or CPU compute. ``None``/empty keeps
         the historical two-tier execution byte-for-byte.
+    collect_records:
+        Materialize a :class:`TaskRecord` per operation. Timelines,
+        arrivals and the returned end times are identical either way;
+        ``False`` (the engine fast path) skips record objects and the
+        bulk copy of ``external_arrivals``.
 
     Returns
     -------
@@ -114,17 +139,39 @@ def execute_plan(
         raise SchedulingError(
             "plan has spilled experts but the clock models no disk tier"
         )
-    arrivals = dict(external_arrivals or {})
     records: list[TaskRecord] = []
+    if collect_records:
+        # Historical behaviour: a private copy that this plan's own
+        # transfers overwrite.
+        arrivals = dict(external_arrivals or {})
+        local_arrivals = arrivals
+        external = _NO_ARRIVALS
+    else:
+        # Overlay with the same read semantics (local transfers shadow
+        # external prefetch arrivals) and no per-layer bulk copy; the
+        # external map is never written.
+        arrivals = _NO_ARRIVALS
+        local_arrivals = {}
+        external = external_arrivals or _NO_ARRIVALS
     gpu_timeline = clock.gpu_timeline(device)
     pcie_timeline = clock.pcie_timeline(device)
+
+    def arrival_of(layer: int, expert: int) -> float:
+        key = (layer, expert)
+        when = local_arrivals.get(key)
+        if when is not None:
+            return when
+        return external.get(key, start_time)
 
     def stage_from_disk(layer: int, expert: int) -> float:
         """Reserve the disk -> DRAM read; returns its finish time."""
         start, finish = clock.disk.reserve(
             start_time, oracle.disk_fetch(), f"disk L{layer} E{expert}"
         )
-        records.append(TaskRecord("disk", layer, expert, "disk_fetch", start, finish))
+        if collect_records:
+            records.append(
+                TaskRecord("disk", layer, expert, "disk_fetch", start, finish)
+            )
         return finish
 
     # --- PCIe: on-demand transfers, in plan order ----------------------
@@ -137,11 +184,14 @@ def execute_plan(
         start, finish = pcie_timeline.reserve(
             earliest, duration, f"xfer L{transfer.layer} E{transfer.expert}"
         )
-        arrivals[(transfer.layer, transfer.expert)] = finish
+        local_arrivals[(transfer.layer, transfer.expert)] = finish
         transfer_end = max(transfer_end, finish)
-        records.append(
-            TaskRecord("pcie", transfer.layer, transfer.expert, "transfer", start, finish)
-        )
+        if collect_records:
+            records.append(
+                TaskRecord(
+                    "pcie", transfer.layer, transfer.expert, "transfer", start, finish
+                )
+            )
 
     # --- GPU compute ----------------------------------------------------
     compute_end = start_time
@@ -152,13 +202,16 @@ def execute_plan(
             kind = "shared"
         else:
             duration = oracle.gpu_compute(task.load)
-            earliest = max(start_time, arrivals.get((task.layer, task.expert), start_time))
+            earliest = max(start_time, arrival_of(task.layer, task.expert))
             kind = "compute"
         start, finish = gpu_timeline.reserve(
             earliest, duration, f"gpu L{task.layer} E{task.expert}"
         )
         compute_end = max(compute_end, finish)
-        records.append(TaskRecord("gpu", task.layer, task.expert, kind, start, finish))
+        if collect_records:
+            records.append(
+                TaskRecord("gpu", task.layer, task.expert, kind, start, finish)
+            )
 
     # --- CPU compute ----------------------------------------------------
     first_cpu = True
@@ -179,7 +232,10 @@ def execute_plan(
             earliest, duration, f"cpu L{task.layer} E{task.expert}"
         )
         compute_end = max(compute_end, finish)
-        records.append(TaskRecord("cpu", task.layer, task.expert, kind, start, finish))
+        if collect_records:
+            records.append(
+                TaskRecord("cpu", task.layer, task.expert, kind, start, finish)
+            )
 
     return LayerExecutionResult(
         layer=plan.layer,

@@ -426,6 +426,296 @@ class HybridScheduler:
             first = False
         return min(chain, max(gpu_t0, t_cpu))
 
+    def quick_makespan_lower_bounds(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+        candidates: list[int],
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
+    ) -> dict[int, float]:
+        """Batched :meth:`quick_makespan_lower_bound` over candidates.
+
+        Returns, per candidate ``e``, the exact float
+        ``quick_makespan_lower_bound(activated, cached_experts | {e},
+        n_tokens, ...)`` would produce. The prefetcher's screening pass
+        asks one such bound per candidate of a predicted layer;
+        batching hoists the shared work — input validation, the
+        duration table, and the two load-ordered sorts — out of the
+        per-candidate loop. Filtering one expert from a sorted list is
+        order-preserving, so each candidate's chain/CPU walks add the
+        same floats in the same order as the per-call method
+        (test-enforced), and the whole batch memoizes as one ``"qb"``
+        entry (decode steps repeat near-identical predictions).
+        """
+        key = None
+        if self.config.plan_cache_size != 0:
+            key = (
+                "qb",
+                n_tokens,
+                tuple(sorted(activated)),
+                frozenset(cached_experts),
+                tuple(sorted(candidates)),
+                frozenset(spilled or ()),
+                disk_fetch_s,
+            )
+            hit = self._memo_get(key)
+            if hit is not None:
+                return hit
+        loads, _, spilled_all = self._validated_inputs(
+            activated, cached_experts, 0.0, 0.0, None, spilled, disk_fetch_s
+        )
+        table = self._duration_table(n_tokens)
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        cpu_jobs_all = sorted(uncached_desc, key=lambda e: (loads[e], e))
+        gpu_t0 = table.shared_gpu if table.shared_gpu > 0.0 else 0.0
+        transfer = table.transfer
+        bounds: dict[int, float] = {}
+        for candidate in candidates:
+            remaining = [e for e in uncached_desc if e != candidate]
+            if not remaining:
+                bounds[candidate] = gpu_t0
+                continue
+            t_pcie = 0.0
+            chain = gpu_t0
+            for expert in remaining:
+                # remaining excludes the candidate, so spilled_all
+                # membership equals the candidate's effective spill set.
+                if expert in spilled_all:
+                    t_pcie += disk_fetch_s
+                t_pcie += transfer
+                chain = max(chain, t_pcie) + table.gpu(loads[expert])
+            t_cpu = 0.0
+            first = True
+            for expert in cpu_jobs_all:
+                if expert == candidate:
+                    continue
+                duration = table.cpu(loads[expert], first)
+                if expert in spilled_all:
+                    duration += disk_fetch_s
+                t_cpu += duration
+                first = False
+            bounds[candidate] = min(chain, max(gpu_t0, t_cpu))
+        if key is not None:
+            self._memo_put(key, bounds)
+        return bounds
+
+    def quick_screen(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+        candidates: list[int],
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
+    ) -> tuple[float, dict[int, float]]:
+        """Base quick makespan plus screening bounds, one hoisted batch.
+
+        Returns ``(base, bounds)`` where ``base`` is the exact float
+        ``simulate_makespan(activated, cached_experts, n_tokens,
+        quick=True, ...)`` would produce (zero backlogs, no inflight)
+        and ``bounds`` is exactly
+        :meth:`quick_makespan_lower_bounds` over ``candidates``. The
+        prefetcher asks for both per predicted layer; computing them
+        together pays the input validation, duration table and the two
+        load-ordered sorts once, and memoizes the pair as one ``"qs"``
+        entry. ``base`` runs through :meth:`_quick_search` — the
+        float-exact replica of the general quick path — so values are
+        bit-identical to the separate calls (test-enforced).
+        """
+        key = None
+        if self.config.plan_cache_size != 0:
+            key = (
+                "qs",
+                n_tokens,
+                tuple(sorted(activated)),
+                frozenset(cached_experts),
+                tuple(sorted(candidates)),
+                frozenset(spilled or ()),
+                disk_fetch_s,
+            )
+            hit = self._memo_get(key)
+            if hit is not None:
+                return hit
+        loads, _, spilled_all = self._validated_inputs(
+            activated, cached_experts, 0.0, 0.0, None, spilled, disk_fetch_s
+        )
+        table = self._duration_table(n_tokens)
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        cached_desc = [e for e in by_load_desc if e in cached_experts]
+        cpu_jobs_all = sorted(uncached_desc, key=lambda e: (loads[e], e))
+        gpu_t0 = table.shared_gpu if table.shared_gpu > 0.0 else 0.0
+        transfer = table.transfer
+        base = self._quick_search(
+            loads, cached_experts, table, uncached_desc, cached_desc,
+            gpu_t0, spilled_all, disk_fetch_s,
+        )
+        bounds: dict[int, float] = {}
+        for candidate in candidates:
+            remaining = [e for e in uncached_desc if e != candidate]
+            if not remaining:
+                bounds[candidate] = gpu_t0
+                continue
+            t_pcie = 0.0
+            chain = gpu_t0
+            for expert in remaining:
+                if expert in spilled_all:
+                    t_pcie += disk_fetch_s
+                t_pcie += transfer
+                chain = max(chain, t_pcie) + table.gpu(loads[expert])
+            t_cpu = 0.0
+            first = True
+            for expert in cpu_jobs_all:
+                if expert == candidate:
+                    continue
+                duration = table.cpu(loads[expert], first)
+                if expert in spilled_all:
+                    duration += disk_fetch_s
+                t_cpu += duration
+                first = False
+            bounds[candidate] = min(chain, max(gpu_t0, t_cpu))
+        result = (base, bounds)
+        if key is not None:
+            self._memo_put(key, result)
+        return result
+
+    def quick_makespans_with(
+        self,
+        activated: list[tuple[int, int]],
+        cached_experts: set[int],
+        n_tokens: int,
+        experts: list[int],
+        spilled: frozenset[int] | set[int] | None = None,
+        disk_fetch_s: float = 0.0,
+    ) -> dict[int, float]:
+        """Batched with-expert quick simulations for the prefetcher.
+
+        Returns, per expert ``e`` of ``experts``, the exact float
+        ``simulate_makespan(activated, cached_experts | {e}, n_tokens,
+        quick=True, ...)`` would produce (zero backlogs, no inflight —
+        the impact simulation's calling convention). One batch hoists
+        everything the per-call path repeats per expert: input
+        validation, the duration table, the shared load-descending
+        sort, and the memo-key construction. Each expert's uncached /
+        cached / CPU-job orders are stable filters of the shared sorted
+        lists — order-preserving, so the quick search walks the same
+        floats in the same order as the per-call path (test-enforced)
+        — and the whole batch memoizes as one ``"qw"`` entry.
+        """
+        key = None
+        if self.config.plan_cache_size != 0:
+            key = (
+                "qw",
+                n_tokens,
+                tuple(sorted(activated)),
+                frozenset(cached_experts),
+                tuple(sorted(experts)),
+                frozenset(spilled or ()),
+                disk_fetch_s,
+            )
+            hit = self._memo_get(key)
+            if hit is not None:
+                return hit
+        loads, _, spilled_all = self._validated_inputs(
+            activated, cached_experts, 0.0, 0.0, None, spilled, disk_fetch_s
+        )
+        table = self._duration_table(n_tokens)
+        by_load_desc = sorted(loads, key=lambda e: (-loads[e], e))
+        uncached_desc = [e for e in by_load_desc if e not in cached_experts]
+        gpu_t0 = table.shared_gpu if table.shared_gpu > 0.0 else 0.0
+        results: dict[int, float] = {}
+        for expert in experts:
+            cached_e = cached_experts | {expert}
+            uncached_e = [e for e in uncached_desc if e != expert]
+            cached_desc_e = [e for e in by_load_desc if e in cached_e]
+            spilled_e = frozenset(e for e in spilled_all if e != expert)
+            results[expert] = self._quick_search(
+                loads, cached_e, table, uncached_e, cached_desc_e,
+                gpu_t0, spilled_e, disk_fetch_s,
+            )
+        if key is not None:
+            self._memo_put(key, results)
+        return results
+
+    def _quick_search(
+        self,
+        loads: dict[int, int],
+        cached_experts: set[int],
+        table: _DurationTable,
+        uncached_desc: list[int],
+        cached_desc: list[int],
+        gpu_t0: float,
+        spilled: frozenset[int],
+        disk_fetch_s: float,
+    ) -> float:
+        """Two-extremes search over prebuilt sorted lists.
+
+        A replica of :meth:`_search_fast` specialised to the quick
+        impact-simulation calling convention (``force_quick``, zero
+        backlogs, no inflight, shared expert included) with the sorted
+        expert orders supplied by the caller — same floats, same
+        comparisons, same tie-breaks, so the returned makespan is
+        bit-identical to the general path's.
+        """
+        arrival_prefix: list[float] = []
+        t_pcie = 0.0
+        for expert in uncached_desc:
+            if expert in spilled:
+                t_pcie += disk_fetch_s
+            t_pcie += table.transfer
+            arrival_prefix.append(t_pcie)
+        n_uncached = len(uncached_desc)
+        counts = [0] if n_uncached == 0 else [0, n_uncached]
+        best_k = -1
+        best_mk = float("inf")
+        chain_t = gpu_t0
+        chain_idx = 0
+        for k in counts:
+            while chain_idx < k:
+                expert = uncached_desc[chain_idx]
+                chain_t = max(chain_t, arrival_prefix[chain_idx]) + table.gpu(
+                    loads[expert]
+                )
+                chain_idx += 1
+            if best_k >= 0 and chain_t >= best_mk - _TIE_EPS:
+                break
+            cpu_jobs = sorted(uncached_desc[k:], key=lambda e: (loads[e], e))
+            if best_k >= 0 and cpu_jobs:
+                t_cpu = 0.0
+                first = True
+                for expert in cpu_jobs:
+                    duration = table.cpu(loads[expert], first)
+                    if expert in spilled:
+                        duration += disk_fetch_s
+                    t_cpu += duration
+                    first = False
+                if t_cpu >= best_mk - _TIE_EPS:
+                    continue
+            mk = self._fast_makespan(
+                loads,
+                cached_experts,
+                table,
+                cpu_jobs,
+                [(arrival_prefix[i], uncached_desc[i]) for i in range(k)],
+                [],
+                cached_desc,
+                gpu_t0,
+                0.0,
+                spilled,
+                disk_fetch_s,
+            )
+            if mk < best_mk - _TIE_EPS:
+                best_mk = mk
+                best_k = k
+            elif best_k < 0:
+                best_mk = mk
+                best_k = k
+        assert best_k >= 0
+        return best_mk
+
     def cache_info(self) -> dict[str, int]:
         """Plan-memo statistics (hits/misses/size/capacity)."""
         return {

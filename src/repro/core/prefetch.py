@@ -121,6 +121,13 @@ class ImpactDrivenPrefetcher:
         platforms; 0 keeps the two-tier behaviour). Impact simulations
         then cost the full disk -> CPU -> GPU chain, and prefetching a
         spilled expert is charged ``disk_fetch_s`` of extra lead time.
+    fast_path:
+        Screen with the scheduler's *batched* bound computation
+        (:meth:`~repro.core.hybrid_scheduler.HybridScheduler.quick_makespan_lower_bounds`),
+        which hoists the shared sorts and memoizes whole prediction
+        batches. Bounds — and therefore decisions — are bit-identical
+        either way; ``False`` keeps the per-candidate calls as a perf
+        baseline (``EngineConfig.engine_fast_path`` threads here).
     """
 
     def __init__(
@@ -134,6 +141,7 @@ class ImpactDrivenPrefetcher:
         delta_screen: bool = True,
         exact_top_m: int | None = None,
         disk_fetch_s: float = 0.0,
+        fast_path: bool = True,
     ) -> None:
         if lookahead < 1:
             raise SchedulingError(f"lookahead must be >= 1, got {lookahead}")
@@ -161,6 +169,7 @@ class ImpactDrivenPrefetcher:
         self.delta_screen = delta_screen
         self.exact_top_m = exact_top_m
         self.disk_fetch_s = disk_fetch_s
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------------
     def predicted_activation(
@@ -176,6 +185,11 @@ class ImpactDrivenPrefetcher:
         scores = np.asarray(prediction.scores, dtype=np.float64)
         k = min(self.num_activated, scores.size)
         top = np.argsort(-scores, kind="stable")[:k]
+        if self.fast_path and prediction.n_tokens == 1:
+            # Decode: the `min(load, n_tokens)` cap below forces every
+            # load to exactly 1, so the share apportionment is dead
+            # arithmetic — skip it.
+            return [(int(e), 1) for e in top]
         total_slots = prediction.n_tokens * k
         weights = scores[top]
         weight_sum = float(weights.sum())
@@ -203,23 +217,47 @@ class ImpactDrivenPrefetcher:
             if not candidates:
                 continue
             spilled = prediction.spilled_experts
-            base = self.scheduler.simulate_makespan(
-                activated, cached, prediction.n_tokens, quick=True,
-                spilled=spilled, disk_fetch_s=self.disk_fetch_s,
-            )
+            bounds = None
+            if self.fast_path:
+                # Base and screening bounds from one batched, memoized
+                # call — the separate per-prediction base simulation
+                # and per-candidate bound calls repeat the same input
+                # validation and sorts. Floats are bit-identical.
+                base, bounds = self.scheduler.quick_screen(
+                    activated, cached, prediction.n_tokens,
+                    candidates if self.delta_screen else [],
+                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
+                )
+            else:
+                base = self.scheduler.simulate_makespan(
+                    activated, cached, prediction.n_tokens, quick=True,
+                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
+                )
             confidence = self.confidence_decay ** (distance - 1)
             survivors = self._screen(
                 activated, cached, candidates, base, confidence,
-                prediction.n_tokens, spilled,
+                prediction.n_tokens, spilled, bounds=bounds,
             )
+            with_makespans = None
+            if self.fast_path and survivors:
+                # One batched call hoists the shared sorts/validation
+                # and memoizes the whole survivor set; values are
+                # bit-identical to the per-expert simulations below.
+                with_makespans = self.scheduler.quick_makespans_with(
+                    activated, cached, prediction.n_tokens, survivors,
+                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
+                )
             for expert in survivors:
                 # Simulating `expert` as cached: its own spill state is
                 # moot (the scheduler intersects spilled with uncached),
                 # but the rest of the layer keeps its surcharges.
-                with_expert = self.scheduler.simulate_makespan(
-                    activated, cached | {expert}, prediction.n_tokens, quick=True,
-                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
-                )
+                if with_makespans is not None:
+                    with_expert = with_makespans[expert]
+                else:
+                    with_expert = self.scheduler.simulate_makespan(
+                        activated, cached | {expert}, prediction.n_tokens, quick=True,
+                        spilled=spilled, disk_fetch_s=self.disk_fetch_s,
+                    )
                 gain = (base - with_expert) * confidence
                 if gain > self.min_gain:
                     cost = self.transfer_time_fn()
@@ -248,6 +286,7 @@ class ImpactDrivenPrefetcher:
         confidence: float,
         n_tokens: int,
         spilled: frozenset[int] = frozenset(),
+        bounds: dict[int, float] | None = None,
     ) -> list[int]:
         """Candidates whose exact simulation could still clear min_gain.
 
@@ -257,16 +296,26 @@ class ImpactDrivenPrefetcher:
         ``min_gain`` — the exact path would have dropped it too, so the
         surviving set yields bit-identical decisions. ``exact_top_m``
         then optionally caps the survivors (approximation, off by
-        default).
+        default). ``bounds`` supplies precomputed screening bounds
+        (:meth:`~repro.core.hybrid_scheduler.HybridScheduler.quick_screen`);
+        otherwise they are fetched here.
         """
         if not self.delta_screen:
             return list(candidates)
-        scored: list[tuple[float, int]] = []
-        for expert in candidates:
-            bound = self.scheduler.quick_makespan_lower_bound(
-                activated, cached | {expert}, n_tokens,
+        if bounds is None and self.fast_path:
+            bounds = self.scheduler.quick_makespan_lower_bounds(
+                activated, cached, n_tokens, candidates,
                 spilled=spilled, disk_fetch_s=self.disk_fetch_s,
             )
+        scored: list[tuple[float, int]] = []
+        for expert in candidates:
+            if bounds is not None:
+                bound = bounds[expert]
+            else:
+                bound = self.scheduler.quick_makespan_lower_bound(
+                    activated, cached | {expert}, n_tokens,
+                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
+                )
             gain_bound = (base - bound) * confidence
             if gain_bound > self.min_gain:
                 scored.append((gain_bound, expert))

@@ -77,6 +77,15 @@ class EngineConfig:
         memo disabled* (perf baselines, oracle comparisons) — and None
         (default) respects the scheduler config. Plans are
         bit-identical either way — this is purely a latency knob.
+    engine_fast_path:
+        Engine-core fast path (default on): vectorized per-layer step
+        work in the pipeline, record-free batched plan execution,
+        event-driven clock frontiers, indexed cache-residency lookups
+        and memoized victim selection, and batched prefetch screening.
+        ``False`` runs the pre-PR reference engine loop as a perf
+        baseline and bit-equivalence oracle. Outputs, schedules, cache
+        state and metrics are bit-identical either way
+        (property-test-enforced) — purely a latency knob.
     prefetch_exact_top_m:
         Cap on how many screening survivors per predicted layer get an
         exact impact simulation (best delta bound first). ``None``
@@ -130,6 +139,7 @@ class EngineConfig:
     prefetch_confidence_decay: float = 0.8
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     planner_fast_path: bool | None = None
+    engine_fast_path: bool = True
     prefetch_exact_top_m: int | None = None
     mrs_alpha: float = 0.7
     validate_plans: bool = True
@@ -228,7 +238,9 @@ class EngineRuntime:
         self.config = config
         self.cost_actual = cost_actual
         self.cost_estimated = cost_estimated
-        self.clock = ThreeResourceClock(config.num_gpus, disk=config.tiered)
+        self.clock = ThreeResourceClock(
+            config.num_gpus, disk=config.tiered, fast=config.engine_fast_path
+        )
         self.arrivals: dict[tuple[int, int], float] = {}
         #: In-flight disk -> DRAM stagings issued by prefetching, keyed
         #: by expert with the read's finish time. Residency flips only
@@ -397,6 +409,7 @@ class InferenceEngine:
             )
         else:
             self.runtime.cache = gpu_cache
+        self.runtime.cache.set_fast_path(self.config.engine_fast_path)
         self.runtime.cache.validate()
         #: Batch-capable step executor; the serving layer drives it
         #: directly with many concurrent sequence states.

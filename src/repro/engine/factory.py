@@ -64,6 +64,7 @@ def make_engine(
     num_gpus: int = 1,
     placement: str = "round_robin",
     planner_fast_path: bool | None = None,
+    engine_fast_path: bool = True,
     cpu_cache_capacity: int | None = None,
     cpu_cache_policy: str = "lru",
     disk_bandwidth: float | None = None,
@@ -101,6 +102,12 @@ def make_engine(
         memo disabled), None = scheduler-config default (the fast
         path). Plans are bit-identical either way (ignored when
         ``engine_config`` given).
+    engine_fast_path:
+        Engine-core path: True (default) = vectorized step pipeline
+        with record-free execution and cached clock frontiers, False =
+        the pre-PR reference engine loop (perf baseline / oracle).
+        Outputs are bit-identical either way (ignored when
+        ``engine_config`` given).
     cpu_cache_capacity:
         Routed-expert slots of host DRAM; ``None`` keeps the unbounded
         CPU store (the classic two-tier engine). An integer enables the
@@ -134,6 +141,7 @@ def make_engine(
             num_gpus=num_gpus,
             placement=placement,
             planner_fast_path=planner_fast_path,
+            engine_fast_path=engine_fast_path,
             cpu_cache_capacity=cpu_cache_capacity,
             cpu_cache_policy=cpu_cache_policy,
             disk_bandwidth=disk_bandwidth,
@@ -151,6 +159,7 @@ def make_serving_engine(
     num_gpus: int = 1,
     placement: str = "round_robin",
     planner_fast_path: bool | None = None,
+    engine_fast_path: bool = True,
     cpu_cache_capacity: int | None = None,
     cpu_cache_policy: str = "lru",
     disk_bandwidth: float | None = None,
@@ -196,6 +205,7 @@ def make_serving_engine(
         num_gpus=num_gpus,
         placement=placement,
         planner_fast_path=planner_fast_path,
+        engine_fast_path=engine_fast_path,
         cpu_cache_capacity=cpu_cache_capacity,
         cpu_cache_policy=cpu_cache_policy,
         disk_bandwidth=disk_bandwidth,

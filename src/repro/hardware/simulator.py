@@ -31,6 +31,7 @@ barrier — reads overlap the next layer's attention. Without the flag
 
 from __future__ import annotations
 
+import heapq
 from enum import Enum
 
 from repro.errors import SimulationError
@@ -60,22 +61,81 @@ class ThreeResourceClock:
     disk:
         Model a platform-shared disk -> host link (the third tier of
         the memory hierarchy). ``clock.disk`` is ``None`` when False.
+    fast:
+        Cache the frontier queries (event-driven running maxima plus a
+        lazy min-heap over the PCIe links) so ``compute_frontier`` /
+        ``frontier`` / ``min_pcie_available_at`` stop rescanning every
+        per-device timeline on each call. Frontiers are pure max/min
+        selections over the exact same ``available_at`` floats — no new
+        arithmetic — so cached answers are bit-identical; ``False``
+        keeps the historical rescan as a perf baseline
+        (``EngineConfig.engine_fast_path`` threads through here).
     """
 
-    def __init__(self, num_gpus: int = 1, disk: bool = False) -> None:
+    def __init__(
+        self, num_gpus: int = 1, disk: bool = False, fast: bool = True
+    ) -> None:
         if num_gpus < 1:
             raise SimulationError(f"num_gpus must be >= 1, got {num_gpus}")
         self.num_gpus = num_gpus
+        self.fast = fast
         if num_gpus == 1:
             # Historical single-device resource names, so labels and
             # error messages are unchanged on the paper's testbed.
-            self.gpus = [ResourceTimeline("gpu")]
-            self.pcie_links = [ResourceTimeline("pcie")]
+            self.gpus = [ResourceTimeline("gpu", fast=fast)]
+            self.pcie_links = [ResourceTimeline("pcie", fast=fast)]
         else:
-            self.gpus = [ResourceTimeline(f"gpu{g}") for g in range(num_gpus)]
-            self.pcie_links = [ResourceTimeline(f"pcie{g}") for g in range(num_gpus)]
-        self.cpu = ResourceTimeline("cpu")
-        self.disk: ResourceTimeline | None = ResourceTimeline("disk") if disk else None
+            self.gpus = [
+                ResourceTimeline(f"gpu{g}", fast=fast) for g in range(num_gpus)
+            ]
+            self.pcie_links = [
+                ResourceTimeline(f"pcie{g}", fast=fast) for g in range(num_gpus)
+            ]
+        self.cpu = ResourceTimeline("cpu", fast=fast)
+        self.disk: ResourceTimeline | None = (
+            ResourceTimeline("disk", fast=fast) if disk else None
+        )
+        if fast:
+            # Event-driven frontier caches: every timeline notifies the
+            # clock when its available_at advances. The compute/full
+            # frontiers are running maxima (available_at is monotone
+            # per timeline, so the max only ever moves forward); the
+            # PCIe minimum is a lazily-invalidated heap of
+            # (available_at, device) events - stale entries are popped
+            # on read by comparing against the link's live value.
+            self._compute_frontier_cache = 0.0
+            self._frontier_cache = 0.0
+            self._pcie_heap: list[tuple[float, int]] = [
+                (0.0, g) for g in range(num_gpus)
+            ]
+            heapq.heapify(self._pcie_heap)
+            for timeline in (*self.gpus, self.cpu):
+                timeline._observer = self._on_compute_advance
+            for g, link in enumerate(self.pcie_links):
+                link._observer = self._make_pcie_observer(g)
+            if self.disk is not None:
+                self.disk._observer = self._on_link_advance
+
+    # ------------------------------------------------------------------
+    # frontier cache maintenance (fast mode only)
+    # ------------------------------------------------------------------
+    def _on_compute_advance(self, available_at: float) -> None:
+        if available_at > self._compute_frontier_cache:
+            self._compute_frontier_cache = available_at
+        if available_at > self._frontier_cache:
+            self._frontier_cache = available_at
+
+    def _on_link_advance(self, available_at: float) -> None:
+        if available_at > self._frontier_cache:
+            self._frontier_cache = available_at
+
+    def _make_pcie_observer(self, device: int):
+        def observer(available_at: float) -> None:
+            heapq.heappush(self._pcie_heap, (available_at, device))
+            if available_at > self._frontier_cache:
+                self._frontier_cache = available_at
+
+        return observer
 
     # ------------------------------------------------------------------
     # device accessors
@@ -136,11 +196,15 @@ class ThreeResourceClock:
         for every device — the MoE outputs of all experts are needed
         before the next layer's attention can run.
         """
+        if self.fast:
+            return self._compute_frontier_cache
         return max(max(t.available_at for t in self.gpus), self.cpu.available_at)
 
     @property
     def frontier(self) -> float:
         """Earliest time every resource (links included) is free."""
+        if self.fast:
+            return self._frontier_cache
         frontier = max(
             self.compute_frontier,
             max(t.available_at for t in self.pcie_links),
@@ -152,6 +216,12 @@ class ThreeResourceClock:
     @property
     def min_pcie_available_at(self) -> float:
         """Earliest time any PCIe link frees up (prefetch budget probe)."""
+        if self.fast:
+            heap = self._pcie_heap
+            links = self.pcie_links
+            while heap[0][0] != links[heap[0][1]]._available_at:
+                heapq.heappop(heap)
+            return heap[0][0]
         return min(t.available_at for t in self.pcie_links)
 
     # ------------------------------------------------------------------

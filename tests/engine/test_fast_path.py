@@ -1,0 +1,187 @@
+"""Engine fast path: bit-equivalence against the reference engine core.
+
+``EngineConfig.engine_fast_path`` switches the vectorized step
+pipeline, record-free batched plan execution, event-heap clock
+frontiers and indexed cache lookups on; the reference path keeps the
+historical per-task walks. The contract is *bit-identity* — not
+approximate agreement: every fast branch either performs the same
+IEEE-754 operations in the same order or is a pure selection that adds
+no arithmetic. These tests pin that contract over the full strategy ×
+GPU-count × memory-tier matrix (the same harness shape as
+``tests/engine/test_tiered.py``):
+
+- identical step fingerprints (timings, hit/miss counters, utilization),
+- identical hidden states,
+- identical cache state (per-tier residency and statistics),
+- identical clock timelines and frontiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.factory import make_strategy
+from repro.hardware.platform_presets import paper_testbed
+from repro.models.model import ReferenceMoEModel
+
+STRATEGIES = ["hybrimoe", "ktransformers", "adapmoe", "llamacpp", "ondemand"]
+
+#: (num_gpus, cpu_cache_capacity or None) — single/multi GPU crossed
+#: with two-tier (no DRAM tier) and three-tier (constrained DRAM, so
+#: spills and disk reads actually happen) memory.
+PLATFORMS = [
+    pytest.param(1, None, id="1gpu-two-tier"),
+    pytest.param(2, None, id="2gpu-two-tier"),
+    pytest.param(1, 4, id="1gpu-three-tier"),
+    pytest.param(2, 4, id="2gpu-three-tier"),
+]
+
+
+def build_engine(tiny_config, strategy_name, fast, num_gpus, cpu_capacity):
+    model = ReferenceMoEModel(tiny_config, seed=0)
+    overrides = {}
+    if cpu_capacity is not None:
+        overrides["cpu_cache_capacity"] = cpu_capacity
+    config = EngineConfig(
+        cache_ratio=0.25,
+        seed=0,
+        num_gpus=num_gpus,
+        profile_prompt_len=8,
+        profile_decode_steps=2,
+        engine_fast_path=fast,
+        **overrides,
+    )
+    return InferenceEngine(
+        model, make_strategy(strategy_name), paper_testbed(), config
+    )
+
+
+def step_fingerprint(metrics):
+    return (
+        metrics.stage,
+        metrics.n_tokens,
+        metrics.start,
+        metrics.end,
+        metrics.hits,
+        metrics.misses,
+        metrics.batch_size,
+        tuple(sorted(metrics.utilization.items())),
+    )
+
+
+def result_fingerprint(result):
+    steps = [result.prefill, *result.decode_steps]
+    return (
+        tuple(step_fingerprint(s) for s in steps),
+        result.total_hits,
+        result.total_misses,
+    )
+
+
+def cache_fingerprint(cache):
+    """Residency and counters of every tier, order-normalised."""
+    stats = cache.stats
+    fingerprint = [
+        tuple(sorted(cache.resident_keys)),
+        (stats.hits, stats.misses, stats.insertions, stats.evictions,
+         stats.rejected_inserts),
+        tuple(sorted(stats.per_layer_hits.items())),
+        tuple(sorted(stats.per_layer_misses.items())),
+    ]
+    cpu_tier = getattr(cache, "cpu_tier", None)
+    if cpu_tier is not None:
+        fingerprint.append(tuple(sorted(cpu_tier.resident_keys)))
+        fingerprint.append(
+            (cpu_tier.stats.hits, cpu_tier.stats.misses,
+             cpu_tier.stats.insertions, cpu_tier.stats.evictions)
+        )
+    return tuple(fingerprint)
+
+
+def clock_fingerprint(clock, num_gpus):
+    """Every timeline's committed intervals plus the derived frontiers."""
+    timelines = [clock.cpu] + [
+        tl
+        for device in range(num_gpus)
+        for tl in (clock.gpu_timeline(device), clock.pcie_timeline(device))
+    ]
+    if clock.disk is not None:
+        timelines.append(clock.disk)
+    return (
+        tuple(tuple(tl.intervals) for tl in timelines),
+        tuple(tl.available_at for tl in timelines),
+        clock.compute_frontier,
+        clock.frontier,
+        clock.min_pcie_available_at,
+    )
+
+
+@pytest.mark.parametrize("num_gpus,cpu_capacity", PLATFORMS)
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+class TestFastPathBitEquivalence:
+    def test_run_bit_identical(
+        self, tiny_config, prompt_tokens, strategy_name, num_gpus, cpu_capacity
+    ):
+        fast = build_engine(tiny_config, strategy_name, True, num_gpus, cpu_capacity)
+        ref = build_engine(tiny_config, strategy_name, False, num_gpus, cpu_capacity)
+
+        result_fast = fast.generate(prompt_tokens, decode_steps=4)
+        result_ref = ref.generate(prompt_tokens, decode_steps=4)
+
+        assert result_fingerprint(result_fast) == result_fingerprint(result_ref)
+        assert cache_fingerprint(fast.runtime.cache) == cache_fingerprint(
+            ref.runtime.cache
+        )
+        assert clock_fingerprint(fast.runtime.clock, num_gpus) == clock_fingerprint(
+            ref.runtime.clock, num_gpus
+        )
+        fast.runtime.clock.validate()
+        fast.runtime.cache.validate()
+
+    def test_hidden_states_bit_identical(
+        self, tiny_config, prompt_tokens, strategy_name, num_gpus, cpu_capacity
+    ):
+        fast = build_engine(tiny_config, strategy_name, True, num_gpus, cpu_capacity)
+        ref = build_engine(tiny_config, strategy_name, False, num_gpus, cpu_capacity)
+        hidden_fast, _ = fast._run_step(prompt_tokens, "prefill")
+        hidden_ref, _ = ref._run_step(prompt_tokens, "prefill")
+        np.testing.assert_array_equal(hidden_fast, hidden_ref)
+
+
+class TestFastPathKnob:
+    def test_default_is_on(self):
+        assert EngineConfig().engine_fast_path is True
+
+    def test_flag_threads_to_subsystems(self, tiny_config):
+        for fast in (True, False):
+            engine = build_engine(tiny_config, "hybrimoe", fast, 1, None)
+            assert engine.runtime.clock.fast is fast
+            assert engine.runtime.cache.fast_path is fast
+
+    def test_mrs_victim_matches_reference_under_churn(self, tiny_config):
+        """The incremental victim index agrees with the lexsort oracle
+        through arbitrary insert/evict/lock/score churn."""
+        from repro.cache.manager import ExpertCache
+        from repro.cache.mrs import MRSPolicy
+
+        rng = np.random.default_rng(7)
+        fast_cache = ExpertCache(6, MRSPolicy(top_p=4))
+        ref_cache = ExpertCache(6, MRSPolicy(top_p=4))
+        ref_cache.set_fast_path(False)
+        for _ in range(300):
+            op = rng.integers(0, 4)
+            key = (int(rng.integers(0, 3)), int(rng.integers(0, 8)))
+            if op == 0:
+                assert fast_cache.insert(key) == ref_cache.insert(key)
+            elif op == 1:
+                fast_cache.access(key)
+                ref_cache.access(key)
+            elif op == 2:
+                scores = rng.random(8)
+                fast_cache.observe_scores(key[0], scores)
+                ref_cache.observe_scores(key[0], scores)
+            else:
+                assert fast_cache.would_admit(key) == ref_cache.would_admit(key)
+            assert fast_cache.resident_keys == ref_cache.resident_keys
+        fast_cache.validate()
+        ref_cache.validate()

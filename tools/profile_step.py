@@ -1,0 +1,108 @@
+"""Profile the decode step pipeline and print the hot spots.
+
+Runs a canned decode stream through the engine under :mod:`cProfile`
+and prints the top cumulative-time functions — the first stop when a
+step-latency regression shows up in ``BENCH_planner.json``'s
+``end_to_end`` block (see ``docs/BENCHMARKS.md``). The default
+scenario matches the benchmark's engine fast-path scenario, so numbers
+line up with the committed trajectory; ``--engine reference`` profiles
+the reference engine core instead for a side-by-side.
+
+Usage::
+
+    python tools/profile_step.py                       # fast path, top 20
+    python tools/profile_step.py --engine reference    # reference core
+    python tools/profile_step.py --steps 128 --top 40
+    python tools/profile_step.py --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.factory import make_engine  # noqa: E402
+
+
+def profile_decode(
+    engine_fast_path: bool,
+    model: str,
+    strategy: str,
+    num_layers: int,
+    cache_ratio: float,
+    steps: int,
+    seed: int,
+) -> tuple[cProfile.Profile, float]:
+    engine = make_engine(
+        model=model,
+        strategy=strategy,
+        cache_ratio=cache_ratio,
+        num_layers=num_layers,
+        seed=seed,
+        planner_fast_path=True,
+        engine_fast_path=engine_fast_path,
+    )
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    engine.decode_only(steps, warm_prompt_len=8)
+    profiler.disable()
+    return profiler, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--engine",
+        choices=["fast", "reference"],
+        default="fast",
+        help="engine core to profile (EngineConfig.engine_fast_path)",
+    )
+    parser.add_argument("--model", default="deepseek")
+    parser.add_argument("--strategy", default="hybrimoe")
+    parser.add_argument("--num-layers", type=int, default=8)
+    parser.add_argument("--cache-ratio", type=float, default=0.75)
+    parser.add_argument("--steps", type=int, default=256, help="decode steps")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=20, help="rows to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        help="pstats sort key (cumulative, tottime, ncalls, ...)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also dump raw stats here"
+    )
+    args = parser.parse_args(argv)
+
+    profiler, elapsed = profile_decode(
+        engine_fast_path=args.engine == "fast",
+        model=args.model,
+        strategy=args.strategy,
+        num_layers=args.num_layers,
+        cache_ratio=args.cache_ratio,
+        steps=args.steps,
+        seed=args.seed,
+    )
+    print(
+        f"{args.engine} engine: {args.steps} decode steps of "
+        f"{args.model} L{args.num_layers} r{args.cache_ratio} in "
+        f"{elapsed:.3f}s ({args.steps / elapsed:.1f} steps/s)"
+    )
+    stats = pstats.Stats(profiler)
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"raw stats written to {args.out}")
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
