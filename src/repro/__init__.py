@@ -20,7 +20,11 @@ Scheduling and Cache Management for Efficient MoE Inference* (DAC
   every paper table and figure (:mod:`repro.experiments`);
 - a multi-request serving layer — request queueing, FCFS admission,
   continuous batching of decode steps through one shared expert cache,
-  and per-request serving metrics (:mod:`repro.serving`).
+  and per-request serving metrics (:mod:`repro.serving`);
+- a cluster-scale fleet layer — M replica engines behind a front-end
+  router with pluggable policies (round-robin, least-loaded,
+  cache-affinity), replica fault injection with lossless failover, and
+  threshold autoscaling (:mod:`repro.fleet`).
 
 Quickstart::
 
@@ -47,8 +51,17 @@ from repro.engine import (
     ServingReport,
     available_strategies,
     make_engine,
+    make_fleet,
     make_serving_engine,
     make_strategy,
+)
+from repro.fleet import (
+    AutoscaleConfig,
+    FaultSchedule,
+    FleetReport,
+    FleetRouter,
+    ReplicaFault,
+    available_routers,
 )
 from repro.serving import Request, ServingConfig, ServingEngine
 from repro.errors import (
@@ -67,9 +80,16 @@ __all__ = [
     "make_engine",
     "make_strategy",
     "make_serving_engine",
+    "make_fleet",
     "available_strategies",
+    "available_routers",
     "InferenceEngine",
     "ServingEngine",
+    "FleetRouter",
+    "FleetReport",
+    "FaultSchedule",
+    "ReplicaFault",
+    "AutoscaleConfig",
     "ServingConfig",
     "ServingReport",
     "Request",

@@ -12,7 +12,9 @@ Subcommands::
 a multi-request continuous-batching serving trace (Poisson arrivals at
 ``--arrival-rate`` requests/s, or an explicit ``--arrival-trace``) and
 prints per-request queueing delay, TTFT and TBT percentiles plus the
-fleet aggregate (goodput, pooled percentiles); ``compare`` races all
+aggregate (goodput, pooled percentiles) — with ``--replicas M
+--router POLICY`` the trace is served by an M-replica fleet behind a
+front-end router instead of one engine; ``compare`` races all
 five frameworks on one workload; ``figure`` regenerates one paper
 artifact (quick scale by default); ``info`` lists presets.
 """
@@ -28,8 +30,10 @@ from repro.errors import ConfigError
 from repro.engine.factory import (
     available_strategies,
     make_engine,
+    make_fleet,
     make_serving_engine,
 )
+from repro.fleet.router import available_routers
 from repro.experiments import figures
 from repro.experiments.reporting import add_speedup_column, format_table
 from repro.experiments.runner import run_workload
@@ -146,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allow arrived higher-priority requests to pause the "
         "lowest-priority decoder when the batch is full",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replica fleet size (1 = the bare single serving engine; "
+        "above 1 a FleetRouter spreads arrivals across identical replicas)",
+    )
+    serve.add_argument(
+        "--router",
+        default="round_robin",
+        choices=available_routers(),
+        help="fleet routing policy (only meaningful with --replicas > 1)",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
@@ -284,7 +301,70 @@ def _parse_priority_mix(text: str | None) -> dict[str, float] | None:
     return mix
 
 
+def _serve_arrivals(args: argparse.Namespace) -> tuple[list[float] | None, float | None]:
+    """Resolve the (arrival_times, arrival_rate) pair for ``serve``."""
+    if args.arrival_trace is not None:
+        return [float(t) for t in args.arrival_trace.split(",")], None
+    return None, args.arrival_rate
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --replicas M``: route the trace through a replica fleet."""
+    fleet = make_fleet(
+        model=args.model,
+        strategy=args.strategy,
+        cache_ratio=args.cache_ratio,
+        hardware=args.hardware,
+        num_layers=args.num_layers,
+        seed=args.seed,
+        num_gpus=args.num_gpus,
+        placement=args.placement,
+        planner_fast_path=args.planner == "fast",
+        engine_fast_path=args.engine == "fast",
+        cpu_cache_capacity=args.cpu_cache_capacity,
+        cpu_cache_policy=args.cpu_cache_policy,
+        disk_bandwidth=args.disk_bandwidth,
+        max_batch_size=args.max_batch_size,
+        prefill_chunk_tokens=args.prefill_chunk,
+        preemption=args.preempt,
+        replicas=args.replicas,
+        router=args.router,
+    )
+    arrival_times, arrival_rate = _serve_arrivals(args)
+    trace = serving_workload(
+        num_requests=args.num_requests,
+        arrival_rate=arrival_rate,
+        arrival_times=arrival_times,
+        decode_steps=args.decode_steps,
+        vocab_size=fleet.replicas[0].engine.model.vocab_size,
+        seed=args.seed,
+        priority_mix=_parse_priority_mix(args.priority_mix),
+    )
+    report = fleet.serve_trace(trace)
+    counts = report.assignment_counts()
+    replica_rows = [
+        {"replica": rid, "assigned": counts.get(rid, 0), **rep.summary()}
+        for rid, rep in report.per_replica
+    ]
+    print(
+        format_table(
+            replica_rows,
+            title=f"fleet: {args.replicas}x {args.strategy} on {args.model} @ "
+            f"{args.cache_ratio:.0%} cache, router={args.router}, "
+            f"batch<={args.max_batch_size}",
+        )
+    )
+    print(format_table([report.summary()], title="fleet aggregate (merged)"))
+    if len(report.merged.priority_classes()) > 1:
+        print(format_table(report.merged.class_summary(), title="per-class SLO"))
+    if report.num_failovers:
+        print(f"failovers: {report.num_failovers}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.replicas > 1:
+        return _cmd_serve_fleet(args)
     serving = make_serving_engine(
         model=args.model,
         strategy=args.strategy,
@@ -303,11 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         prefill_chunk_tokens=args.prefill_chunk,
         preemption=args.preempt,
     )
-    arrival_times = None
-    arrival_rate: float | None = args.arrival_rate
-    if args.arrival_trace is not None:
-        arrival_times = [float(t) for t in args.arrival_trace.split(",")]
-        arrival_rate = None
+    arrival_times, arrival_rate = _serve_arrivals(args)
     trace = serving_workload(
         num_requests=args.num_requests,
         arrival_rate=arrival_rate,

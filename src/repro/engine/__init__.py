@@ -12,6 +12,7 @@ from repro.engine.engine import EngineConfig, EngineRuntime, InferenceEngine
 from repro.engine.factory import (
     available_strategies,
     make_engine,
+    make_fleet,
     make_serving_engine,
     make_strategy,
 )
@@ -44,5 +45,6 @@ __all__ = [
     "make_engine",
     "make_strategy",
     "make_serving_engine",
+    "make_fleet",
     "available_strategies",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "make_strategy",
     "make_engine",
     "make_serving_engine",
+    "make_fleet",
 ]
 
 _STRATEGIES = {
@@ -220,3 +221,103 @@ def make_serving_engine(
             preemption=preemption,
         )
     return ServingEngine(engine, serving_config)
+
+
+def make_fleet(
+    model: str | ReferenceMoEModel = "deepseek",
+    strategy: str | Strategy = "hybrimoe",
+    cache_ratio: float = 0.5,
+    hardware: str | HardwareProfile = "paper",
+    num_layers: int | None = None,
+    seed: int = 0,
+    num_gpus: int = 1,
+    placement: str = "round_robin",
+    planner_fast_path: bool | None = None,
+    engine_fast_path: bool = True,
+    cpu_cache_capacity: int | None = None,
+    cpu_cache_policy: str = "lru",
+    disk_bandwidth: float | None = None,
+    max_batch_size: int = 8,
+    prefill_chunk_tokens: int | None = None,
+    preemption: bool = False,
+    replicas: int = 2,
+    router: str = "round_robin",
+    fault_schedule=None,
+    autoscale=None,
+    serving_config=None,
+    engine_config: EngineConfig | None = None,
+    strategy_kwargs: dict | None = None,
+    model_kwargs: dict | None = None,
+):
+    """One-call construction of a multi-replica serving fleet.
+
+    Builds a :class:`~repro.fleet.fleet.FleetRouter` whose ``replicas``
+    identical replica engines are produced lazily by a
+    :func:`make_engine` closure over these arguments — every replica
+    gets the same model, strategy, hardware, seed and cache
+    configuration (a homogeneous pool, required for the merged fleet
+    report). ``router`` names the routing policy (``"round_robin"``,
+    ``"least_loaded"`` or ``"cache_affinity"``); ``fault_schedule``
+    injects replica crashes / slow windows and ``autoscale`` enables
+    threshold autoscaling of the active pool. The per-replica serving
+    knobs (``max_batch_size`` / ``prefill_chunk_tokens`` /
+    ``preemption`` or a full ``serving_config``) mirror
+    :func:`make_serving_engine`.
+
+    A fleet of one replica is bit-identical to the bare serving engine
+    under every routing policy — the fleet equivalence tests pin this.
+    """
+    # Imported lazily: repro.fleet builds on repro.engine, so a
+    # top-level import here would be circular.
+    from repro.fleet.fleet import FleetRouter
+    from repro.serving.scheduler import ServingConfig
+
+    if not isinstance(strategy, str) and replicas > 1:
+        raise ConfigError(
+            "pass the strategy by name for a multi-replica fleet: a shared "
+            "strategy instance would leak scheduler state across replicas"
+        )
+    if isinstance(model, str):
+        model = ReferenceMoEModel(
+            get_preset(model, num_layers=num_layers),
+            seed=seed,
+            **(model_kwargs or {}),
+        )
+
+    def engine_factory() -> InferenceEngine:
+        # Strategy instances hold per-engine state, so each replica
+        # builds its own; the functional model is stateless per forward
+        # and shared across the pool.
+        return make_engine(
+            model=model,
+            strategy=strategy,
+            cache_ratio=cache_ratio,
+            hardware=hardware,
+            num_layers=num_layers,
+            seed=seed,
+            num_gpus=num_gpus,
+            placement=placement,
+            planner_fast_path=planner_fast_path,
+            engine_fast_path=engine_fast_path,
+            cpu_cache_capacity=cpu_cache_capacity,
+            cpu_cache_policy=cpu_cache_policy,
+            disk_bandwidth=disk_bandwidth,
+            engine_config=engine_config,
+            strategy_kwargs=strategy_kwargs,
+            model_kwargs=None,
+        )
+
+    if serving_config is None:
+        serving_config = ServingConfig(
+            max_batch_size=max_batch_size,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            preemption=preemption,
+        )
+    return FleetRouter(
+        engine_factory,
+        replicas=replicas,
+        policy=router,
+        config=serving_config,
+        fault_schedule=fault_schedule,
+        autoscale=autoscale,
+    )

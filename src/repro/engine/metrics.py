@@ -197,6 +197,9 @@ class RequestRecord:
     tbt_deadline: float | None = None
     #: Times the request was paused by cooperative preemption.
     num_preemptions: int = 0
+    #: Times the request was re-routed after a replica crash (fleet
+    #: serving only; always 0 on a single engine).
+    num_failovers: int = 0
 
     @property
     def queueing_delay(self) -> float:
@@ -265,6 +268,7 @@ class RequestRecord:
             "p99_tbt_s": self.p99_tbt if has_tbt else float("nan"),
             "e2e_s": self.e2e_latency,
             "preemptions": self.num_preemptions,
+            "failovers": self.num_failovers,
         }
 
 
@@ -282,9 +286,65 @@ class ServingReport:
     #: Total cooperative preemptions performed during the run.
     preemptions: int = 0
 
+    @classmethod
+    def merged(cls, reports: "list[ServingReport]") -> "ServingReport":
+        """Pool per-replica reports into one fleet-wide report.
+
+        Replicas must be homogeneous (same model, strategy, cache
+        ratio, batch ceiling) — a fleet mixing configurations has no
+        single meaningful aggregate row. Records are pooled and
+        re-sorted by request id; every percentile/goodput property then
+        recomputes from the pooled records exactly as a single-engine
+        report would, which is what the report-merge backfill test pins
+        against a by-hand recomputation. Duplicate request ids across
+        replicas are rejected: a request must finish on exactly one
+        replica, failovers included.
+        """
+        if not reports:
+            raise SimulationError("cannot merge zero serving reports")
+        head = reports[0]
+        for report in reports[1:]:
+            mismatched = [
+                name
+                for name in (
+                    "model_name",
+                    "strategy_name",
+                    "cache_ratio",
+                    "max_batch_size",
+                )
+                if getattr(report, name) != getattr(head, name)
+            ]
+            if mismatched:
+                raise SimulationError(
+                    f"cannot merge heterogeneous serving reports "
+                    f"(differing {', '.join(mismatched)})"
+                )
+        pooled = [r for report in reports for r in report.requests]
+        ids = [r.request_id for r in pooled]
+        duplicates = sorted({i for i in ids if ids.count(i) > 1})
+        if duplicates:
+            raise SimulationError(
+                f"request ids finished on more than one replica: {duplicates}"
+            )
+        return cls(
+            model_name=head.model_name,
+            strategy_name=head.strategy_name,
+            cache_ratio=head.cache_ratio,
+            max_batch_size=head.max_batch_size,
+            requests=sorted(pooled, key=lambda r: r.request_id),
+            total_hits=sum(r.total_hits for r in reports),
+            total_misses=sum(r.total_misses for r in reports),
+            preemptions=sum(r.preemptions for r in reports),
+        )
+
     @property
     def num_requests(self) -> int:
         return len(self.requests)
+
+    @property
+    def num_failovers(self) -> int:
+        """Total replica-crash re-routings across finished requests."""
+        return sum(r.num_failovers for r in self.requests)
 
     @property
     def first_arrival(self) -> float:
@@ -417,6 +477,7 @@ class ServingReport:
             "mean_queue_delay_s": self.mean_queueing_delay,
             "hit_rate": self.hit_rate,
             "preemptions": self.preemptions,
+            "failovers": self.num_failovers,
         }
         for name, value in self.ttft_percentiles().items():
             record[f"{name}_ttft_s"] = value

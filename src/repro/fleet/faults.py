@@ -1,0 +1,123 @@
+"""Replica fault injection: scheduled crashes and slow windows.
+
+A :class:`FaultSchedule` declares what goes wrong and when; the fleet
+loop observes it — fault checking never mutates schedule state, so a
+schedule whose faults never become due leaves a run **bit-identical**
+to running with no schedule at all (the failover test suite pins this).
+
+Two fault kinds:
+
+- ``"crash"`` — the replica dies permanently at ``at_time``. The fleet
+  aborts its serving session at the first step boundary at or after
+  the fault instant, re-routes every in-flight request (queued,
+  mid-prefill, decoding or preempted) to the surviving replicas, and
+  increments each re-routed request's
+  :attr:`~repro.serving.request.Request.num_failovers`. Requests that
+  finished before the crash keep their records.
+- ``"slow"`` — a routing blackout: during ``[at_time, at_time +
+  duration)`` the front-end router stops sending the replica new
+  requests (a health-check tripping on elevated latency). The replica
+  keeps serving what it already holds and rejoins the routable set
+  when the window closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+
+__all__ = ["ReplicaFault", "FaultSchedule"]
+
+_FAULT_KINDS = ("crash", "slow")
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One scheduled fault on one replica.
+
+    Parameters
+    ----------
+    replica:
+        Target replica id (index into the fleet's replica pool).
+    at_time:
+        Simulated instant the fault strikes, in the same trace-relative
+        seconds as request arrival times.
+    kind:
+        ``"crash"`` (permanent death + failover) or ``"slow"``
+        (temporary routing blackout).
+    duration:
+        Length of a ``"slow"`` window in seconds; must be positive for
+        slow faults and is meaningless for crashes (a crash is
+        permanent).
+    """
+
+    replica: int
+    at_time: float
+    kind: str = "crash"
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ConfigError(f"fault replica must be non-negative, got {self.replica}")
+        if self.at_time < 0:
+            raise ConfigError(
+                f"fault at_time must be non-negative, got {self.at_time}"
+            )
+        if self.kind not in _FAULT_KINDS:
+            known = ", ".join(_FAULT_KINDS)
+            raise ConfigError(f"unknown fault kind {self.kind!r} (known: {known})")
+        if self.kind == "slow" and self.duration <= 0:
+            raise ConfigError(
+                f"slow fault needs a positive duration, got {self.duration}"
+            )
+
+    def blacks_out(self, time: float) -> bool:
+        """Whether a slow window covers the routing instant ``time``."""
+        return (
+            self.kind == "slow"
+            and self.at_time <= time < self.at_time + self.duration
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of scheduled replica faults.
+
+    Faults are kept sorted by ``(at_time, replica)`` so crash firing
+    order is deterministic when several replicas die at once.
+    """
+
+    faults: tuple[ReplicaFault, ...] = ()
+
+    def __init__(self, faults: Iterable[ReplicaFault] = ()) -> None:
+        ordered = tuple(
+            sorted(faults, key=lambda f: (f.at_time, f.replica, f.kind))
+        )
+        crashes: dict[int, float] = {}
+        for fault in ordered:
+            if fault.kind == "crash":
+                if fault.replica in crashes:
+                    raise ConfigError(
+                        f"replica {fault.replica} has more than one scheduled "
+                        f"crash (a crash is permanent)"
+                    )
+                crashes[fault.replica] = fault.at_time
+        object.__setattr__(self, "faults", ordered)
+
+    def __iter__(self) -> Iterator[ReplicaFault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def crashes(self) -> tuple[ReplicaFault, ...]:
+        """Crash faults in firing order."""
+        return tuple(f for f in self.faults if f.kind == "crash")
+
+    def blacked_out(self, replica: int, time: float) -> bool:
+        """Whether ``replica`` sits in any slow window at ``time``."""
+        return any(
+            f.replica == replica and f.blacks_out(time) for f in self.faults
+        )

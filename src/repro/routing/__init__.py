@@ -13,6 +13,7 @@ from repro.routing.statistics import (
     adjacent_layer_overlap,
     expert_activation_frequency,
     gate_reuse_accuracy,
+    predicted_routing_profile,
     prefill_load_distribution,
     reuse_probability_by_rank,
     synthetic_neuron_activation_cdf,
@@ -28,6 +29,7 @@ __all__ = [
     "adjacent_layer_overlap",
     "expert_activation_frequency",
     "gate_reuse_accuracy",
+    "predicted_routing_profile",
     "prefill_load_distribution",
     "reuse_probability_by_rank",
     "synthetic_neuron_activation_cdf",

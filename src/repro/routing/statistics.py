@@ -22,6 +22,7 @@ __all__ = [
     "adjacent_layer_overlap",
     "expert_activation_frequency",
     "gate_reuse_accuracy",
+    "predicted_routing_profile",
 ]
 
 
@@ -140,6 +141,49 @@ def adjacent_layer_overlap(trace: RoutingTrace, distance: int = 1) -> float:
     if not overlaps:
         raise TraceError("no layer pairs with activations found")
     return float(np.mean(overlaps))
+
+
+def predicted_routing_profile(
+    model: ReferenceMoEModel, prompt_tokens: np.ndarray
+) -> np.ndarray:
+    """Per-``(layer, expert)`` token loads of a prompt's prefill routing.
+
+    Runs one stateless prefill forward of ``prompt_tokens`` through the
+    model's routers and counts, per layer, how many prompt tokens
+    select each expert — the routing profile the prompt would impose at
+    admission. This is the **cache-affinity signal** fleet routing uses
+    (LayerScope-style): a replica whose expert cache already holds the
+    profile's hot experts will serve the request with fewer fetches.
+
+    The forward is pure model math on a private decode state — no
+    engine cache, clock or strategy is touched, so profiling a prompt
+    never perturbs a replica's serving behaviour. Deterministic per
+    ``(model, prompt)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(num_layers, num_experts)``; entry
+        ``[l, e]`` is the number of prompt tokens routed to expert
+        ``e`` at layer ``l``.
+    """
+    prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+    if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+        raise TraceError("prompt_tokens must be a non-empty 1-D id array")
+    state = model.new_state()
+    x = model.prepare_inputs(prompt_tokens, state)
+    num_experts = model.config.num_routed_experts
+    counts = np.zeros((model.config.num_layers, num_experts), dtype=np.int64)
+    for layer in range(model.config.num_layers):
+        h = model.attention(x, layer, state)
+        z = model.moe_input(h)
+        router = model.route(z, layer)
+        counts[layer] = np.bincount(
+            router.topk_idx.ravel(), minlength=num_experts
+        )
+        moe_out = model.shared_forward(z, layer) + model.moe_forward(z, layer, router)
+        x = h + model.residual_scale * moe_out
+    return counts
 
 
 def gate_reuse_accuracy(

@@ -8,9 +8,13 @@ This package turns the single-generation engine into a serving system:
 - :mod:`repro.serving.scheduler` — priority-then-FCFS admission (plain
   FCFS with a single class), iteration-level continuous batching,
   chunked prefill and cooperative preemption policy;
-- :mod:`repro.serving.engine` — the serving loop fusing concurrent
+- :mod:`repro.serving.session` — the serving loop as a stepwise
+  :class:`~repro.serving.session.ServingSession` (one scheduler action
+  per :meth:`~repro.serving.session.ServingSession.step`), which the
+  fleet layer drives incrementally across replicas;
+- :mod:`repro.serving.engine` — the batch driver fusing concurrent
   decode steps (and chunked-prefill slices) through one shared
-  cache/scheduler/clock.
+  cache/scheduler/clock by stepping a session to completion.
 
 Quickstart::
 
@@ -37,6 +41,7 @@ from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     ServingConfig,
 )
+from repro.serving.session import ServingSession
 
 __all__ = [
     "PRIORITY_CLASSES",
@@ -48,5 +53,6 @@ __all__ = [
     "Action",
     "ContinuousBatchingScheduler",
     "ServingEngine",
+    "ServingSession",
     "requests_from_trace",
 ]

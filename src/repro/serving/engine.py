@@ -22,6 +22,13 @@ actions decided by the
   (its :class:`~repro.models.model.DecodeState` stays registered and
   expert-cache contents untouched, so resumption needs no recompute).
 
+The loop body itself lives in
+:class:`~repro.serving.session.ServingSession`, a stepwise object the
+fleet layer (:mod:`repro.fleet`) also drives — interleaving many
+replica sessions, submitting requests mid-run, and aborting crashed
+replicas. ``serve()`` is the batch driver: one session, stepped to
+completion.
+
 Numerical contract: with the default configuration (single priority
 class, chunking off, preemption off) serving reproduces the historical
 FCFS loop **bit-identically** — and a single request reproduces
@@ -35,33 +42,15 @@ from __future__ import annotations
 import warnings
 from typing import Iterable
 
-import numpy as np
-
 from repro.engine.engine import InferenceEngine
-from repro.engine.metrics import GenerationResult, ServingReport, StepMetrics
-from repro.engine.pipeline import SequenceStep
+from repro.engine.metrics import ServingReport
 from repro.errors import ConfigError
-from repro.rng import derive_rng
-from repro.serving.request import Request, RequestStatus
-from repro.serving.scheduler import ContinuousBatchingScheduler, ServingConfig
+from repro.serving.request import Request
+from repro.serving.scheduler import ServingConfig
+from repro.serving.session import ServingSession
 from repro.workloads.generator import ArrivedWorkload
 
 __all__ = ["ServingEngine", "requests_from_trace"]
-
-
-def _remove_by_identity(items: list[Request], target: Request) -> None:
-    """Drop ``target`` from ``items`` by object identity.
-
-    ``list.remove`` falls back to ``__eq__`` (field-wise on the
-    dataclass, touching numpy arrays) for non-matching entries; the
-    loop always holds the exact object, so identity is both safer and
-    cheaper.
-    """
-    for index, item in enumerate(items):
-        if item is target:
-            del items[index]
-            return
-    raise ValueError(f"request {target.request_id} not in list")  # pragma: no cover
 
 
 def requests_from_trace(entries: Iterable[ArrivedWorkload]) -> list[Request]:
@@ -111,11 +100,6 @@ class ServingEngine:
     ) -> None:
         self.engine = engine
         self.config = config or ServingConfig()
-        self.scheduler = ContinuousBatchingScheduler(self.config)
-        #: Cache counters at the current serve()'s start; report and
-        #: per-request totals are deltas against it, so a warm engine
-        #: (prior serve/generate) does not pollute a later report.
-        self._stats_baseline: tuple[int, int] = (0, 0)
 
     # ------------------------------------------------------------------
     def serve(self, requests: Iterable[Request]) -> ServingReport:
@@ -132,148 +116,18 @@ class ServingEngine:
         records report effective arrivals on the shared clock, not the
         original trace offsets.
         """
-        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        pending = list(requests)
         if not pending:
             raise ConfigError("serve() needs at least one request")
-        ids = [r.request_id for r in pending]
-        if len(set(ids)) != len(ids):
-            raise ConfigError(f"duplicate request ids in batch: {sorted(ids)}")
-        for request in pending:
-            if request.status is not RequestStatus.QUEUED:
-                raise ConfigError(
-                    f"request {request.request_id} was already served "
-                    f"(status {request.status.value})"
-                )
-
-        engine = self.engine
-        # Arrival times are trace-relative; on a warm engine (a second
-        # serve, or a prior generate) they are shifted onto the clock's
-        # frontier at serve start, so queueing delays stay meaningful.
-        # The shift is applied to each request once, at admission —
-        # still-queued requests are never mutated, so a serve retried
-        # after a mid-run failure cannot double-shift them. A fresh
-        # engine has origin 0 (the bit-equivalence path).
-        origin = engine.runtime.clock.compute_frontier
-        cache = engine.runtime.cache
-        assert cache is not None  # always bound by InferenceEngine.__init__
-        stats_start = cache.stats  # one snapshot: aggregated on sharded caches
-        hits_before, misses_before = stats_start.hits, stats_start.misses
-        self._stats_baseline = (hits_before, misses_before)
-        queue: list[Request] = list(pending)
-        running: list[Request] = []
-        preempted: list[Request] = []
-        prefilling: Request | None = None
-        finished: list[Request] = []
-        samplers: dict[int, np.random.Generator] = {}
-        solo = len(pending) == 1
-        preemptions = 0
-
+        session = ServingSession(self.engine, self.config, pending)
         try:
-            while queue or running or preempted or prefilling is not None:
-                # The policy reasons in trace-relative time; admission
-                # floors are translated back to absolute clock time.
-                now = engine.runtime.clock.compute_frontier - origin
-                action = self.scheduler.next_action(
-                    now,
-                    queue,
-                    running,
-                    prefilling=prefilling,
-                    preempted=preempted,
-                )
-                if action is None:  # pragma: no cover - defensive
-                    break
-                if action.kind == "admit":
-                    request = action.request
-                    assert request is not None
-                    _remove_by_identity(queue, request)
-                    request.arrival_shift = origin
-                    request.arrival_time += origin
-                    # Chunk boundaries exist to bound the decode stalls
-                    # of *SLO-class* decoders (any class above the
-                    # default): while one is decoding, every admitted
-                    # prompt — whatever its own class — prefills in
-                    # slices. Default-class decoders eat whole-prompt
-                    # stalls, so a default-only run never pays slice
-                    # overhead.
-                    protect = any(r.priority_rank > 0 for r in running)
-                    complete = self._prefill(
-                        request,
-                        action.not_before + origin,
-                        samplers,
-                        solo,
-                        chunked=protect,
-                    )
-                    if not complete:
-                        prefilling = request
-                    elif request.decode_steps == 0:
-                        self._finish(request, request.first_token_time)
-                        finished.append(request)
-                    else:
-                        request.status = RequestStatus.DECODING
-                        running.append(request)
-                elif action.kind == "prefill":
-                    request = action.request
-                    assert request is prefilling and not running
-                    # No decoders left to protect: the remaining prompt
-                    # runs as one dedicated step.
-                    self._prefill_remainder(request, samplers, solo)
-                    prefilling = None
-                    if request.decode_steps == 0:
-                        self._finish(request, request.first_token_time)
-                        finished.append(request)
-                    else:
-                        request.status = RequestStatus.DECODING
-                        running.append(request)
-                elif action.kind == "preempt":
-                    victim = action.request
-                    assert victim is not None
-                    _remove_by_identity(running, victim)
-                    victim.status = RequestStatus.PREEMPTED
-                    victim.num_preemptions += 1
-                    preempted.append(victim)
-                    preemptions += 1
-                elif action.kind == "resume":
-                    request = action.request
-                    assert request is not None
-                    _remove_by_identity(preempted, request)
-                    request.status = RequestStatus.DECODING
-                    running.append(request)
-                else:
-                    done, chunk_complete = self._decode_step(
-                        running, samplers, prefilling, solo
-                    )
-                    for request in done:
-                        _remove_by_identity(running, request)
-                        finished.append(request)
-                    if chunk_complete:
-                        request = prefilling
-                        prefilling = None
-                        if request.decode_steps == 0:
-                            self._finish(request, request.first_token_time)
-                            finished.append(request)
-                        else:
-                            request.status = RequestStatus.DECODING
-                            running.append(request)
+            while session.step():
+                pass
         finally:
             # A mid-run failure (strategy bug, interrupt) must not leave
             # orphaned decode states behind: the engine stays usable.
-            for request in pending:
-                if not request.is_finished and request.request_id in engine.states:
-                    engine.states.pop(request.request_id)
-
-        final_stats = cache.stats
-        return ServingReport(
-            model_name=engine.model.config.name,
-            strategy_name=engine.strategy.name,
-            cache_ratio=engine.config.cache_ratio,
-            max_batch_size=self.config.max_batch_size,
-            requests=sorted(
-                (r.to_record() for r in finished), key=lambda r: r.request_id
-            ),
-            total_hits=final_stats.hits - hits_before,
-            total_misses=final_stats.misses - misses_before,
-            preemptions=preemptions,
-        )
+            session.release_states()
+        return session.report()
 
     def serve_trace(self, entries: Iterable[ArrivedWorkload]) -> ServingReport:
         """Convenience: build requests from a serving trace and serve.
@@ -282,254 +136,3 @@ class ServingEngine:
         (negative arrivals raise, non-monotone traces warn).
         """
         return self.serve(requests_from_trace(entries))
-
-    # ------------------------------------------------------------------
-    def _sampler(self, request: Request, solo: bool) -> np.random.Generator:
-        """Per-request decode-sampling stream.
-
-        A solo request with ``sample_seed=None`` gets byte-for-byte the
-        stream ``InferenceEngine.generate`` derives, preserving
-        single-request bit-equivalence. In a multi-request run an unset
-        seed falls back to the request id — otherwise every default
-        request would share one stream and identical prompts would
-        decode identical token trajectories, faking cache affinity.
-        """
-        seed = self.engine.config.seed
-        if request.sample_seed is None:
-            if solo:
-                return derive_rng(seed, "engine", "decode-sampling")
-            # Distinct namespace from explicit seeds, so an explicit
-            # sample_seed equal to another request's id cannot collide
-            # with that request's auto-derived stream.
-            return derive_rng(
-                seed, "engine", "decode-sampling", "auto", request.request_id
-            )
-        return derive_rng(seed, "engine", "decode-sampling", request.sample_seed)
-
-    def _prefill(
-        self,
-        request: Request,
-        not_before: float,
-        samplers: dict[int, np.random.Generator],
-        solo: bool,
-        chunked: bool = False,
-    ) -> bool:
-        """Admit one request: create its state and start its prefill.
-
-        Returns True when the prefill completed; False when the request
-        entered a chunked prefill and owes more chunks. ``chunked`` is
-        whether a strictly-higher-priority request is currently
-        decoding: chunk boundaries exist to bound *its* stalls, so with
-        nothing to protect (idle platform, or only peers/lower classes
-        decoding) the whole prompt runs in one step instead of paying
-        per-slice step overhead for nobody's benefit.
-        """
-        engine = self.engine
-        chunk = self.config.prefill_chunk_tokens
-        # Leave QUEUED before any fallible work: a failed admission must
-        # not leave the request replayable (its arrival was shifted).
-        request.status = RequestStatus.PREFILL
-        state = engine.states.create(request.request_id)
-        if chunked and chunk is not None and request.prompt_len > chunk:
-            # First slice of a chunked prefill; the remaining slices
-            # ride the fused decode steps (one hybrid step per slice).
-            result = engine.pipeline.run_batch(
-                [SequenceStep(request.prompt_tokens[:chunk], state)],
-                "prefill",
-                not_before=max(not_before, request.arrival_time),
-            )
-            request.prefill_pos = chunk
-            request.prefill_chunks.append(result.metrics)
-            request.prefill_start = result.metrics.start
-            return False
-        result = engine.pipeline.run_batch(
-            [SequenceStep(request.prompt_tokens, state)],
-            "prefill",
-            not_before=max(not_before, request.arrival_time),
-        )
-        metrics = result.metrics
-        request.prefill_start = metrics.start
-        self._seal_prefill(request, metrics, result.hidden[0][-1], samplers, solo)
-        return True
-
-    def _prefill_remainder(
-        self,
-        request: Request,
-        samplers: dict[int, np.random.Generator],
-        solo: bool,
-    ) -> None:
-        """Finish a chunked prefill with the batch drained.
-
-        With no request left decoding there is no stall to bound, so
-        the whole remaining prompt runs as one final slice instead of
-        paying per-chunk step overhead for nobody's benefit.
-        """
-        engine = self.engine
-        assert request.prefill_pos > 0
-        tokens = request.prompt_tokens[request.prefill_pos :]
-        result = engine.pipeline.run_batch(
-            [SequenceStep(tokens, engine.states.get(request.request_id))],
-            "prefill",
-        )
-        request.prefill_pos = request.prompt_len
-        request.prefill_chunks.append(result.metrics)
-        merged = self._merged_prefill_metrics(request)
-        self._seal_prefill(request, merged, result.hidden[0][-1], samplers, solo)
-
-    def _merged_prefill_metrics(self, request: Request) -> StepMetrics:
-        """Collapse a chunked prefill into one logical prefill metric.
-
-        The span runs from the first chunk's start to the last chunk's
-        end — the price the request actually paid. Hits/misses are
-        summed (hybrid slices share their fused step's counters with
-        the decode batch, the same fleet-level convention as fused
-        decode metrics) and utilisation is the duration-weighted mean
-        of the chunks' own windows.
-        """
-        chunks = request.prefill_chunks
-        durations = [c.duration for c in chunks]
-        total = sum(durations)
-        keys = chunks[0].utilization.keys()
-        if total > 0:
-            utilization = {
-                k: sum(c.utilization.get(k, 0.0) * d for c, d in zip(chunks, durations))
-                / total
-                for k in keys
-            }
-        else:  # pragma: no cover - zero-duration steps do not occur
-            utilization = dict(chunks[0].utilization)
-        return StepMetrics(
-            stage="prefill",
-            n_tokens=request.prompt_len,
-            start=chunks[0].start,
-            end=chunks[-1].end,
-            hits=sum(c.hits for c in chunks),
-            misses=sum(c.misses for c in chunks),
-            utilization=utilization,
-            batch_size=1,
-        )
-
-    def _seal_prefill(
-        self,
-        request: Request,
-        metrics: StepMetrics,
-        last_hidden: np.ndarray,
-        samplers: dict[int, np.random.Generator],
-        solo: bool,
-    ) -> None:
-        """Record prefill completion: first token, result, sampler."""
-        engine = self.engine
-        request.first_token_time = metrics.end
-        request.last_token_time = metrics.end
-        request.last_hidden = last_hidden
-        request.result = GenerationResult(
-            model_name=engine.model.config.name,
-            strategy_name=engine.strategy.name,
-            cache_ratio=engine.config.cache_ratio,
-            prefill=metrics,
-        )
-        samplers[request.request_id] = self._sampler(request, solo)
-
-    def _decode_step(
-        self,
-        running: list[Request],
-        samplers: dict[int, np.random.Generator],
-        prefilling: Request | None = None,
-        solo: bool = False,
-    ) -> tuple[list[Request], bool]:
-        """Advance every running request one token in one fused step.
-
-        With a chunked prefill in progress, its next slice rides the
-        same step as one extra sequence (a *hybrid* step): attention is
-        charged once for the combined token count and the slice's
-        experts are planned together with the decode batch's union, so
-        chunking adds no dedicated steps while anyone is decoding.
-
-        Returns the requests that finished and whether the hybrid
-        slice completed the prefill.
-        """
-        engine = self.engine
-        model = engine.model
-        batch: list[SequenceStep] = []
-        for request in running:
-            assert request.last_hidden is not None
-            if self.config.decode_token_source == "greedy":
-                token = model.greedy_next_token(request.last_hidden)
-            else:
-                token = model.sample_next_token(
-                    request.last_hidden, samplers[request.request_id]
-                )
-            request.output_tokens.append(token)
-            batch.append(
-                SequenceStep(
-                    np.array([token]), engine.states.get(request.request_id)
-                )
-            )
-        chunk_end = 0
-        if prefilling is not None:
-            chunk = self.config.prefill_chunk_tokens
-            assert chunk is not None and prefilling.prefill_pos > 0
-            chunk_end = min(prefilling.prefill_pos + chunk, prefilling.prompt_len)
-            batch.append(
-                SequenceStep(
-                    prefilling.prompt_tokens[prefilling.prefill_pos : chunk_end],
-                    engine.states.get(prefilling.request_id),
-                )
-            )
-        result = engine.pipeline.run_batch(batch, "decode")
-        metrics = result.metrics
-        chunk_complete = False
-        if prefilling is not None:
-            prefilling.prefill_pos = chunk_end
-            prefilling.prefill_chunks.append(metrics)
-            if chunk_end == prefilling.prompt_len:
-                self._seal_prefill(
-                    prefilling,
-                    self._merged_prefill_metrics(prefilling),
-                    result.hidden[-1][-1],
-                    samplers,
-                    solo,
-                )
-                chunk_complete = True
-        done: list[Request] = []
-        for index, request in enumerate(running):
-            request.last_hidden = result.hidden[index][-1]
-            assert request.result is not None
-            request.result.decode_steps.append(metrics)
-            # TBT is the gap between consecutive token *emissions*, so
-            # stalls from interleaved prefills of other requests (and
-            # time spent preempted) count against the waiting
-            # request's tokens. With contiguous decode steps (any
-            # single-request run) the gap equals the step duration
-            # exactly, preserving generate-equivalence.
-            assert request.last_token_time is not None
-            request.tbt_values.append(metrics.end - request.last_token_time)
-            request.last_token_time = metrics.end
-            if request.tokens_remaining == 0:
-                self._finish(request, metrics.end)
-                done.append(request)
-        return done, chunk_complete
-
-    def _finish(self, request: Request, finish_time: float | None) -> None:
-        """Seal a completed request and release its decode state.
-
-        ``request.result`` mirrors what ``generate`` would report on
-        the engine, which in a multi-request run means *fleet-level*
-        numbers: ``total_hits/total_misses`` snapshot the shared cache
-        counters at finish time, and ``decode_steps`` hold the fused
-        batch steps (so ``result.tbt_values`` are step durations, not
-        this request's emission gaps). Per-request truth lives on the
-        :class:`~repro.engine.metrics.RequestRecord` (``tbt_values``,
-        percentiles) and fleet comparisons in the
-        :class:`~repro.engine.metrics.ServingReport`.
-        """
-        assert finish_time is not None
-        request.status = RequestStatus.FINISHED
-        request.finish_time = finish_time
-        cache = self.engine.runtime.cache
-        if request.result is not None and cache is not None:
-            hits_before, misses_before = self._stats_baseline
-            stats_now = cache.stats
-            request.result.total_hits = stats_now.hits - hits_before
-            request.result.total_misses = stats_now.misses - misses_before
-        self.engine.states.pop(request.request_id)

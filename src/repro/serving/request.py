@@ -130,6 +130,9 @@ class Request:
     prefill_chunks: list[StepMetrics] = field(default_factory=list)
     #: Times this request was paused by cooperative preemption.
     num_preemptions: int = 0
+    #: Times this request was re-routed to another replica after its
+    #: replica crashed (always 0 outside fleet serving).
+    num_failovers: int = 0
 
     def __post_init__(self) -> None:
         self.prompt_tokens = np.asarray(self.prompt_tokens, dtype=np.int64)
@@ -166,6 +169,28 @@ class Request:
             sample_seed=request_id,
             priority=arrived.priority,
             tbt_deadline=arrived.tbt_deadline,
+        )
+
+    def clone_for_failover(self, arrival_time: float) -> "Request":
+        """Fresh copy for re-routing after a replica crash.
+
+        The clone keeps the request's identity and sampling contract
+        (id, prompt, decode budget, ``sample_seed``, class, deadline)
+        but restarts the lifecycle: it arrives at the crash-observation
+        instant and owes its full prefill and decode again — partial
+        work died with the replica. Preemption history is wiped with
+        the rest of the lifecycle (it described the dead replica's
+        scheduling); the failover count carries over and increments.
+        """
+        return Request(
+            request_id=self.request_id,
+            prompt_tokens=self.prompt_tokens,
+            decode_steps=self.decode_steps,
+            arrival_time=arrival_time,
+            sample_seed=self.sample_seed,
+            priority=self.priority,
+            tbt_deadline=self.tbt_deadline,
+            num_failovers=self.num_failovers + 1,
         )
 
     # ------------------------------------------------------------------
@@ -220,4 +245,5 @@ class Request:
             priority=self.priority,
             tbt_deadline=self.tbt_deadline,
             num_preemptions=self.num_preemptions,
+            num_failovers=self.num_failovers,
         )

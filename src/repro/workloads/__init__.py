@@ -19,18 +19,24 @@ from repro.workloads.datasets import (
 from repro.workloads.generator import (
     ArrivedWorkload,
     WorkloadSpec,
+    bursty_arrivals,
     decode_workload,
+    diurnal_arrivals,
     poisson_arrivals,
     prefill_workloads,
     serving_workload,
+    skewed_serving_workload,
     trace_arrivals,
 )
 
 __all__ = [
     "ArrivedWorkload",
     "poisson_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
     "trace_arrivals",
     "serving_workload",
+    "skewed_serving_workload",
     "DatasetProfile",
     "DATASET_PROFILES",
     "PREFILL_BUCKETS",

@@ -28,9 +28,12 @@ __all__ = [
     "decode_workload",
     "ArrivedWorkload",
     "poisson_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
     "trace_arrivals",
     "priority_assignment",
     "serving_workload",
+    "skewed_serving_workload",
 ]
 
 #: Priority classes in ascending precedence. Defined here (the lowest
@@ -175,6 +178,125 @@ def poisson_arrivals(
     return start + np.cumsum(gaps)
 
 
+def _thinned_arrivals(
+    num_requests: int,
+    rate_fn,
+    max_rate: float,
+    seed: int,
+    namespace: tuple,
+    start: float,
+) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals by thinning (Lewis-Shedler).
+
+    Candidates are drawn from a homogeneous process at ``max_rate`` and
+    accepted with probability ``rate_fn(t) / max_rate``, giving exact
+    samples of the time-varying process. Deterministic per
+    ``(num_requests, seed, namespace)``.
+    """
+    rng = derive_rng(seed, "workload", "arrivals", *namespace, num_requests)
+    times = np.empty(num_requests, dtype=np.float64)
+    t = start
+    accepted = 0
+    while accepted < num_requests:
+        t += rng.exponential(scale=1.0 / max_rate)
+        if rng.random() * max_rate <= rate_fn(t):
+            times[accepted] = t
+            accepted += 1
+    return times
+
+
+def diurnal_arrivals(
+    num_requests: int,
+    base_rate: float,
+    peak_rate: float,
+    period: float = 60.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Arrivals of a sinusoidal day/night load cycle.
+
+    The instantaneous rate swings between ``base_rate`` (trough) and
+    ``peak_rate`` (crest) over each ``period`` seconds — the classic
+    diurnal traffic shape autoscalers are sized against, compressed to
+    simulation scale. Sampled by thinning, so replays are
+    deterministic.
+    """
+    if num_requests <= 0:
+        raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    if base_rate <= 0 or peak_rate < base_rate:
+        raise ConfigError(
+            f"need 0 < base_rate <= peak_rate, got {base_rate}/{peak_rate}"
+        )
+    if period <= 0:
+        raise ConfigError(f"period must be positive, got {period}")
+    if start < 0:
+        raise ConfigError(f"start must be non-negative, got {start}")
+    mid = (base_rate + peak_rate) / 2.0
+    swing = (peak_rate - base_rate) / 2.0
+
+    def rate(t: float) -> float:
+        return mid + swing * np.sin(2.0 * np.pi * t / period)
+
+    return _thinned_arrivals(
+        num_requests,
+        rate,
+        peak_rate,
+        seed,
+        ("diurnal", repr(float(base_rate)), repr(float(peak_rate)), repr(float(period))),
+        start,
+    )
+
+
+def bursty_arrivals(
+    num_requests: int,
+    base_rate: float,
+    burst_rate: float,
+    burst_every: float = 30.0,
+    burst_duration: float = 5.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Arrivals of a quiet baseline punctuated by periodic traffic spikes.
+
+    The rate sits at ``base_rate`` and jumps to ``burst_rate`` for
+    ``burst_duration`` seconds at the start of every ``burst_every``
+    window — flash-crowd traffic, the stress case for threshold
+    autoscaling (scale-up lag eats into the burst). Sampled by
+    thinning; deterministic per seed.
+    """
+    if num_requests <= 0:
+        raise ConfigError(f"num_requests must be positive, got {num_requests}")
+    if base_rate <= 0 or burst_rate < base_rate:
+        raise ConfigError(
+            f"need 0 < base_rate <= burst_rate, got {base_rate}/{burst_rate}"
+        )
+    if burst_every <= 0 or not 0 < burst_duration <= burst_every:
+        raise ConfigError(
+            f"need 0 < burst_duration <= burst_every, got "
+            f"{burst_duration}/{burst_every}"
+        )
+    if start < 0:
+        raise ConfigError(f"start must be non-negative, got {start}")
+
+    def rate(t: float) -> float:
+        return burst_rate if (t % burst_every) < burst_duration else base_rate
+
+    return _thinned_arrivals(
+        num_requests,
+        rate,
+        burst_rate,
+        seed,
+        (
+            "bursty",
+            repr(float(base_rate)),
+            repr(float(burst_rate)),
+            repr(float(burst_every)),
+            repr(float(burst_duration)),
+        ),
+        start,
+    )
+
+
 def trace_arrivals(times) -> np.ndarray:
     """Validate an explicit arrival trace (non-negative, non-decreasing)."""
     arr = np.asarray(times, dtype=np.float64)
@@ -311,3 +433,80 @@ def serving_workload(
             )
         )
     return entries
+
+
+def skewed_serving_workload(
+    num_requests: int | None = None,
+    arrival_rate: float | None = None,
+    arrival_times=None,
+    num_profiles: int = 2,
+    decode_steps: int = 16,
+    vocab_size: int = 512,
+    dataset: str = "chatgpt-prompts",
+    prompt_length: int | None = None,
+    seed: int = 0,
+) -> list[ArrivedWorkload]:
+    """A serving trace of ``num_profiles`` hot prompt profiles.
+
+    Each request replays the *exact* prompt tokens of one of
+    ``num_profiles`` fixed profiles (drawn i.i.d. uniform per request
+    from a derived generator — a deliberately irregular order, so no
+    rotation policy aligns with it by accident), so every request of a
+    profile activates the same expert routing profile — tenant skew: a
+    handful of hot workloads dominate the stream. This is the trace
+    where **cache-affinity fleet routing** pays: steering each
+    profile's requests at the replica already holding its experts
+    keeps per-replica caches hot, while profile-oblivious policies
+    (round-robin) bounce every profile across every replica and thrash
+    all the caches. Arrival instants follow :func:`serving_workload`'s
+    convention (Poisson at ``arrival_rate`` or an explicit
+    ``arrival_times`` trace).
+
+    ``prompt_length`` fixes every profile's token count (``None``
+    samples lengths from the dataset profile). Short prompts activate
+    a *sparse* expert subset per layer, which is what gives profiles
+    distinct cache footprints — a prompt long enough to touch every
+    expert makes all profiles look alike to an expert cache.
+    """
+    if (arrival_rate is None) == (arrival_times is None):
+        raise ConfigError("pass exactly one of arrival_rate / arrival_times")
+    if num_profiles <= 0:
+        raise ConfigError(f"num_profiles must be positive, got {num_profiles}")
+    if decode_steps < 0:
+        raise ConfigError(f"decode_steps must be non-negative, got {decode_steps}")
+    if dataset not in DATASET_PROFILES:
+        raise ConfigError(f"unknown dataset {dataset!r}")
+    if prompt_length is not None and prompt_length <= 0:
+        raise ConfigError(f"prompt_length must be positive, got {prompt_length}")
+    if arrival_times is not None:
+        times = trace_arrivals(arrival_times)
+        if num_requests is None:
+            num_requests = int(times.size)
+        elif times.size != num_requests:
+            raise ConfigError(
+                f"arrival trace has {times.size} entries for {num_requests} requests"
+            )
+    else:
+        if num_requests is None:
+            num_requests = 8
+        if num_requests <= 0:
+            raise ConfigError(f"num_requests must be positive, got {num_requests}")
+        times = poisson_arrivals(num_requests, arrival_rate, seed=seed)
+    profiles = [
+        sample_prompt(dataset, vocab_size, seed=seed, index=p, length=prompt_length)
+        for p in range(num_profiles)
+    ]
+    rng = derive_rng(seed, "workload", "skewed-profiles", num_requests, num_profiles)
+    assignment = rng.integers(0, num_profiles, size=num_requests)
+    return [
+        ArrivedWorkload(
+            arrival_time=float(times[index]),
+            workload=WorkloadSpec(
+                kind="decode" if decode_steps > 0 else "prefill",
+                dataset=dataset,
+                prompt_tokens=profiles[int(assignment[index])],
+                decode_steps=decode_steps,
+            ),
+        )
+        for index in range(num_requests)
+    ]

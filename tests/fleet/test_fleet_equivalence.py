@@ -1,0 +1,161 @@
+"""A single-replica fleet is the bare serving engine, bit for bit.
+
+The fleet's event loop interleaves replica sessions in global time
+order and holds idle sessions whenever an unrouted arrival could still
+win an admission tie-break; with one replica those rules must collapse
+to exactly the step sequence of ``ServingEngine.serve`` — same records
+(arrival/prefill/first-token/finish instants, TBT vectors, sampled
+tokens), same cache counters — for every strategy and every routing
+policy (a 1-candidate policy cannot matter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.factory import (
+    available_strategies,
+    make_fleet,
+    make_serving_engine,
+)
+from repro.fleet.router import available_routers
+from repro.workloads.generator import serving_workload
+
+MODEL = "mixtral"
+NUM_LAYERS = 3
+CACHE_RATIO = 0.5
+MAX_BATCH = 4
+VOCAB = 512
+
+
+def _trace(num_requests=6, seed=0, **kwargs):
+    kwargs.setdefault("arrival_rate", 4.0)
+    return serving_workload(
+        num_requests=num_requests,
+        decode_steps=4,
+        vocab_size=VOCAB,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def _fleet(replicas=1, router="round_robin", strategy="hybrimoe", **kwargs):
+    return make_fleet(
+        model=MODEL,
+        strategy=strategy,
+        cache_ratio=CACHE_RATIO,
+        num_layers=NUM_LAYERS,
+        seed=0,
+        max_batch_size=MAX_BATCH,
+        replicas=replicas,
+        router=router,
+        **kwargs,
+    )
+
+
+def _serving(strategy="hybrimoe"):
+    return make_serving_engine(
+        model=MODEL,
+        strategy=strategy,
+        cache_ratio=CACHE_RATIO,
+        num_layers=NUM_LAYERS,
+        seed=0,
+        max_batch_size=MAX_BATCH,
+    )
+
+
+def assert_reports_identical(fleet_report, engine_report):
+    """Field-for-field identity of the merged fleet report vs the engine's."""
+    assert fleet_report.total_hits == engine_report.total_hits
+    assert fleet_report.total_misses == engine_report.total_misses
+    assert fleet_report.preemptions == engine_report.preemptions
+    assert len(fleet_report.requests) == len(engine_report.requests)
+    for ours, theirs in zip(
+        sorted(fleet_report.requests, key=lambda r: r.request_id),
+        sorted(engine_report.requests, key=lambda r: r.request_id),
+    ):
+        # Frozen dataclass equality covers every lifecycle instant, the
+        # TBT tuple and the embedded GenerationResult (whose StepMetrics
+        # carry exact float timings) — bit-identical, not approximate.
+        assert ours == theirs
+
+
+class TestSingleReplicaEquivalence:
+    @pytest.mark.parametrize("strategy", available_strategies())
+    def test_every_strategy_matches_bare_engine(self, strategy):
+        engine_report = _serving(strategy).serve_trace(_trace())
+        fleet_report = _fleet(strategy=strategy).serve_trace(_trace())
+        assert_reports_identical(fleet_report.merged, engine_report)
+
+    @pytest.mark.parametrize("router", available_routers())
+    def test_every_router_matches_bare_engine(self, router):
+        engine_report = _serving().serve_trace(_trace())
+        fleet_report = _fleet(router=router).serve_trace(_trace())
+        assert_reports_identical(fleet_report.merged, engine_report)
+        assert all(d.replica == 0 for d in fleet_report.decisions)
+
+    def test_single_request_solo_sampling_matches(self):
+        # One request exercises the solo-sampling derivation: the fleet
+        # must pass the fleet-wide batch size's verdict to the session.
+        trace = _trace(num_requests=1)
+        engine_report = _serving().serve_trace(trace)
+        fleet_report = _fleet().serve_trace(_trace(num_requests=1))
+        assert_reports_identical(fleet_report.merged, engine_report)
+
+    def test_second_serve_on_warm_fleet_matches_warm_engine(self):
+        # Reusing a fleet (benchmark warmup + measurement) anchors every
+        # session at the shared fleet frontier; with one replica that is
+        # the engine's own frontier — the bare-engine rule.
+        serving = _serving()
+        fleet = _fleet()
+        assert_reports_identical(
+            fleet.serve_trace(_trace()).merged, serving.serve_trace(_trace())
+        )
+        second = _trace(num_requests=4, seed=7)
+        assert_reports_identical(
+            fleet.serve_trace(second).merged,
+            serving.serve_trace(_trace(num_requests=4, seed=7)),
+        )
+
+    def test_fleet_runs_are_deterministic(self):
+        first = _fleet(replicas=2, router="cache_affinity").serve_trace(_trace())
+        second = _fleet(replicas=2, router="cache_affinity").serve_trace(_trace())
+        assert first.decisions == second.decisions
+        assert_reports_identical(first.merged, second.merged)
+        for (rid_a, rep_a), (rid_b, rep_b) in zip(
+            first.per_replica, second.per_replica
+        ):
+            assert rid_a == rid_b
+            assert_reports_identical(rep_a, rep_b)
+
+    def test_output_tokens_match_bare_engine(self):
+        # Token-level check on top of record equality: the actual
+        # sampled ids, not just their timings.
+        trace = _trace()
+        engine_report = _serving().serve_trace(trace)
+        fleet_report = _fleet().serve_trace(_trace())
+        for ours, theirs in zip(
+            fleet_report.merged.per_request_rows(),
+            engine_report.per_request_rows(),
+        ):
+            assert ours == theirs or _rows_equal_with_nan(ours, theirs)
+
+    def test_multi_replica_splits_work(self):
+        report = _fleet(replicas=2).serve_trace(_trace(num_requests=8))
+        counts = report.assignment_counts()
+        assert set(counts) == {0, 1}
+        assert sum(counts.values()) == 8
+        assert report.merged.num_requests == 8
+
+
+def _rows_equal_with_nan(a: dict, b: dict) -> bool:
+    """Dict equality treating NaN == NaN (prefill-only TBT columns)."""
+    if a.keys() != b.keys():
+        return False
+    for key, left in a.items():
+        right = b[key]
+        if isinstance(left, float) and np.isnan(left):
+            if not (isinstance(right, float) and np.isnan(right)):
+                return False
+        elif left != right:
+            return False
+    return True

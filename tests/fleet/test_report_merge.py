@@ -1,0 +1,161 @@
+"""Report-merge backfill: the merged fleet report is pure pooling.
+
+Every aggregate the merged :class:`~repro.engine.metrics.ServingReport`
+exposes — goodput, token throughput, TTFT/TBT percentiles, per-class
+goodput, queueing delay — must equal a by-hand recomputation from the
+pooled per-replica request records, exactly as a single engine that had
+served every request itself would report them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.factory import make_fleet
+from repro.engine.metrics import RequestRecord, ServingReport
+from repro.errors import SimulationError
+from repro.workloads.generator import serving_workload
+
+MODEL = "mixtral"
+VOCAB = 512
+
+
+@pytest.fixture(scope="module")
+def fleet_report():
+    """A 3-replica run with two priority classes and real contention."""
+    fleet = make_fleet(
+        model=MODEL,
+        strategy="hybrimoe",
+        cache_ratio=0.5,
+        num_layers=3,
+        seed=0,
+        max_batch_size=3,
+        replicas=3,
+        router="least_loaded",
+    )
+    trace = serving_workload(
+        num_requests=12,
+        arrival_rate=6.0,
+        decode_steps=4,
+        vocab_size=VOCAB,
+        seed=0,
+        priority_mix={"interactive": 0.5, "batch": 0.5},
+    )
+    return fleet.serve_trace(trace)
+
+
+def _pooled(report):
+    return [r for _, rep in report.per_replica for r in rep.requests]
+
+
+class TestMergedEqualsPooledRecomputation:
+    def test_record_pool_is_a_partition(self, fleet_report):
+        pooled = _pooled(fleet_report)
+        assert sorted(r.request_id for r in pooled) == [
+            r.request_id for r in fleet_report.merged.requests
+        ]
+        assert len(fleet_report.per_replica) == 3
+
+    def test_goodput_and_throughput(self, fleet_report):
+        pooled = _pooled(fleet_report)
+        first = min(r.arrival_time for r in pooled)
+        last = max(r.finish_time for r in pooled)
+        merged = fleet_report.merged
+        assert merged.makespan == pytest.approx(last - first)
+        assert merged.goodput == pytest.approx(len(pooled) / (last - first))
+        assert merged.token_throughput == pytest.approx(
+            sum(r.decode_tokens for r in pooled) / (last - first)
+        )
+
+    def test_latency_percentiles(self, fleet_report):
+        pooled = _pooled(fleet_report)
+        merged = fleet_report.merged
+        ttfts = [r.ttft for r in pooled]
+        tbts = [tbt for r in pooled for tbt in r.tbt_values]
+        for q in (50, 95, 99):
+            assert merged.ttft_percentiles()[f"p{q}"] == pytest.approx(
+                float(np.percentile(ttfts, q))
+            )
+            assert merged.tbt_percentiles()[f"p{q}"] == pytest.approx(
+                float(np.percentile(tbts, q))
+            )
+        assert merged.mean_queueing_delay == pytest.approx(
+            float(np.mean([r.queueing_delay for r in pooled]))
+        )
+
+    def test_class_goodput(self, fleet_report):
+        pooled = _pooled(fleet_report)
+        merged = fleet_report.merged
+        span = merged.makespan
+        classes = sorted({r.priority for r in pooled})
+        assert merged.priority_classes() == classes
+        assert len(classes) == 2
+        for priority in classes:
+            of_class = [r for r in pooled if r.priority == priority]
+            assert merged.class_goodput(priority) == pytest.approx(
+                len(of_class) / span
+            )
+        rows = {row["class"]: row for row in merged.class_summary()}
+        for priority in classes:
+            of_class = [r for r in pooled if r.priority == priority]
+            assert rows[priority]["requests"] == len(of_class)
+            assert rows[priority]["p99_ttft_s"] == pytest.approx(
+                float(np.percentile([r.ttft for r in of_class], 99))
+            )
+
+    def test_cache_counters_sum(self, fleet_report):
+        merged = fleet_report.merged
+        assert merged.total_hits == sum(
+            rep.total_hits for _, rep in fleet_report.per_replica
+        )
+        assert merged.total_misses == sum(
+            rep.total_misses for _, rep in fleet_report.per_replica
+        )
+        hits, misses = merged.total_hits, merged.total_misses
+        assert merged.hit_rate == pytest.approx(hits / (hits + misses))
+
+
+def _report(records, **overrides):
+    fields = dict(
+        model_name="m",
+        strategy_name="s",
+        cache_ratio=0.5,
+        max_batch_size=4,
+        requests=records,
+    )
+    fields.update(overrides)
+    return ServingReport(**fields)
+
+
+def _record(request_id):
+    return RequestRecord(
+        request_id=request_id,
+        prompt_len=4,
+        decode_tokens=2,
+        arrival_time=0.0,
+        prefill_start=0.1,
+        first_token_time=0.2,
+        finish_time=0.5,
+        tbt_values=(0.1, 0.2),
+    )
+
+
+class TestMergeValidation:
+    def test_duplicate_request_ids_rejected(self):
+        with pytest.raises(SimulationError, match="more than one replica"):
+            ServingReport.merged([_report([_record(0)]), _report([_record(0)])])
+
+    def test_heterogeneous_reports_rejected(self):
+        with pytest.raises(SimulationError, match="heterogeneous"):
+            ServingReport.merged(
+                [_report([_record(0)]), _report([_record(1)], cache_ratio=0.25)]
+            )
+
+    def test_zero_reports_rejected(self):
+        with pytest.raises(SimulationError, match="zero serving reports"):
+            ServingReport.merged([])
+
+    def test_merging_one_report_is_identity(self):
+        report = _report([_record(1), _record(0)])
+        merged = ServingReport.merged([report])
+        assert [r.request_id for r in merged.requests] == [0, 1]
+        assert merged.total_hits == report.total_hits
