@@ -26,17 +26,23 @@ import sys
 
 from repro.cache.base import available_policies
 from repro.cache.placement import available_placements
-from repro.errors import ConfigError
 from repro.engine.factory import (
     available_strategies,
     make_engine,
     make_fleet,
     make_serving_engine,
 )
-from repro.fleet.router import available_routers
+from repro.errors import ConfigError
 from repro.experiments import figures
 from repro.experiments.reporting import add_speedup_column, format_table
 from repro.experiments.runner import run_workload
+from repro.fleet.faults import FaultSchedule, ReplicaFault
+from repro.fleet.router import available_routers
+from repro.hardware.faults import (
+    HARDWARE_FAULT_KINDS,
+    HardwareFault,
+    HardwareFaultSchedule,
+)
 from repro.hardware.platform_presets import HARDWARE_PRESETS
 from repro.models.presets import MODEL_PRESETS, get_preset
 from repro.rng import derive_rng
@@ -161,8 +167,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--router",
         default="round_robin",
-        choices=available_routers(),
-        help="fleet routing policy (only meaningful with --replicas > 1)",
+        help="fleet routing policy (only meaningful with --replicas > 1); "
+        f"one of: {', '.join(available_routers())}",
+    )
+    serve.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated fault windows 'kind:replica:at[:duration"
+        "[:severity]]'; kinds crash (no duration) and slow (duration) "
+        "are replica faults needing --replicas > 1, kinds "
+        f"{', '.join(HARDWARE_FAULT_KINDS)} are sub-replica hardware "
+        "faults (duration required, severity where the kind takes one)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="end-to-end per-request budget from arrival; requests still "
+        "unfinished past it are aborted (status timed_out)",
+    )
+    serve.add_argument(
+        "--shed",
+        default=None,
+        metavar="DEPTH[:RESUME]",
+        help="overload shedding: refuse arrived queued requests beyond "
+        "DEPTH, draining to RESUME (default DEPTH//2); lowest class "
+        "sheds first, newest arrival first",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="timeout retry budget per request (fleet only: retries are "
+        "re-routed like failovers)",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base retry backoff; retry n waits backoff * 2**(n-1)",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
@@ -308,8 +354,98 @@ def _serve_arrivals(args: argparse.Namespace) -> tuple[list[float] | None, float
     return None, args.arrival_rate
 
 
+def _parse_fault_spec(
+    text: str | None,
+) -> tuple[FaultSchedule | None, HardwareFaultSchedule | None]:
+    """Parse ``--fault-spec`` into (replica, hardware) fault schedules.
+
+    Grammar per comma-separated entry:
+    ``kind:replica:at[:duration[:severity]]`` — ``crash`` takes no
+    duration, ``slow`` takes exactly a duration, the hardware kinds
+    take a duration and (``link_degrade``/``gpu_straggler``) a
+    severity.
+    """
+    if text is None:
+        return None, None
+    replica_faults: list[ReplicaFault] = []
+    hardware_faults: list[HardwareFault] = []
+    for part in text.split(","):
+        fields = [f.strip() for f in part.strip().split(":")]
+        if len(fields) < 3:
+            raise ConfigError(
+                f"bad --fault-spec entry {part.strip()!r}; expected "
+                f"kind:replica:at[:duration[:severity]]"
+            )
+        kind = fields[0]
+        try:
+            replica = int(fields[1])
+            at_time = float(fields[2])
+            rest = [float(f) for f in fields[3:]]
+        except ValueError:
+            raise ConfigError(
+                f"bad --fault-spec numbers in {part.strip()!r}"
+            ) from None
+        if kind == "crash":
+            if rest:
+                raise ConfigError(
+                    f"crash faults take no duration/severity: {part.strip()!r}"
+                )
+            replica_faults.append(
+                ReplicaFault(replica=replica, at_time=at_time, kind="crash")
+            )
+        elif kind == "slow":
+            if len(rest) != 1:
+                raise ConfigError(
+                    f"slow faults need exactly a duration: {part.strip()!r}"
+                )
+            replica_faults.append(
+                ReplicaFault(
+                    replica=replica, at_time=at_time, kind="slow", duration=rest[0]
+                )
+            )
+        elif kind in HARDWARE_FAULT_KINDS:
+            if not 1 <= len(rest) <= 2:
+                raise ConfigError(
+                    f"hardware faults need a duration and optionally a "
+                    f"severity: {part.strip()!r}"
+                )
+            hardware_faults.append(
+                HardwareFault(
+                    kind=kind,
+                    at_time=at_time,
+                    duration=rest[0],
+                    severity=rest[1] if len(rest) == 2 else 1.0,
+                    replica=replica,
+                )
+            )
+        else:
+            known = "crash, slow, " + ", ".join(HARDWARE_FAULT_KINDS)
+            raise ConfigError(f"unknown fault kind {kind!r} (known: {known})")
+    return (
+        FaultSchedule(replica_faults) if replica_faults else None,
+        HardwareFaultSchedule(hardware_faults) if hardware_faults else None,
+    )
+
+
+def _parse_shed(text: str | None) -> tuple[int | None, int | None]:
+    """Parse ``--shed DEPTH[:RESUME]`` into the watermark pair."""
+    if text is None:
+        return None, None
+    depth_text, _, resume_text = text.partition(":")
+    try:
+        depth = int(depth_text)
+        resume = int(resume_text) if resume_text else None
+    except ValueError:
+        raise ConfigError(
+            f"bad --shed value {text!r}; expected DEPTH[:RESUME]"
+        ) from None
+    return depth, resume
+
+
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     """``serve --replicas M``: route the trace through a replica fleet."""
+    fault_schedule, hardware_faults = _parse_fault_spec(args.fault_spec)
+    shed_depth, shed_resume = _parse_shed(args.shed)
     fleet = make_fleet(
         model=args.model,
         strategy=args.strategy,
@@ -329,6 +465,13 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         preemption=args.preempt,
         replicas=args.replicas,
         router=args.router,
+        request_timeout_s=args.request_timeout,
+        shed_queue_depth=shed_depth,
+        shed_resume_depth=shed_resume,
+        fault_schedule=fault_schedule,
+        hardware_faults=hardware_faults,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
     )
     arrival_times, arrival_rate = _serve_arrivals(args)
     trace = serving_workload(
@@ -363,8 +506,27 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.replicas < 1:
+        raise ConfigError(f"--replicas must be >= 1, got {args.replicas}")
     if args.replicas > 1:
         return _cmd_serve_fleet(args)
+    fault_schedule, hardware_faults = _parse_fault_spec(args.fault_spec)
+    if fault_schedule is not None:
+        raise ConfigError(
+            "crash/slow faults are replica faults; they need --replicas > 1"
+        )
+    if hardware_faults is not None and any(
+        f.replica != 0 for f in hardware_faults
+    ):
+        raise ConfigError(
+            "hardware faults on replica != 0 need --replicas > 1"
+        )
+    if args.max_retries > 0:
+        raise ConfigError(
+            "--max-retries needs --replicas > 1 (retries are re-routed "
+            "through the fleet)"
+        )
+    shed_depth, shed_resume = _parse_shed(args.shed)
     serving = make_serving_engine(
         model=args.model,
         strategy=args.strategy,
@@ -382,6 +544,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         prefill_chunk_tokens=args.prefill_chunk,
         preemption=args.preempt,
+        request_timeout_s=args.request_timeout,
+        shed_queue_depth=shed_depth,
+        shed_resume_depth=shed_resume,
+        hardware_faults=hardware_faults,
     )
     arrival_times, arrival_rate = _serve_arrivals(args)
     trace = serving_workload(
@@ -490,15 +656,19 @@ def _cmd_info() -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    return _cmd_info()
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        return _cmd_info()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -716,6 +716,20 @@ class HybridScheduler:
         assert best_k >= 0
         return best_mk
 
+    def invalidate_costs(self) -> None:
+        """Drop every memoized plan, makespan and duration table.
+
+        Required whenever the oracle factory's underlying cost model
+        changes in place (hardware fault injection degrading a
+        resource mid-run): memo entries and duration tables cache raw
+        floats of the *old* costs, and serving a plan priced against an
+        undegraded link would silently decouple planning from the
+        platform. Hit/miss counters survive — they describe the run,
+        not the costs.
+        """
+        self._tables.clear()
+        self._memo.clear()
+
     def cache_info(self) -> dict[str, int]:
         """Plan-memo statistics (hits/misses/size/capacity)."""
         return {

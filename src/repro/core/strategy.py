@@ -78,6 +78,15 @@ class HybriMoEStrategy(Strategy):
                 fast_path=runtime.config.engine_fast_path,
             )
 
+    def on_costs_changed(self) -> None:
+        # The prefetcher froze the disk-read lead-time estimate at
+        # setup; under a disk-stall window the runtime's recomputed
+        # estimate includes the stall, so budgeting stays honest. The
+        # transfer estimate needs nothing — it is a live lambda over
+        # the (mutated-in-place) estimated cost model.
+        if self._prefetcher is not None:
+            self._prefetcher.disk_fetch_s = self._runtime().disk_fetch_est_s
+
     def cache_spec(self) -> CacheSpec:
         runtime = self._runtime()
         capacity = runtime.capacity

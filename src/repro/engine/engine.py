@@ -34,6 +34,7 @@ from repro.engine.pipeline import StepPipeline
 from repro.engine.strategy_base import Strategy
 from repro.errors import ConfigError
 from repro.hardware.cost_model import AnalyticCostModel, CostModel, NoisyCostModel
+from repro.hardware.faults import DegradationState, DegradedCostModel
 from repro.hardware.platform_presets import paper_testbed
 from repro.hardware.simulator import ThreeResourceClock
 from repro.hardware.warmup import WarmupCalibrator
@@ -310,6 +311,23 @@ class EngineRuntime:
         """Execution-side duration oracle for a step of ``n_tokens``."""
         return self._oracle("actual", self.cost_actual, n_tokens)
 
+    def invalidate_cost_caches(self) -> None:
+        """Drop every cached cost-model *output* (the model changed).
+
+        Called when a degradation state lands on the engine's cost
+        models: the hybrid scheduler's plan memo and duration tables
+        cache raw floats and must be rebuilt against the new costs, and
+        the scalar disk-read estimate is recomputed. The oracle memo
+        stays — :class:`~repro.core.tasks.LayerCostOracle` delegates
+        every call to the (mutated-in-place) cost model, so cached
+        oracles are never stale.
+        """
+        self.scheduler.invalidate_costs()
+        if self.config.tiered:
+            self.disk_fetch_est_s = self.cost_estimated.disk_transfer_time(
+                self.model_config.routed_expert_shape
+            )
+
     # ------------------------------------------------------------------
     # capacity & profiling
     # ------------------------------------------------------------------
@@ -394,7 +412,19 @@ class InferenceEngine:
 
         self.model = model
         self.strategy = strategy
-        self.runtime = EngineRuntime(model, self.config, cost_actual, cost_estimated)
+        # Both cost models are wrapped for hardware fault injection
+        # unconditionally: in the neutral state the wrapper returns the
+        # base model's floats unchanged, so a fault-free engine stays
+        # bit-identical to the historical construction. Wrapping here —
+        # before the runtime and strategies bind — means every consumer
+        # (scheduler oracles, prefetch lambdas, the executor) holds the
+        # wrapper and sees degradation the moment it is applied.
+        self.runtime = EngineRuntime(
+            model,
+            self.config,
+            DegradedCostModel(cost_actual),
+            DegradedCostModel(cost_estimated),
+        )
         strategy.bind(self.runtime)
         if self.runtime.sharded:
             placement = make_placement(self.config.placement, self.config.num_gpus)
@@ -488,6 +518,29 @@ class InferenceEngine:
         result.total_hits = cache.stats.hits
         result.total_misses = cache.stats.misses
         return result
+
+    def set_degradation(self, state: DegradationState) -> bool:
+        """Apply a hardware degradation state to both cost models.
+
+        Returns True when the state actually changed — in which case
+        every cache of cost-model outputs is invalidated (the hybrid
+        scheduler's plan memo and duration tables, the scalar disk-read
+        estimate) and the strategy is notified so it can refresh any
+        cost-derived knobs of its own (the prefetcher's disk lead-time
+        estimate). Applying the neutral state to a never-degraded
+        engine is a bit-exact no-op: nothing is invalidated and every
+        duration stays byte-identical, which is what keeps an unfired
+        :class:`~repro.hardware.faults.HardwareFaultSchedule`
+        indistinguishable from no schedule.
+        """
+        actual: DegradedCostModel = self.runtime.cost_actual
+        estimated: DegradedCostModel = self.runtime.cost_estimated
+        changed = actual.set_state(state)
+        changed = estimated.set_state(state) or changed
+        if changed:
+            self.runtime.invalidate_cost_caches()
+            self.strategy.on_costs_changed()
+        return changed
 
     def decode_only(self, num_steps: int, warm_prompt_len: int = 8) -> GenerationResult:
         """Convenience: tiny prefill then ``num_steps`` decode tokens."""

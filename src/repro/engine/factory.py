@@ -167,6 +167,10 @@ def make_serving_engine(
     max_batch_size: int = 8,
     prefill_chunk_tokens: int | None = None,
     preemption: bool = False,
+    request_timeout_s: float | None = None,
+    shed_queue_depth: int | None = None,
+    shed_resume_depth: int | None = None,
+    hardware_faults=None,
     serving_config=None,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
@@ -177,15 +181,22 @@ def make_serving_engine(
     Builds a fresh :func:`make_engine` (cold clock, warm cache) and
     wraps it in a :class:`~repro.serving.engine.ServingEngine`.
     ``serving_config`` overrides ``max_batch_size`` /
-    ``prefill_chunk_tokens`` / ``preemption`` when given;
-    ``num_gpus``/``placement`` configure the sharded expert cache and
-    device-aware dispatch exactly as in :func:`make_engine`.
+    ``prefill_chunk_tokens`` / ``preemption`` / the resilience knobs
+    when given; ``num_gpus``/``placement`` configure the sharded
+    expert cache and device-aware dispatch exactly as in
+    :func:`make_engine`.
 
     ``prefill_chunk_tokens`` bounds each prefill step to that many
     prompt tokens (slices interleave with fused decode steps);
     ``preemption`` lets arrived higher-priority requests pause the
     lowest-priority decoder when the batch is full. The defaults keep
     the historical FCFS behaviour bit-identically.
+    ``request_timeout_s`` aborts requests past their end-to-end budget
+    (terminal status ``TIMED_OUT``); ``shed_queue_depth`` /
+    ``shed_resume_depth`` enable overload shedding between the
+    high/low backlog watermarks; ``hardware_faults`` injects a
+    sub-replica :class:`~repro.hardware.faults.HardwareFaultSchedule`
+    (replica-0 windows apply).
     ``cpu_cache_capacity``/``cpu_cache_policy``/``disk_bandwidth``
     configure the tiered memory hierarchy exactly as in
     :func:`make_engine` (the shared serving cache then spans all three
@@ -219,8 +230,11 @@ def make_serving_engine(
             max_batch_size=max_batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
             preemption=preemption,
+            request_timeout_s=request_timeout_s,
+            shed_queue_depth=shed_queue_depth,
+            shed_resume_depth=shed_resume_depth,
         )
-    return ServingEngine(engine, serving_config)
+    return ServingEngine(engine, serving_config, hardware_faults=hardware_faults)
 
 
 def make_fleet(
@@ -240,10 +254,16 @@ def make_fleet(
     max_batch_size: int = 8,
     prefill_chunk_tokens: int | None = None,
     preemption: bool = False,
+    request_timeout_s: float | None = None,
+    shed_queue_depth: int | None = None,
+    shed_resume_depth: int | None = None,
     replicas: int = 2,
     router: str = "round_robin",
     fault_schedule=None,
     autoscale=None,
+    hardware_faults=None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.5,
     serving_config=None,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
@@ -258,11 +278,14 @@ def make_fleet(
     configuration (a homogeneous pool, required for the merged fleet
     report). ``router`` names the routing policy (``"round_robin"``,
     ``"least_loaded"`` or ``"cache_affinity"``); ``fault_schedule``
-    injects replica crashes / slow windows and ``autoscale`` enables
-    threshold autoscaling of the active pool. The per-replica serving
-    knobs (``max_batch_size`` / ``prefill_chunk_tokens`` /
-    ``preemption`` or a full ``serving_config``) mirror
-    :func:`make_serving_engine`.
+    injects replica crashes / slow windows, ``hardware_faults``
+    injects sub-replica resource degradation (link / disk / straggler
+    windows), ``max_retries``/``retry_backoff_s`` configure timeout
+    retry-with-backoff, and ``autoscale`` enables threshold
+    autoscaling of the active pool. The per-replica serving knobs
+    (``max_batch_size`` / ``prefill_chunk_tokens`` / ``preemption`` /
+    ``request_timeout_s`` / the shedding watermarks, or a full
+    ``serving_config``) mirror :func:`make_serving_engine`.
 
     A fleet of one replica is bit-identical to the bare serving engine
     under every routing policy — the fleet equivalence tests pin this.
@@ -312,6 +335,9 @@ def make_fleet(
             max_batch_size=max_batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
             preemption=preemption,
+            request_timeout_s=request_timeout_s,
+            shed_queue_depth=shed_queue_depth,
+            shed_resume_depth=shed_resume_depth,
         )
     return FleetRouter(
         engine_factory,
@@ -320,4 +346,7 @@ def make_fleet(
         config=serving_config,
         fault_schedule=fault_schedule,
         autoscale=autoscale,
+        hardware_faults=hardware_faults,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
     )

@@ -13,10 +13,14 @@ measured from *arrival*, TBT percentiles) and the fleet-level
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hardware.faults import DegradationEvent
 
 __all__ = [
     "StepMetrics",
@@ -175,19 +179,26 @@ class GenerationResult:
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Frozen serving-side lifecycle record of one finished request.
+    """Frozen serving-side lifecycle record of one terminal request.
 
     All times are absolute simulated seconds on the shared clock; TTFT
     is measured from *arrival* (the serving convention), so it includes
     queueing delay on top of the prefill computation itself.
+
+    ``status`` distinguishes the terminal outcomes: ``"finished"``
+    records always carry both prefill instants, while ``"timed_out"``
+    records may have a partial lifecycle (``prefill_start`` and/or
+    ``first_token_time`` ``None`` when the request never got that far)
+    and ``"shed"`` records have neither — for those, ``finish_time``
+    is the abort-observation instant.
     """
 
     request_id: int
     prompt_len: int
     decode_tokens: int
     arrival_time: float
-    prefill_start: float
-    first_token_time: float
+    prefill_start: float | None
+    first_token_time: float | None
     finish_time: float
     tbt_values: tuple[float, ...]
     result: "GenerationResult | None" = None
@@ -200,10 +211,26 @@ class RequestRecord:
     #: Times the request was re-routed after a replica crash (fleet
     #: serving only; always 0 on a single engine).
     num_failovers: int = 0
+    #: Terminal status the request ended in ("finished", "timed_out"
+    #: or "shed").
+    status: str = "finished"
+    #: Times the request was re-submitted after a timeout (fleet
+    #: retry-with-backoff; always 0 on a single engine).
+    num_retries: int = 0
+
+    @property
+    def is_completed(self) -> bool:
+        """Whether the request actually finished its generation."""
+        return self.status == "finished"
 
     @property
     def queueing_delay(self) -> float:
         """Seconds the request waited before its prefill started."""
+        if self.prefill_start is None:
+            raise SimulationError(
+                f"request {self.request_id} never started its prefill "
+                f"(status {self.status})"
+            )
         return self.prefill_start - self.arrival_time
 
     @property
@@ -222,6 +249,11 @@ class RequestRecord:
     @property
     def ttft(self) -> float:
         """Arrival-to-first-token latency (queueing + prefill)."""
+        if self.first_token_time is None:
+            raise SimulationError(
+                f"request {self.request_id} never emitted a first token "
+                f"(status {self.status})"
+            )
         return self.first_token_time - self.arrival_time
 
     @property
@@ -251,30 +283,48 @@ class RequestRecord:
     def summary(self) -> dict[str, float | int]:
         """Flat per-request row for the serving report table."""
         # Keys are emitted unconditionally (NaN for a prefill-only
-        # request): table renderers derive columns from the first row,
+        # request, or one aborted before reaching that lifecycle
+        # instant): table renderers derive columns from the first row,
         # so a variable key set would silently drop columns for every
         # other request.
         has_tbt = bool(self.tbt_values)
         return {
             "request": self.request_id,
             "class": self.priority,
+            "status": self.status,
             "prompt_len": self.prompt_len,
             "tokens": self.decode_tokens,
             "arrival_s": self.arrival_time,
-            "queue_delay_s": self.queueing_delay,
-            "ttft_s": self.ttft,
+            "queue_delay_s": (
+                self.queueing_delay
+                if self.prefill_start is not None
+                else float("nan")
+            ),
+            "ttft_s": (
+                self.ttft if self.first_token_time is not None else float("nan")
+            ),
             "p50_tbt_s": self.p50_tbt if has_tbt else float("nan"),
             "p95_tbt_s": self.p95_tbt if has_tbt else float("nan"),
             "p99_tbt_s": self.p99_tbt if has_tbt else float("nan"),
             "e2e_s": self.e2e_latency,
             "preemptions": self.num_preemptions,
             "failovers": self.num_failovers,
+            "retries": self.num_retries,
         }
 
 
 @dataclass
 class ServingReport:
-    """Aggregate outcome of one multi-request serving run."""
+    """Aggregate outcome of one multi-request serving run.
+
+    ``requests`` holds every *terminal* record — completed, timed-out
+    and shed alike (the chaos invariant: every submitted request lands
+    in this list exactly once, fleet-wide after :meth:`merged`).
+    Latency and goodput metrics are computed over the **completed**
+    subset only; aborted requests contribute to counts
+    (``num_timeouts``, ``num_shed``) and to the makespan, never to
+    percentiles.
+    """
 
     model_name: str
     strategy_name: str
@@ -285,6 +335,9 @@ class ServingReport:
     total_misses: int = 0
     #: Total cooperative preemptions performed during the run.
     preemptions: int = 0
+    #: Hardware-degradation log: one event per change of the active
+    #: fault set on a replica, in observation order.
+    degradations: "list[DegradationEvent]" = field(default_factory=list)
 
     @classmethod
     def merged(cls, reports: "list[ServingReport]") -> "ServingReport":
@@ -335,11 +388,41 @@ class ServingReport:
             total_hits=sum(r.total_hits for r in reports),
             total_misses=sum(r.total_misses for r in reports),
             preemptions=sum(r.preemptions for r in reports),
+            degradations=sorted(
+                (d for report in reports for d in report.degradations),
+                key=lambda d: (d.time, d.replica),
+            ),
         )
 
     @property
     def num_requests(self) -> int:
+        """Terminal records of any status (completed + aborted)."""
         return len(self.requests)
+
+    @property
+    def completed(self) -> list[RequestRecord]:
+        """Records of requests that actually finished generating."""
+        return [r for r in self.requests if r.is_completed]
+
+    @property
+    def num_completed(self) -> int:
+        """Requests that finished their full generation."""
+        return sum(1 for r in self.requests if r.is_completed)
+
+    @property
+    def num_timeouts(self) -> int:
+        """Requests aborted for exceeding their timeout budget."""
+        return sum(1 for r in self.requests if r.status == "timed_out")
+
+    @property
+    def num_shed(self) -> int:
+        """Requests refused admission by overload shedding."""
+        return sum(1 for r in self.requests if r.status == "shed")
+
+    @property
+    def num_retries(self) -> int:
+        """Total timeout re-submissions across terminal requests."""
+        return sum(r.num_retries for r in self.requests)
 
     @property
     def num_failovers(self) -> int:
@@ -360,24 +443,39 @@ class ServingReport:
 
     @property
     def makespan(self) -> float:
-        """Wall time from first arrival to last completion."""
+        """Wall time from first arrival to the last terminal instant.
+
+        Spans *all* terminal records: an aborted request's
+        ``finish_time`` is its abort-observation instant, so degraded
+        runs are charged the full window in which they held resources.
+        """
         return self.last_finish - self.first_arrival
 
     @property
     def goodput(self) -> float:
-        """Completed requests per simulated second of the serving window."""
+        """Completed requests per simulated second of the serving window.
+
+        Timed-out and shed requests do not count — goodput measures
+        work *delivered*, which is what the chaos benchmark's
+        degraded-mode retention ratio compares against a fault-free
+        run.
+        """
         span = self.makespan
         if span <= 0.0:
             raise SimulationError("serving window is empty")
-        return self.num_requests / span
+        return self.num_completed / span
 
     @property
     def token_throughput(self) -> float:
-        """Generated decode tokens per simulated second."""
+        """Delivered decode tokens per simulated second.
+
+        Tokens of aborted requests were released with their partial
+        work and never delivered, so only completed requests count.
+        """
         span = self.makespan
         if span <= 0.0:
             raise SimulationError("serving window is empty")
-        return sum(r.decode_tokens for r in self.requests) / span
+        return sum(r.decode_tokens for r in self.completed) / span
 
     @property
     def hit_rate(self) -> float:
@@ -386,17 +484,18 @@ class ServingReport:
 
     @property
     def mean_queueing_delay(self) -> float:
-        if not self.requests:
+        completed = self.completed
+        if not completed:
             raise SimulationError("serving run completed no requests")
-        return float(np.mean([r.queueing_delay for r in self.requests]))
+        return float(np.mean([r.queueing_delay for r in completed]))
 
     def ttft_percentiles(self) -> dict[str, float]:
-        """p50/p95/p99 of arrival-to-first-token across requests."""
-        return latency_percentiles([r.ttft for r in self.requests])
+        """p50/p95/p99 of arrival-to-first-token across completed requests."""
+        return latency_percentiles([r.ttft for r in self.completed])
 
     def tbt_percentiles(self) -> dict[str, float]:
-        """p50/p95/p99 over every decode token of every request."""
-        pooled = [tbt for r in self.requests for tbt in r.tbt_values]
+        """p50/p95/p99 over every decode token of every completed request."""
+        pooled = [tbt for r in self.completed for tbt in r.tbt_values]
         return latency_percentiles(pooled)
 
     def per_request_rows(self) -> list[dict[str, float | int]]:
@@ -411,7 +510,7 @@ class ServingReport:
         return sorted({r.priority for r in self.requests})
 
     def requests_of_class(self, priority: str) -> list[RequestRecord]:
-        """Finished requests of one priority class, by request id."""
+        """Terminal requests of one priority class, by request id."""
         return sorted(
             (r for r in self.requests if r.priority == priority),
             key=lambda r: r.request_id,
@@ -422,7 +521,10 @@ class ServingReport:
         span = self.makespan
         if span <= 0.0:
             raise SimulationError("serving window is empty")
-        return len(self.requests_of_class(priority)) / span
+        completed = sum(
+            1 for r in self.requests_of_class(priority) if r.is_completed
+        )
+        return completed / span
 
     def class_summary(self) -> list[dict[str, float | int | str]]:
         """One aggregate row per priority class (the SLO view).
@@ -436,17 +538,25 @@ class ServingReport:
         rows: list[dict[str, float | int | str]] = []
         for priority in self.priority_classes():
             records = self.requests_of_class(priority)
+            completed = [r for r in records if r.is_completed]
             row: dict[str, float | int | str] = {
                 "class": priority,
                 "requests": len(records),
                 "goodput_rps": self.class_goodput(priority),
                 "preemptions": sum(r.num_preemptions for r in records),
+                "timeouts": sum(1 for r in records if r.status == "timed_out"),
+                "shed": sum(1 for r in records if r.status == "shed"),
             }
-            for name, value in latency_percentiles(
-                [r.ttft for r in records]
-            ).items():
+            # Latency percentiles cover the completed subset; a class
+            # whose every request was aborted gets NaN, not an error —
+            # it still has a meaningful count/goodput row.
+            if completed:
+                ttft = latency_percentiles([r.ttft for r in completed])
+            else:
+                ttft = {f"p{q}": float("nan") for q in PERCENTILES}
+            for name, value in ttft.items():
                 row[f"{name}_ttft_s"] = value
-            pooled = [tbt for r in records for tbt in r.tbt_values]
+            pooled = [tbt for r in completed for tbt in r.tbt_values]
             if pooled:
                 tbt = latency_percentiles(pooled)
             else:
@@ -455,7 +565,7 @@ class ServingReport:
                 row[f"{name}_tbt_s"] = value
             verdicts = [
                 r.meets_tbt_deadline
-                for r in records
+                for r in completed
                 if r.meets_tbt_deadline is not None
             ]
             row["slo_attainment"] = (
@@ -466,25 +576,36 @@ class ServingReport:
 
     def summary(self) -> dict[str, float | int | str]:
         """Flat aggregate record for tabulation and benchmarks."""
+        has_completed = self.num_completed > 0
         record: dict[str, float | int | str] = {
             "model": self.model_name,
             "strategy": self.strategy_name,
             "cache_ratio": self.cache_ratio,
             "requests": self.num_requests,
+            "completed": self.num_completed,
+            "timeouts": self.num_timeouts,
+            "shed": self.num_shed,
             "makespan_s": self.makespan,
             "goodput_rps": self.goodput,
             "token_throughput": self.token_throughput,
-            "mean_queue_delay_s": self.mean_queueing_delay,
+            "mean_queue_delay_s": (
+                self.mean_queueing_delay if has_completed else float("nan")
+            ),
             "hit_rate": self.hit_rate,
             "preemptions": self.preemptions,
             "failovers": self.num_failovers,
+            "retries": self.num_retries,
         }
-        for name, value in self.ttft_percentiles().items():
+        # Fixed key set (NaN for an all-prefill or all-aborted run):
+        # table renderers derive columns from the first row, and sweep
+        # code indexes summary["p99_tbt_s"] unconditionally.
+        if has_completed:
+            ttft = self.ttft_percentiles()
+        else:
+            ttft = {f"p{q}": float("nan") for q in PERCENTILES}
+        for name, value in ttft.items():
             record[f"{name}_ttft_s"] = value
-        # Fixed key set (NaN for an all-prefill run): table renderers
-        # derive columns from the first row, and sweep code indexes
-        # summary["p99_tbt_s"] unconditionally.
-        if any(r.tbt_values for r in self.requests):
+        if any(r.tbt_values for r in self.completed):
             tbt = self.tbt_percentiles()
         else:
             tbt = {f"p{q}": float("nan") for q in PERCENTILES}

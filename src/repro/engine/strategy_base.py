@@ -98,6 +98,16 @@ class Strategy(ABC):
     def setup(self) -> None:
         """Hook for warmup-trace profiling, pinning decisions, etc."""
 
+    def on_costs_changed(self) -> None:
+        """Hook fired when the engine's cost models changed in place.
+
+        Hardware fault injection degrades a resource mid-run by
+        mutating the shared cost-model wrappers; strategies that froze
+        a cost-derived scalar at :meth:`setup` time refresh it here.
+        The default is a no-op — strategies that always query the cost
+        models live need nothing.
+        """
+
     def cache_spec(self) -> CacheSpec:
         """Declarative recipe of the expert cache this strategy manages.
 

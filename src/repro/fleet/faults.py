@@ -19,6 +19,14 @@ Two fault kinds:
   requests (a health-check tripping on elevated latency). The replica
   keeps serving what it already holds and rejoins the routable set
   when the window closes.
+
+**Precedence**: a crash scheduled inside (or before) a slow window
+wins — the replica dies at the crash instant, its in-flight work fails
+over, and the rest of the slow window is moot: a dead replica is never
+routable again, blackout or not (liveness is checked before blackout
+in the fleet's routing filter). Scheduling both on one replica is
+legal and useful — a replica that degrades, blacks out, then dies is
+the classic fail-slow-then-fail-stop sequence.
 """
 
 from __future__ import annotations
@@ -87,6 +95,10 @@ class FaultSchedule:
 
     Faults are kept sorted by ``(at_time, replica)`` so crash firing
     order is deterministic when several replicas die at once.
+    Validation rejects a second crash on the same replica (a crash is
+    permanent) and exact duplicates — two faults of the same kind on
+    the same replica at the same instant, which would either be a
+    schedule-construction bug or an ambiguous double blackout.
     """
 
     faults: tuple[ReplicaFault, ...] = ()
@@ -96,7 +108,15 @@ class FaultSchedule:
             sorted(faults, key=lambda f: (f.at_time, f.replica, f.kind))
         )
         crashes: dict[int, float] = {}
+        seen: set[tuple[int, str, float]] = set()
         for fault in ordered:
+            key = (fault.replica, fault.kind, fault.at_time)
+            if key in seen:
+                raise ConfigError(
+                    f"duplicate {fault.kind!r} fault on replica "
+                    f"{fault.replica} at t={fault.at_time}"
+                )
+            seen.add(key)
             if fault.kind == "crash":
                 if fault.replica in crashes:
                     raise ConfigError(

@@ -44,6 +44,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.fleet.autoscale import AutoscaleConfig, AutoscaleEvent
 from repro.fleet.faults import FaultSchedule, ReplicaFault
 from repro.fleet.router import RoutingPolicy, make_router
+from repro.hardware.faults import HardwareFaultSchedule
 from repro.routing.statistics import predicted_routing_profile
 from repro.serving.engine import requests_from_trace
 from repro.serving.request import Request, RequestStatus
@@ -94,15 +95,29 @@ class Replica:
         """In-flight (submitted, unfinished) requests on this replica."""
         return len(self.session.in_flight()) if self.session is not None else 0
 
-    def start_session(self, config: ServingConfig, solo: bool, origin: float) -> None:
+    def start_session(
+        self,
+        config: ServingConfig,
+        solo: bool,
+        origin: float,
+        hardware_faults: HardwareFaultSchedule | None = None,
+    ) -> None:
         """Open a fresh serving session (one per fleet serve).
 
         ``origin`` is the fleet-wide wall clock — shared by every
         replica session of a serve, so trace time means the same thing
         on each replica even when their engine clocks drifted apart
-        over earlier serves.
+        over earlier serves. ``hardware_faults`` is this replica's
+        slice of the fleet schedule (already ``for_replica``-filtered).
         """
-        self.session = ServingSession(self.engine, config, solo=solo, origin=origin)
+        self.session = ServingSession(
+            self.engine,
+            config,
+            solo=solo,
+            origin=origin,
+            hardware_faults=hardware_faults,
+            replica_id=self.replica_id,
+        )
 
 
 @dataclass(frozen=True)
@@ -178,6 +193,22 @@ class FleetRouter:
     autoscale:
         Threshold autoscaling config; ``None`` keeps all M replicas
         active for the whole run.
+    hardware_faults:
+        Sub-replica hardware fault schedule (link degradation, disk
+        stalls, GPU stragglers). Each replica session applies its own
+        slice at step boundaries; the router additionally steers new
+        work away from currently-degraded replicas while healthy
+        alternatives exist. ``None`` injects nothing.
+    max_retries:
+        Retry budget per request for timeout re-submission. A request
+        timing out with retries left is re-enqueued (and re-routed like
+        a failover) after an exponential backoff; one that exhausted
+        the budget keeps its ``TIMED_OUT`` record. ``0`` (default)
+        disables retries.
+    retry_backoff_s:
+        Base backoff delay: retry ``n`` (1-based) re-arrives
+        ``retry_backoff_s * 2**(n-1)`` seconds after its timeout was
+        observed.
     """
 
     def __init__(
@@ -188,6 +219,9 @@ class FleetRouter:
         config: ServingConfig | None = None,
         fault_schedule: FaultSchedule | None = None,
         autoscale: AutoscaleConfig | None = None,
+        hardware_faults: HardwareFaultSchedule | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.5,
     ) -> None:
         if replicas < 1:
             raise ConfigError(f"fleet needs at least one replica, got {replicas}")
@@ -195,6 +229,14 @@ class FleetRouter:
             raise ConfigError(
                 f"autoscale.max_replicas ({autoscale.max_replicas}) exceeds the "
                 f"replica pool ({replicas})"
+            )
+        if max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        if retry_backoff_s <= 0:
+            raise ConfigError(
+                f"retry_backoff_s must be positive, got {retry_backoff_s}"
             )
         self.config = config or ServingConfig()
         self.policy = make_router(policy) if isinstance(policy, str) else policy
@@ -205,6 +247,16 @@ class FleetRouter:
                     f"fault targets replica {fault.replica} but the pool has "
                     f"{replicas} replicas"
                 )
+        self.hardware_faults = hardware_faults
+        if hardware_faults is not None:
+            for fault in hardware_faults:
+                if fault.replica >= replicas:
+                    raise ConfigError(
+                        f"hardware fault targets replica {fault.replica} but "
+                        f"the pool has {replicas} replicas"
+                    )
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self.autoscale = autoscale
         self.replicas = [Replica(i, engine_factory) for i in range(replicas)]
         self._profiles: dict[bytes, np.ndarray] = {}
@@ -274,7 +326,12 @@ class FleetRouter:
             default=0.0,
         )
         for replica in self.replicas[:initial_active]:
-            replica.start_session(self.config, solo, self._origin)
+            replica.start_session(
+                self.config,
+                solo,
+                self._origin,
+                self._replica_faults(replica.replica_id),
+            )
             replica.active = True
         self.policy.reset()
         self._pending_crashes = list(self.fault_schedule.crashes())
@@ -321,6 +378,12 @@ class FleetRouter:
     # ------------------------------------------------------------------
     # event loop internals
     # ------------------------------------------------------------------
+    def _replica_faults(self, replica_id: int) -> HardwareFaultSchedule | None:
+        """One replica's slice of the hardware fault schedule (or None)."""
+        if self.hardware_faults is None:
+            return None
+        return self.hardware_faults.for_replica(replica_id)
+
     def _push(self, request: Request) -> None:
         """Queue an arrival; the sequence number makes heap order total."""
         heapq.heappush(self._heap, (request.arrival_time, self._seq, request))
@@ -351,9 +414,10 @@ class FleetRouter:
 
         Sessions are stepped one scheduler action at a time in global
         time order (smallest session frontier first, replica id on
-        ties). Due crash faults fire between steps; returns True as
-        soon as one fires so the caller re-examines the arrival heap —
-        the failover re-arrivals may precede ``t``.
+        ties). Due crash faults fire between steps, and timeout
+        retries are collected after every step; returns True as soon
+        as either produces heap arrivals so the caller re-examines the
+        heap — failover and retry re-arrivals may precede ``t``.
         """
         while True:
             if self._fire_due_crashes(t):
@@ -370,16 +434,23 @@ class FleetRouter:
             replica = min(
                 steppable, key=lambda r: (r.session.now, r.replica_id)
             )
-            if not replica.session.step():  # pragma: no cover - defensive
-                return False
+            stepped = replica.session.step()
+            if self._collect_retries(replica):
+                return True
+            if not stepped:
+                # A timeout sweep just drained the session's last work:
+                # no action ran, but other replicas may still owe steps
+                # before t — keep advancing (the session drops out of
+                # the steppable set next iteration).
+                continue
 
     def _drain_one(self) -> bool:
         """One drain move once no arrivals remain; False when done.
 
         Drains in global time order like :meth:`_advance`, with no
         horizon: idle sessions may always jump to their queued work. A
-        crash firing mid-drain pushes failover arrivals and returns to
-        the routing loop.
+        crash firing mid-drain, or a timeout retry, pushes arrivals
+        and returns to the routing loop.
         """
         if self._fire_due_crashes(None):
             return True
@@ -387,7 +458,39 @@ class FleetRouter:
         if not steppable:
             return False
         replica = min(steppable, key=lambda r: (r.session.now, r.replica_id))
-        return replica.session.step()
+        stepped = replica.session.step()
+        self._collect_retries(replica)
+        # Even a False step (timeout sweep drained the last work) made
+        # progress: the session left the steppable set, so the drain
+        # loop re-evaluates rather than ending while others hold work.
+        return stepped or bool(self._heap) or any(
+            r.session.has_work() for r in self._live()
+        )
+
+    def _collect_retries(self, replica: Replica) -> bool:
+        """Re-enqueue the replica's fresh timeouts that have retries left.
+
+        A victim within its retry budget is *reclaimed* — its timeout
+        record is dropped and its id freed — and a fresh clone is
+        pushed onto the arrival heap with exponential backoff, to be
+        re-routed like any arrival (degradation steering and blackout
+        rules apply, so the retry naturally lands elsewhere when the
+        timing-out replica is the degraded one). A victim out of budget
+        keeps its ``TIMED_OUT`` record. Returns True when any clone
+        was pushed.
+        """
+        session = replica.session
+        pushed = False
+        for request in session.claim_fresh_timeouts():
+            if request.num_retries >= self.max_retries:
+                continue
+            session.reclaim(request)
+            assert request.finish_time is not None
+            backoff = self.retry_backoff_s * (2.0 ** request.num_retries)
+            arrival = (request.finish_time - self._origin) + backoff
+            self._push(request.clone_for_retry(arrival))
+            pushed = True
+        return pushed
 
     def _fire_due_crashes(self, horizon: float | None) -> bool:
         """Fire scheduled crashes that have become observable.
@@ -453,6 +556,9 @@ class FleetRouter:
         unless the blackout would leave nothing routable, in which case
         slow replicas are readmitted (degraded capacity beats dropping
         the request; crashes are the only faults that shed work).
+        Replicas inside a *hardware* fault window are steered around
+        the same way: excluded while a clean alternative exists,
+        readmitted otherwise.
         """
         live = self._live()
         if not live:
@@ -470,7 +576,15 @@ class FleetRouter:
             for r in candidates
             if not self.fault_schedule.blacked_out(r.replica_id, t)
         ]
-        return healthy or candidates
+        candidates = healthy or candidates
+        if self.hardware_faults is not None:
+            clean = [
+                r
+                for r in candidates
+                if not self.hardware_faults.degraded(r.replica_id, t)
+            ]
+            candidates = clean or candidates
+        return candidates
 
     def _route(self, request: Request, t: float) -> None:
         """Pick a replica for one arrival and hand the request over."""
@@ -513,7 +627,12 @@ class FleetRouter:
             if standby is None:
                 return
             if standby.session is None:
-                standby.start_session(self.config, self._solo, self._origin)
+                standby.start_session(
+                    self.config,
+                    self._solo,
+                    self._origin,
+                    self._replica_faults(standby.replica_id),
+                )
             standby.active = True
             self._events.append(
                 AutoscaleEvent(

@@ -23,6 +23,14 @@ from repro.hardware.cost_model import (
     NoisyCostModel,
 )
 from repro.hardware.device import ResourceTimeline, TimelineInterval
+from repro.hardware.faults import (
+    HARDWARE_FAULT_KINDS,
+    DegradationEvent,
+    DegradationState,
+    DegradedCostModel,
+    HardwareFault,
+    HardwareFaultSchedule,
+)
 from repro.hardware.platform_presets import (
     HARDWARE_PRESETS,
     cpu_weak_testbed,
@@ -39,6 +47,12 @@ __all__ = [
     "FittedCostModel",
     "NoisyCostModel",
     "HardwareProfile",
+    "HARDWARE_FAULT_KINDS",
+    "HardwareFault",
+    "HardwareFaultSchedule",
+    "DegradationState",
+    "DegradationEvent",
+    "DegradedCostModel",
     "ResourceTimeline",
     "TimelineInterval",
     "Resource",

@@ -1,0 +1,344 @@
+"""Sub-replica hardware fault injection: fail-slow resource degradation.
+
+PR 7's :class:`~repro.fleet.faults.FaultSchedule` models *fail-stop*
+faults (a replica crashes or is blacked out whole). Real deployments
+degrade long before that: a PCIe link throttles, the disk tier stalls,
+one GPU straggles. This module injects such **sub-replica** faults as
+windows during which a specific resource of a specific replica runs
+degraded, while the replica keeps serving.
+
+The mechanism is a mutable :class:`DegradedCostModel` wrapper around
+both of an engine's cost models (actual *and* estimated). Every
+duration the clock charges and every duration the planner reasons
+about flows through the same wrapper, so the hybrid scheduler
+**re-costs against the degraded link** — under a straggler GPU the
+eq. (2) search naturally shifts expert work to the CPU, exactly the
+adaptivity the paper's cost model (§IV) enables. The serving session
+applies the schedule's state at each **step boundary** (the same
+observation discipline replica crashes use), and fault checking never
+mutates schedule state — a schedule whose windows never cover the run
+leaves every duration bit-identical to running with no schedule at all
+(test-enforced like ``FaultSchedule``).
+
+Three fault kinds:
+
+- ``"link_degrade"`` — the PCIe link runs at ``severity`` (in (0, 1))
+  of its effective bandwidth: every host->GPU transfer duration scales
+  by ``1 / severity`` for the window.
+- ``"disk_stall"`` — the disk tier stalls: a read issued at a step
+  boundary inside the window is blocked until the window ends, so it
+  pays the *remaining* stall on top of its normal duration (a
+  deliberately pessimistic model: the stall is frozen per step
+  boundary, matching how the clock charges whole steps).
+- ``"gpu_straggler"`` — GPU compute (expert GEMMs and GPU-side
+  attention) runs ``severity`` (> 1) times slower. CPU compute is
+  untouched — which is what lets the scheduler route around the
+  straggler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.hardware.cost_model import CostModel
+from repro.models.config import ExpertShape
+
+__all__ = [
+    "HARDWARE_FAULT_KINDS",
+    "HardwareFault",
+    "DegradationState",
+    "NEUTRAL_STATE",
+    "DegradationEvent",
+    "HardwareFaultSchedule",
+    "DegradedCostModel",
+]
+
+HARDWARE_FAULT_KINDS = ("link_degrade", "disk_stall", "gpu_straggler")
+
+
+@dataclass(frozen=True)
+class HardwareFault:
+    """One scheduled resource-degradation window on one replica.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`HARDWARE_FAULT_KINDS`.
+    at_time:
+        Window start, in the same trace-relative seconds as request
+        arrivals (and :class:`~repro.fleet.faults.ReplicaFault`).
+    duration:
+        Window length in seconds (all hardware faults are windows —
+        permanent resource loss is a crash's job).
+    severity:
+        - ``link_degrade``: remaining PCIe bandwidth fraction in
+          (0, 1) — transfers slow down by ``1 / severity``;
+        - ``gpu_straggler``: compute slowdown multiplier > 1;
+        - ``disk_stall``: unused (must stay at the default 1.0) — the
+          stall's strength is its duration.
+    replica:
+        Target replica id (0 for a bare serving engine).
+    """
+
+    kind: str
+    at_time: float
+    duration: float
+    severity: float = 1.0
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HARDWARE_FAULT_KINDS:
+            known = ", ".join(HARDWARE_FAULT_KINDS)
+            raise ConfigError(
+                f"unknown hardware fault kind {self.kind!r} (known: {known})"
+            )
+        if self.replica < 0:
+            raise ConfigError(
+                f"fault replica must be non-negative, got {self.replica}"
+            )
+        if self.at_time < 0:
+            raise ConfigError(
+                f"fault at_time must be non-negative, got {self.at_time}"
+            )
+        if self.duration <= 0:
+            raise ConfigError(
+                f"hardware fault needs a positive duration, got {self.duration}"
+            )
+        if self.kind == "link_degrade" and not 0.0 < self.severity < 1.0:
+            raise ConfigError(
+                f"link_degrade severity is the remaining bandwidth fraction "
+                f"and must be in (0, 1), got {self.severity}"
+            )
+        if self.kind == "gpu_straggler" and self.severity <= 1.0:
+            raise ConfigError(
+                f"gpu_straggler severity is a slowdown multiplier and must "
+                f"be > 1, got {self.severity}"
+            )
+        if self.kind == "disk_stall" and self.severity != 1.0:
+            raise ConfigError(
+                f"disk_stall ignores severity (its strength is its duration); "
+                f"leave it at 1.0, got {self.severity}"
+            )
+
+    @property
+    def end_time(self) -> float:
+        """First instant past the window."""
+        return self.at_time + self.duration
+
+    def active(self, time: float) -> bool:
+        """Whether the window covers the instant ``time``."""
+        return self.at_time <= time < self.end_time
+
+
+@dataclass(frozen=True)
+class DegradationState:
+    """The combined resource degradation in force at one instant.
+
+    ``gpu_slowdown`` and ``pcie_slowdown`` are multipliers (>= 1)
+    applied to GPU-side compute and PCIe transfer durations;
+    ``disk_stall_s`` is the extra blocking charged to each disk read
+    issued at this step boundary (the remaining stall window). The
+    neutral state is all-ones/zero — applying it changes nothing,
+    bit-for-bit.
+    """
+
+    gpu_slowdown: float = 1.0
+    pcie_slowdown: float = 1.0
+    disk_stall_s: float = 0.0
+
+    @property
+    def is_neutral(self) -> bool:
+        """Whether this state leaves every duration untouched."""
+        return (
+            self.gpu_slowdown == 1.0
+            and self.pcie_slowdown == 1.0
+            and self.disk_stall_s == 0.0
+        )
+
+
+NEUTRAL_STATE = DegradationState()
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One entry of a serving report's degradation log.
+
+    Appended whenever the set of active hardware faults on a replica
+    changes at a step boundary — window entries record the degraded
+    state then in force, window exits record the recovery (a neutral
+    state), so benchmarks can show goodput dipping *and recovering*.
+    """
+
+    time: float
+    state: DegradationState
+    replica: int = 0
+
+
+@dataclass(frozen=True)
+class HardwareFaultSchedule:
+    """An immutable collection of scheduled hardware faults.
+
+    Validation rejects two faults of the same kind on the same replica
+    whose windows overlap (including exact duplicates) — the composed
+    severity of overlapping same-kind windows would be ambiguous.
+    Different kinds compose freely: slowdown multipliers multiply and
+    disk stalls take the longest remaining window.
+    """
+
+    faults: tuple[HardwareFault, ...] = ()
+
+    def __init__(self, faults: Iterable[HardwareFault] = ()) -> None:
+        ordered = tuple(
+            sorted(faults, key=lambda f: (f.at_time, f.replica, f.kind))
+        )
+        last_seen: dict[tuple[int, str], HardwareFault] = {}
+        for fault in ordered:
+            key = (fault.replica, fault.kind)
+            previous = last_seen.get(key)
+            if previous is not None and fault.at_time < previous.end_time:
+                raise ConfigError(
+                    f"overlapping {fault.kind!r} windows on replica "
+                    f"{fault.replica}: [{previous.at_time}, {previous.end_time}) "
+                    f"and [{fault.at_time}, {fault.end_time})"
+                )
+            last_seen[key] = fault
+        object.__setattr__(self, "faults", ordered)
+
+    def __iter__(self) -> Iterator[HardwareFault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_replica(self, replica: int) -> "HardwareFaultSchedule":
+        """The sub-schedule targeting one replica (ids preserved)."""
+        return HardwareFaultSchedule(
+            f for f in self.faults if f.replica == replica
+        )
+
+    def active_faults(
+        self, replica: int, time: float
+    ) -> tuple[HardwareFault, ...]:
+        """Faults whose windows cover ``time`` on ``replica``."""
+        return tuple(
+            f for f in self.faults if f.replica == replica and f.active(time)
+        )
+
+    def degraded(self, replica: int, time: float) -> bool:
+        """Whether any fault window covers ``time`` on ``replica``.
+
+        The fleet router uses this to steer new work away from a
+        degraded replica while alternatives exist (a soft blackout:
+        degraded replicas are readmitted when nothing else is
+        routable — degraded capacity beats dropping the request).
+        """
+        return any(
+            f.replica == replica and f.active(time) for f in self.faults
+        )
+
+    def state_at(self, time: float, replica: int = 0) -> DegradationState:
+        """The combined degradation on ``replica`` at instant ``time``.
+
+        Slowdown multipliers of concurrently-active faults multiply
+        (only *different* kinds can overlap); the disk stall charges
+        the longest remaining window. Outside every window this is the
+        neutral state — applying it is a bit-exact no-op.
+        """
+        gpu = 1.0
+        pcie = 1.0
+        stall = 0.0
+        for fault in self.faults:
+            if fault.replica != replica or not fault.active(time):
+                continue
+            if fault.kind == "gpu_straggler":
+                gpu *= fault.severity
+            elif fault.kind == "link_degrade":
+                pcie *= 1.0 / fault.severity
+            else:  # disk_stall
+                stall = max(stall, fault.end_time - time)
+        if gpu == 1.0 and pcie == 1.0 and stall == 0.0:
+            return NEUTRAL_STATE
+        return DegradationState(
+            gpu_slowdown=gpu, pcie_slowdown=pcie, disk_stall_s=stall
+        )
+
+
+class DegradedCostModel(CostModel):
+    """Mutable degradation wrapper around a base cost model.
+
+    An engine wraps *both* its cost models (actual and estimated) in
+    one of these at construction, so executed durations and every
+    planning decision — hybrid scheduler search, prefetch budgeting,
+    quick screens — see the same degraded platform the moment
+    :meth:`set_state` applies a non-neutral state. In the neutral
+    state every method returns the base model's float **unchanged**
+    (no arithmetic applied), which is what makes an unfired
+    :class:`HardwareFaultSchedule` bit-identical to no schedule.
+
+    The slowdown applies to the whole duration including fixed
+    overheads — an effective-bandwidth/effective-throughput model,
+    consistent with :class:`~repro.hardware.cost_model.HardwareProfile`
+    describing achievable rather than datasheet rates.
+    """
+
+    def __init__(self, base: CostModel) -> None:
+        self._base = base
+        self._state = NEUTRAL_STATE
+
+    @property
+    def base(self) -> CostModel:
+        """The wrapped (fault-free) cost model."""
+        return self._base
+
+    @property
+    def state(self) -> DegradationState:
+        """The degradation currently in force."""
+        return self._state
+
+    def set_state(self, state: DegradationState) -> bool:
+        """Swap the degradation in force; True when anything changed.
+
+        Callers must invalidate every cache of this model's outputs
+        (plan memos, duration tables, scalar estimates) when this
+        returns True — see ``InferenceEngine.set_degradation``, which
+        does exactly that.
+        """
+        if state == self._state:
+            return False
+        self._state = state
+        return True
+
+    # ------------------------------------------------------------------
+    def expert_bytes(self, shape: ExpertShape) -> float:
+        return self._base.expert_bytes(shape)
+
+    def gpu_expert_time(self, shape: ExpertShape, tokens: int) -> float:
+        duration = self._base.gpu_expert_time(shape, tokens)
+        slowdown = self._state.gpu_slowdown
+        return duration if slowdown == 1.0 else duration * slowdown
+
+    def cpu_expert_time(
+        self, shape: ExpertShape, tokens: int, first_task: bool = False
+    ) -> float:
+        return self._base.cpu_expert_time(shape, tokens, first_task=first_task)
+
+    def transfer_time(self, shape: ExpertShape) -> float:
+        duration = self._base.transfer_time(shape)
+        slowdown = self._state.pcie_slowdown
+        return duration if slowdown == 1.0 else duration * slowdown
+
+    def disk_transfer_time(self, shape: ExpertShape) -> float:
+        duration = self._base.disk_transfer_time(shape)
+        stall = self._state.disk_stall_s
+        return duration if stall == 0.0 else duration + stall
+
+    def attention_time(
+        self, d_model: int, tokens: int, device: str = "gpu"
+    ) -> float:
+        duration = self._base.attention_time(d_model, tokens, device)
+        slowdown = self._state.gpu_slowdown
+        if device != "gpu" or slowdown == 1.0:
+            return duration
+        return duration * slowdown

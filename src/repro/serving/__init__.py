@@ -32,6 +32,7 @@ from repro.serving.engine import ServingEngine, requests_from_trace
 from repro.serving.request import (
     DEFAULT_PRIORITY,
     PRIORITY_CLASSES,
+    TERMINAL_STATUSES,
     Request,
     RequestStatus,
     priority_rank,
@@ -46,6 +47,7 @@ from repro.serving.session import ServingSession
 __all__ = [
     "PRIORITY_CLASSES",
     "DEFAULT_PRIORITY",
+    "TERMINAL_STATUSES",
     "priority_rank",
     "Request",
     "RequestStatus",

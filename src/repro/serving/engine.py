@@ -45,6 +45,7 @@ from typing import Iterable
 from repro.engine.engine import InferenceEngine
 from repro.engine.metrics import ServingReport
 from repro.errors import ConfigError
+from repro.hardware.faults import HardwareFaultSchedule
 from repro.serving.request import Request
 from repro.serving.scheduler import ServingConfig
 from repro.serving.session import ServingSession
@@ -92,14 +93,22 @@ class ServingEngine:
         deltas — but residency carries over, by design.
     config:
         Serving knobs (batch ceiling, decode token source, chunked
-        prefill, preemption).
+        prefill, preemption, timeouts, overload shedding).
+    hardware_faults:
+        Optional sub-replica hardware fault schedule (replica-0 faults
+        apply — a bare engine is its own replica 0). ``None`` (default)
+        injects nothing and is bit-identical to an unfired schedule.
     """
 
     def __init__(
-        self, engine: InferenceEngine, config: ServingConfig | None = None
+        self,
+        engine: InferenceEngine,
+        config: ServingConfig | None = None,
+        hardware_faults: HardwareFaultSchedule | None = None,
     ) -> None:
         self.engine = engine
         self.config = config or ServingConfig()
+        self.hardware_faults = hardware_faults
 
     # ------------------------------------------------------------------
     def serve(self, requests: Iterable[Request]) -> ServingReport:
@@ -119,7 +128,12 @@ class ServingEngine:
         pending = list(requests)
         if not pending:
             raise ConfigError("serve() needs at least one request")
-        session = ServingSession(self.engine, self.config, pending)
+        session = ServingSession(
+            self.engine,
+            self.config,
+            pending,
+            hardware_faults=self.hardware_faults,
+        )
         try:
             while session.step():
                 pass

@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_PRIORITY",
     "priority_rank",
     "RequestStatus",
+    "TERMINAL_STATUSES",
     "Request",
 ]
 
@@ -56,13 +57,29 @@ def priority_rank(priority: str) -> int:
 
 
 class RequestStatus(str, Enum):
-    """Lifecycle stages of a served request."""
+    """Lifecycle stages of a served request.
+
+    ``FINISHED``, ``TIMED_OUT`` and ``SHED`` are **terminal**: every
+    submitted request reaches exactly one of them exactly once (the
+    chaos-harness invariant). A timed-out request exceeded its
+    ``request_timeout_s`` budget and had its partial work released
+    (cache residency stays — warmed experts are not un-warmed); a shed
+    request was refused admission by overload control and never ran.
+    """
 
     QUEUED = "queued"
     PREFILL = "prefill"
     DECODING = "decoding"
     PREEMPTED = "preempted"
     FINISHED = "finished"
+    TIMED_OUT = "timed_out"
+    SHED = "shed"
+
+
+#: Statuses a request can end a serve in (exactly one, exactly once).
+TERMINAL_STATUSES = frozenset(
+    {RequestStatus.FINISHED, RequestStatus.TIMED_OUT, RequestStatus.SHED}
+)
 
 
 @dataclass
@@ -133,6 +150,9 @@ class Request:
     #: Times this request was re-routed to another replica after its
     #: replica crashed (always 0 outside fleet serving).
     num_failovers: int = 0
+    #: Times this request was re-submitted after timing out (fleet
+    #: retry-with-backoff; always 0 outside fleet serving).
+    num_retries: int = 0
 
     def __post_init__(self) -> None:
         self.prompt_tokens = np.asarray(self.prompt_tokens, dtype=np.int64)
@@ -191,6 +211,29 @@ class Request:
             priority=self.priority,
             tbt_deadline=self.tbt_deadline,
             num_failovers=self.num_failovers + 1,
+            num_retries=self.num_retries,
+        )
+
+    def clone_for_retry(self, arrival_time: float) -> "Request":
+        """Fresh copy for re-submission after a request timeout.
+
+        The same lifecycle restart as :meth:`clone_for_failover` — the
+        partial work was released with the timeout, so the clone owes
+        its full prefill and decode — but it is the *retry* counter
+        that increments, and the arrival instant carries the fleet's
+        exponential backoff. The timeout budget restarts with the new
+        arrival: each attempt gets the full ``request_timeout_s``.
+        """
+        return Request(
+            request_id=self.request_id,
+            prompt_tokens=self.prompt_tokens,
+            decode_steps=self.decode_steps,
+            arrival_time=arrival_time,
+            sample_seed=self.sample_seed,
+            priority=self.priority,
+            tbt_deadline=self.tbt_deadline,
+            num_failovers=self.num_failovers,
+            num_retries=self.num_retries + 1,
         )
 
     # ------------------------------------------------------------------
@@ -220,18 +263,33 @@ class Request:
         return self.status is RequestStatus.FINISHED
 
     @property
+    def is_terminal(self) -> bool:
+        """Whether the request reached any terminal state."""
+        return self.status in TERMINAL_STATUSES
+
+    @property
     def is_preempted(self) -> bool:
         """Whether the request is currently paused by preemption."""
         return self.status is RequestStatus.PREEMPTED
 
     def to_record(self) -> RequestRecord:
-        """Freeze the finished lifecycle into a reporting record."""
-        if not self.is_finished or self.finish_time is None:
+        """Freeze the terminal lifecycle into a reporting record.
+
+        Only terminal requests have records: ``finish_time`` is the
+        completion instant for FINISHED, and the abort-observation
+        instant for TIMED_OUT / SHED. A timed-out request may have a
+        partial lifecycle (prefill started but no first token, say); a
+        shed request has none — the record keeps those fields ``None``.
+        """
+        if self.status not in TERMINAL_STATUSES or self.finish_time is None:
             raise SimulationError(
-                f"request {self.request_id} has not finished "
-                f"(status {self.status.value})"
+                f"request {self.request_id} has not reached a terminal "
+                f"status (status {self.status.value})"
             )
-        assert self.prefill_start is not None and self.first_token_time is not None
+        if self.is_finished:
+            # A completed lifecycle always has both prefill instants.
+            assert self.prefill_start is not None
+            assert self.first_token_time is not None
         return RequestRecord(
             request_id=self.request_id,
             prompt_len=self.prompt_len,
@@ -246,4 +304,6 @@ class Request:
             tbt_deadline=self.tbt_deadline,
             num_preemptions=self.num_preemptions,
             num_failovers=self.num_failovers,
+            status=self.status.value,
+            num_retries=self.num_retries,
         )

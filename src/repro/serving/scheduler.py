@@ -73,12 +73,37 @@ class ServingConfig:
         Allow an *arrived* strictly-higher-priority queued request to
         pause the lowest-priority decoding request when the batch is
         full. Off by default.
+    request_timeout_s:
+        Per-request end-to-end budget in trace-relative seconds,
+        measured from the request's arrival. A request still unfinished
+        when the budget elapses is aborted at the next step boundary
+        (terminal status ``TIMED_OUT``): its partial work is released,
+        but cache residency earned on its behalf stays — warmed experts
+        are not un-warmed. ``None`` (default) disables timeouts.
+    shed_queue_depth:
+        Overload-shedding high watermark: when the number of *arrived*
+        queued requests reaches this depth at a step boundary, requests
+        are refused admission (terminal status ``SHED``) until the
+        backlog drops to ``shed_resume_depth``. Shedding picks the
+        lowest priority class first and the newest arrival within a
+        class, so interactive requests shed last. ``None`` (default)
+        disables shedding.
+    shed_resume_depth:
+        Overload-shedding low watermark — the backlog depth a shed
+        sweep drains down to. The high→low band is the hysteresis:
+        one sweep sheds a batch, then admission runs normally until
+        the backlog climbs back to the high watermark, instead of
+        oscillating one request at a time around a single threshold.
+        Defaults to half of ``shed_queue_depth``.
     """
 
     max_batch_size: int = 8
     decode_token_source: str = "sampled"
     prefill_chunk_tokens: int | None = None
     preemption: bool = False
+    request_timeout_s: float | None = None
+    shed_queue_depth: int | None = None
+    shed_resume_depth: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -95,6 +120,27 @@ class ServingConfig:
                 f"prefill_chunk_tokens must be >= 1 (or None), got "
                 f"{self.prefill_chunk_tokens}"
             )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ConfigError(
+                f"request_timeout_s must be positive (or None), got "
+                f"{self.request_timeout_s}"
+            )
+        if self.shed_queue_depth is not None and self.shed_queue_depth < 1:
+            raise ConfigError(
+                f"shed_queue_depth must be >= 1 (or None), got "
+                f"{self.shed_queue_depth}"
+            )
+        if self.shed_resume_depth is not None:
+            if self.shed_queue_depth is None:
+                raise ConfigError(
+                    "shed_resume_depth requires shed_queue_depth"
+                )
+            if not 0 <= self.shed_resume_depth < self.shed_queue_depth:
+                raise ConfigError(
+                    f"shed_resume_depth must be in [0, shed_queue_depth), got "
+                    f"{self.shed_resume_depth} with high watermark "
+                    f"{self.shed_queue_depth}"
+                )
 
 
 @dataclass(frozen=True)

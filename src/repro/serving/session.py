@@ -33,6 +33,7 @@ from repro.engine.engine import InferenceEngine
 from repro.engine.metrics import GenerationResult, ServingReport, StepMetrics
 from repro.engine.pipeline import SequenceStep
 from repro.errors import ConfigError
+from repro.hardware.faults import DegradationEvent, HardwareFaultSchedule
 from repro.rng import derive_rng
 from repro.serving.request import Request, RequestStatus
 from repro.serving.scheduler import ContinuousBatchingScheduler, ServingConfig
@@ -52,7 +53,7 @@ def _remove_by_identity(items: list[Request], target: Request) -> None:
         if item is target:
             del items[index]
             return
-    raise ValueError(f"request {target.request_id} not in list")  # pragma: no cover
+    raise ValueError(f"request {target.request_id} not in list")
 
 
 class ServingSession:
@@ -81,6 +82,18 @@ class ServingSession:
         session so all sessions (and the merged report) live on a
         single fleet-wide time base even when replica clocks drifted
         apart over earlier serves.
+    hardware_faults:
+        Sub-replica hardware-fault schedule applied to this session's
+        engine at step boundaries (link degradation, disk stalls, GPU
+        stragglers). ``None`` (default) applies nothing — bit-identical
+        to an unfaulted run, which is what the no-fire equivalence
+        tests pin. The fleet passes each replica its
+        :meth:`~repro.hardware.faults.HardwareFaultSchedule.for_replica`
+        slice.
+    replica_id:
+        Fleet replica index this session serves (0 on a bare engine);
+        selects which faults of ``hardware_faults`` apply and labels
+        degradation-log events.
     """
 
     def __init__(
@@ -90,9 +103,13 @@ class ServingSession:
         requests: Iterable[Request] = (),
         solo: bool | None = None,
         origin: float | None = None,
+        hardware_faults: HardwareFaultSchedule | None = None,
+        replica_id: int = 0,
     ) -> None:
         self.engine = engine
         self.config = config or ServingConfig()
+        self.hardware_faults = hardware_faults
+        self.replica_id = replica_id
         self.scheduler = ContinuousBatchingScheduler(self.config)
         # Arrival times are trace-relative; on a warm engine (a second
         # serve, or a prior generate) they are shifted onto the clock's
@@ -119,6 +136,20 @@ class ServingSession:
         self.preempted: list[Request] = []
         self.prefilling: Request | None = None
         self.finished: list[Request] = []
+        #: Requests aborted for exceeding ``request_timeout_s``.
+        self.timed_out: list[Request] = []
+        #: Requests refused admission by overload shedding.
+        self.shed: list[Request] = []
+        #: Timeouts not yet claimed by the fleet's retry logic (cleared
+        #: by :meth:`claim_fresh_timeouts`; ignored on a bare engine).
+        self._fresh_timeouts: list[Request] = []
+        #: Hardware-degradation log: one event per change of the
+        #: active-fault set observed at a step boundary.
+        self.degradation_log: list[DegradationEvent] = []
+        #: Active faults at the last step boundary (change detector for
+        #: the log — a disk stall's numeric state shrinks every step,
+        #: which is re-costing churn, not a loggable transition).
+        self._active_faults: tuple = ()
         self.samplers: dict[int, np.random.Generator] = {}
         self.preemptions = 0
         #: High-water mark of batch occupancy (decoding + mid-prefill),
@@ -206,20 +237,57 @@ class ServingSession:
         return min((r.relative_arrival for r in self.queue), default=None)
 
     def in_flight(self) -> list[Request]:
-        """Submitted requests not yet finished, in submission order."""
-        return [r for r in self._submitted if not r.is_finished]
+        """Submitted requests not yet terminal, in submission order."""
+        return [r for r in self._submitted if not r.is_terminal]
+
+    def claim_fresh_timeouts(self) -> list[Request]:
+        """Hand unclaimed timeout victims to the caller (fleet retries).
+
+        Each timed-out request is returned exactly once across all
+        calls; a bare-engine serve never calls this and simply reports
+        the timeouts as terminal records.
+        """
+        fresh = self._fresh_timeouts
+        self._fresh_timeouts = []
+        return fresh
+
+    def reclaim(self, request: Request) -> None:
+        """Un-record a timed-out request the fleet will retry elsewhere.
+
+        Drops the victim from this session's terminal set and frees its
+        id fleet-wide, so the retry clone's eventual terminal record is
+        the *only* record of the request — the exactly-one-terminal-
+        status invariant holds across retries just as it does across
+        failovers.
+        """
+        _remove_by_identity(self.timed_out, request)
+        _remove_by_identity(self._submitted, request)
+        self._ids.discard(request.request_id)
 
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Perform one scheduler action; False when there is none left."""
-        if self.dead or not self.has_work():
+        """Perform one scheduler action; False when there is none left.
+
+        Degradation state, request timeouts and overload shedding are
+        all observed here, at the step boundary, *before* the scheduler
+        decision — the same observation discipline as replica crashes,
+        so the fast and reference planner paths cost a degraded link
+        identically and a deadline passing mid-step takes effect at the
+        next boundary.
+        """
+        if self.dead:
             return False
-        engine = self.engine
         # The policy reasons in trace-relative time; admission floors
         # are translated back to absolute clock time.
         now = self.now
+        self._apply_degradation(now)
+        self._sweep_timeouts(now)
+        self._sweep_shedding(now)
+        if not self.has_work():
+            return False
+        engine = self.engine
         action = self.scheduler.next_action(
             now,
             self.queue,
@@ -227,6 +295,12 @@ class ServingSession:
             prefilling=self.prefilling,
             preempted=self.preempted,
         )
+        # Unreachable with a consistent queue/batch state: has_work()
+        # guaranteed at least one request in some holding structure, and
+        # every branch of next_action() yields an action for a non-empty
+        # state (an empty batch with queued work takes the idle jump).
+        # Kept as a defensive guard so a policy bug degrades to loop
+        # termination instead of an infinite loop.
         if action is None:  # pragma: no cover - defensive
             return False
         if action.kind == "admit":
@@ -300,6 +374,123 @@ class ServingSession:
         return True
 
     # ------------------------------------------------------------------
+    # step-boundary observations (degradation, timeouts, shedding)
+    # ------------------------------------------------------------------
+    def _apply_degradation(self, now: float) -> None:
+        """Apply the fault schedule's state for this step boundary.
+
+        ``set_degradation`` is a no-op returning False while the state
+        is unchanged (in particular, always outside fault windows), so
+        an unfired schedule costs one state comparison per step and
+        changes no durations. The log appends only when the *set* of
+        active faults changes — a disk stall's remaining time shrinks
+        every boundary, which is re-costing churn, not a transition
+        worth logging.
+        """
+        schedule = self.hardware_faults
+        if schedule is None:
+            return
+        state = schedule.state_at(now, self.replica_id)
+        self.engine.set_degradation(state)
+        active = schedule.active_faults(self.replica_id, now)
+        if active != self._active_faults:
+            self._active_faults = active
+            self.degradation_log.append(
+                DegradationEvent(time=now, state=state, replica=self.replica_id)
+            )
+
+    def _abort_request(
+        self, request: Request, now: float, status: RequestStatus
+    ) -> None:
+        """Terminate a request without completion (timeout or shed).
+
+        ``finish_time`` is the abort-*observation* instant — the first
+        step boundary at/after the deadline, the same discipline as
+        crash observation — in absolute clock seconds like every other
+        record time. Partial decode state and the sampler are released;
+        cache residency earned on the request's behalf stays (warmed
+        experts are not un-warmed).
+        """
+        if request.status is RequestStatus.QUEUED:
+            # Never admitted: apply the admission-time arrival shift now
+            # so the record's times are absolute like admitted ones'.
+            request.arrival_shift = self.origin
+            request.arrival_time += self.origin
+        request.status = status
+        request.finish_time = now + self.origin
+        if request.request_id in self.engine.states:
+            self.engine.states.pop(request.request_id)
+        self.samplers.pop(request.request_id, None)
+
+    def _sweep_timeouts(self, now: float) -> None:
+        """Abort every non-terminal request past its timeout budget.
+
+        The budget is end-to-end from the request's (trace-relative)
+        arrival, so queueing time counts — a request shed of its slot
+        by overload is exactly the kind the timeout exists to cut
+        loose. Finished requests are immune: completion at the
+        deadline instant beats aborting work already delivered.
+        """
+        timeout = self.config.request_timeout_s
+        if timeout is None:
+            return
+
+        def expired(request: Request) -> bool:
+            return now >= request.relative_arrival + timeout
+
+        victims = [r for r in self.queue if expired(r)]
+        victims += [r for r in self.running if expired(r)]
+        victims += [r for r in self.preempted if expired(r)]
+        if self.prefilling is not None and expired(self.prefilling):
+            victims.append(self.prefilling)
+        for request in victims:
+            if request is self.prefilling:
+                self.prefilling = None
+            elif request.status is RequestStatus.QUEUED:
+                _remove_by_identity(self.queue, request)
+            elif request.status is RequestStatus.PREEMPTED:
+                _remove_by_identity(self.preempted, request)
+            else:
+                _remove_by_identity(self.running, request)
+            self._abort_request(request, now, RequestStatus.TIMED_OUT)
+            self.timed_out.append(request)
+            self._fresh_timeouts.append(request)
+
+    def _sweep_shedding(self, now: float) -> None:
+        """Refuse queued arrivals beyond the overload watermark.
+
+        Watermark hysteresis: the sweep only fires once the *arrived*
+        backlog reaches the high watermark, then sheds down to the low
+        one in a single batch — so admission runs undisturbed until
+        the backlog climbs all the way back, instead of oscillating
+        around one threshold. Victims are picked lowest class first
+        and newest arrival within a class, so interactive requests
+        shed last and the oldest waiters keep their place.
+        """
+        high = self.config.shed_queue_depth
+        if high is None:
+            return
+        arrived = [r for r in self.queue if r.relative_arrival <= now]
+        if len(arrived) < high:
+            return
+        low = self.config.shed_resume_depth
+        if low is None:
+            low = high // 2
+        while len(arrived) > low:
+            victim = min(
+                arrived,
+                key=lambda r: (
+                    r.priority_rank,
+                    -r.relative_arrival,
+                    -r.request_id,
+                ),
+            )
+            _remove_by_identity(arrived, victim)
+            _remove_by_identity(self.queue, victim)
+            self._abort_request(victim, now, RequestStatus.SHED)
+            self.shed.append(victim)
+
+    # ------------------------------------------------------------------
     # teardown & reporting
     # ------------------------------------------------------------------
     def release_states(self) -> None:
@@ -310,7 +501,7 @@ class ServingSession:
         """
         for request in self._submitted:
             if (
-                not request.is_finished
+                not request.is_terminal
                 and request.request_id in self.engine.states
             ):
                 self.engine.states.pop(request.request_id)
@@ -334,24 +525,26 @@ class ServingSession:
         return survivors
 
     def report(self) -> ServingReport:
-        """Freeze the finished requests into a serving report."""
+        """Freeze the terminal requests into a serving report."""
         engine = self.engine
         cache = engine.runtime.cache
         assert cache is not None
         final_stats = cache.stats
         hits_before, misses_before = self._stats_baseline
+        terminal = self.finished + self.timed_out + self.shed
         return ServingReport(
             model_name=engine.model.config.name,
             strategy_name=engine.strategy.name,
             cache_ratio=engine.config.cache_ratio,
             max_batch_size=self.config.max_batch_size,
             requests=sorted(
-                (r.to_record() for r in self.finished),
+                (r.to_record() for r in terminal),
                 key=lambda r: r.request_id,
             ),
             total_hits=final_stats.hits - hits_before,
             total_misses=final_stats.misses - misses_before,
             preemptions=self.preemptions,
+            degradations=list(self.degradation_log),
         )
 
     # ------------------------------------------------------------------
@@ -462,7 +655,12 @@ class ServingSession:
                 / total
                 for k in keys
             }
-        else:  # pragma: no cover - zero-duration steps do not occur
+        else:  # pragma: no cover - defensive
+            # Unreachable with the analytic cost model: every prefill
+            # chunk carries >= 1 token, and the per-token expert costs
+            # are strictly positive, so durations cannot sum to zero.
+            # Kept so a future zero-cost model degrades to "copy the
+            # first chunk's utilisation" instead of dividing by zero.
             utilization = dict(chunks[0].utilization)
         return StepMetrics(
             stage="prefill",

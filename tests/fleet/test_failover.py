@@ -184,3 +184,57 @@ class TestScheduleTransparency:
         schedule = FaultSchedule([ReplicaFault(replica=5, at_time=1.0)])
         with pytest.raises(ConfigError, match="fault targets replica 5"):
             _fleet(fault_schedule=schedule)
+
+
+class TestScheduleValidation:
+    def test_duplicate_crash_same_instant_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultSchedule(
+                [
+                    ReplicaFault(replica=0, at_time=1.0),
+                    ReplicaFault(replica=0, at_time=1.0),
+                ]
+            )
+
+    def test_duplicate_slow_same_instant_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultSchedule(
+                [
+                    ReplicaFault(
+                        replica=0, at_time=1.0, kind="slow", duration=1.0
+                    ),
+                    ReplicaFault(
+                        replica=0, at_time=1.0, kind="slow", duration=2.0
+                    ),
+                ]
+            )
+
+    def test_second_crash_on_replica_rejected_even_later(self):
+        with pytest.raises(ConfigError, match="more than one scheduled"):
+            FaultSchedule(
+                [
+                    ReplicaFault(replica=0, at_time=1.0),
+                    ReplicaFault(replica=0, at_time=2.0),
+                ]
+            )
+
+    def test_same_fault_different_replicas_allowed(self):
+        schedule = FaultSchedule(
+            [
+                ReplicaFault(replica=0, at_time=1.0),
+                ReplicaFault(replica=1, at_time=1.0),
+            ]
+        )
+        assert len(schedule) == 2
+
+    def test_crash_inside_slow_window_allowed(self):
+        # Documented precedence: the crash wins, the rest of the slow
+        # window is moot. Scheduling both is the fail-slow-then-stop
+        # sequence and must construct fine.
+        schedule = FaultSchedule(
+            [
+                ReplicaFault(replica=0, at_time=1.0, kind="slow", duration=5.0),
+                ReplicaFault(replica=0, at_time=3.0),
+            ]
+        )
+        assert len(schedule.crashes()) == 1

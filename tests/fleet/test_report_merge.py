@@ -159,3 +159,25 @@ class TestMergeValidation:
         merged = ServingReport.merged([report])
         assert [r.request_id for r in merged.requests] == [0, 1]
         assert merged.total_hits == report.total_hits
+
+    def test_one_empty_replica_merges_transparently(self):
+        # A replica that served nothing (crashed early, never routed)
+        # contributes no records but must not poison the aggregates.
+        merged = ServingReport.merged(
+            [_report([_record(0), _record(1)]), _report([])]
+        )
+        assert [r.request_id for r in merged.requests] == [0, 1]
+        assert merged.goodput == ServingReport.merged(
+            [_report([_record(0), _record(1)])]
+        ).goodput
+
+    def test_all_replicas_empty_merges_to_empty_report(self):
+        merged = ServingReport.merged([_report([]), _report([])])
+        assert merged.num_requests == 0
+        assert merged.num_completed == 0
+        # Window-derived aggregates have no defined value on an empty
+        # report and must refuse loudly rather than emit garbage.
+        with pytest.raises(SimulationError, match="no requests"):
+            _ = merged.makespan
+        with pytest.raises(SimulationError, match="no requests"):
+            _ = merged.goodput

@@ -194,22 +194,112 @@ class TestCommands:
     @pytest.mark.parametrize(
         "mix", ["interactive", "interactive=x", "urgent=1.0", "interactive=0.5"]
     )
-    def test_serve_bad_priority_mix_rejected(self, mix):
-        from repro.errors import ConfigError
+    def test_serve_bad_priority_mix_rejected(self, mix, capsys):
+        code = main(
+            [
+                "serve",
+                "--num-requests",
+                "2",
+                "--arrival-rate",
+                "20",
+                "--decode-steps",
+                "1",
+                "--num-layers",
+                "2",
+                "--priority-mix",
+                mix,
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
 
-        with pytest.raises(ConfigError):
-            main(
-                [
-                    "serve",
-                    "--num-requests",
-                    "2",
-                    "--arrival-rate",
-                    "20",
-                    "--decode-steps",
-                    "1",
-                    "--num-layers",
-                    "2",
-                    "--priority-mix",
-                    mix,
-                ]
-            )
+
+def _serve(*extra):
+    """A minimal serve invocation plus ``extra`` args."""
+    return main(
+        [
+            "serve",
+            "--num-requests",
+            "2",
+            "--arrival-rate",
+            "20",
+            "--decode-steps",
+            "1",
+            "--num-layers",
+            "2",
+            *extra,
+        ]
+    )
+
+
+class TestServeValidation:
+    """Config mistakes exit 2 with a one-line ``error:`` message."""
+
+    def _error(self, capsys, *extra):
+        assert _serve(*extra) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1  # one line, newline-terminated
+        return err
+
+    def test_zero_replicas_rejected(self, capsys):
+        err = self._error(capsys, "--replicas", "0")
+        assert "--replicas must be >= 1" in err
+
+    def test_unknown_router_rejected(self, capsys):
+        err = self._error(capsys, "--replicas", "2", "--router", "wormhole")
+        assert "unknown router 'wormhole'" in err
+        assert "round_robin" in err  # the known names are listed
+
+    def test_replica_faults_need_a_fleet(self, capsys):
+        err = self._error(capsys, "--fault-spec", "crash:0:1.0")
+        assert "--replicas > 1" in err
+
+    def test_hardware_fault_off_replica_zero_needs_fleet(self, capsys):
+        err = self._error(capsys, "--fault-spec", "disk_stall:1:1.0:0.5")
+        assert "--replicas > 1" in err
+
+    def test_retries_need_a_fleet(self, capsys):
+        err = self._error(capsys, "--max-retries", "1")
+        assert "--max-retries" in err
+
+    def test_unknown_fault_kind_rejected(self, capsys):
+        err = self._error(capsys, "--fault-spec", "meteor:0:1.0")
+        assert "unknown fault kind 'meteor'" in err
+        assert "link_degrade" in err
+
+    def test_malformed_fault_spec_rejected(self, capsys):
+        err = self._error(capsys, "--fault-spec", "crash:0")
+        assert "bad --fault-spec" in err
+
+    def test_malformed_shed_rejected(self, capsys):
+        err = self._error(capsys, "--shed", "many")
+        assert "bad --shed" in err
+
+
+class TestServeDegraded:
+    def test_serve_with_hardware_fault_and_knobs(self, capsys):
+        code = _serve(
+            "--fault-spec",
+            "gpu_straggler:0:0.01:0.5:2.0",
+            "--request-timeout",
+            "30",
+            "--shed",
+            "50:10",
+        )
+        assert code == 0
+        assert "aggregate" in capsys.readouterr().out
+
+    def test_fleet_serve_with_fault_mix(self, capsys):
+        code = _serve(
+            "--replicas",
+            "2",
+            "--fault-spec",
+            "slow:0:0.01:0.05,link_degrade:1:0.01:0.05:0.5",
+            "--max-retries",
+            "1",
+            "--request-timeout",
+            "30",
+        )
+        assert code == 0
+        assert "fleet aggregate" in capsys.readouterr().out
