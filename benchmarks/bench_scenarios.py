@@ -1,0 +1,113 @@
+"""Scenario-matrix sweep smoke: the registry and sweep runner, end to end.
+
+Unlike the perf benchmarks this one gates *plumbing*, not speed: the
+scenario layer's whole value is that a registered scenario is exactly
+the factory invocation it denotes and that a sweep directory can be
+trusted across interruptions. Three claims, all deterministic
+(simulated time):
+
+1. **completeness** — every cell of a scenarios x strategies sweep
+   serves its full trace (no lost or stuck requests on
+   shedding-free scenarios).
+2. **cell == direct invocation** — the first scenario's cell payload
+   is byte-equal to flattening the equivalent hand-built
+   ``spec.run(seed)`` report through the same encoder.
+3. **resume determinism** — re-running the sweep into the same
+   directory skips every completed cell and merges a byte-identical
+   ``sweep.json``.
+
+Usage::
+
+    python benchmarks/bench_scenarios.py             # full matrix
+    python benchmarks/bench_scenarios.py --smoke     # CI-sized (2 x 2, capped)
+    python benchmarks/bench_scenarios.py --out out/scenario_sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.reporting import format_table  # noqa: E402
+from repro.scenarios import get_scenario, run_sweep  # noqa: E402
+from repro.scenarios.sweep import _dumps, _report_payload  # noqa: E402
+
+FULL_SCENARIOS = ["chat-multiturn", "tenant-mix", "disk-slow-spill", "edge-decode"]
+SMOKE_SCENARIOS = ["chat-multiturn", "edge-decode"]
+STRATEGIES = ["hybrimoe", "ondemand"]
+
+
+def check(condition: bool, label: str, failures: list[str]) -> None:
+    print(f"[{'ok' if condition else 'FAIL'}] {label}")
+    if not condition:
+        failures.append(label)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized matrix")
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="sweep output directory (default: a fresh temp dir)",
+    )
+    parser.add_argument("--processes", type=int, default=1)
+    args = parser.parse_args()
+
+    scenarios = SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS
+    caps = dict(max_requests=2, max_steps=2) if args.smoke else {}
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="sweep-"))
+    failures: list[str] = []
+
+    sweep = run_sweep(
+        scenarios, out_dir, strategies=STRATEGIES,
+        processes=args.processes, log=print, **caps,
+    )
+    print(format_table(sweep.rows(), title="scenario matrix"))
+
+    expected_cells = len(scenarios) * len(STRATEGIES)
+    check(len(sweep.cells) == expected_cells,
+          f"sweep ran {expected_cells} cells", failures)
+    for cell in sweep.cells:
+        summary = cell["summary"]
+        label = (f"{cell['cell']['scenario']} x {cell['cell']['strategy']}: "
+                 f"{summary['completed']}/{summary['requests']} completed")
+        check(summary["completed"] == summary["requests"], label, failures)
+
+    # Claim 2: a cell is nothing but the direct factory invocation.
+    first = get_scenario(scenarios[0]).with_overrides(**caps)
+    seed = first.seeds[0]
+    direct = first.build_system(seed=seed).serve_trace(first.build_trace(seed=seed))
+    expected = _dumps(_report_payload(direct))
+    cell = sweep.cell(scenarios[0], strategy=first.strategy)
+    got = _dumps({k: cell[k] for k in
+                  ("kind", "summary", "per_request", "class_summary")
+                  if k in cell})
+    check(got == expected, "cell payload == direct factory invocation", failures)
+
+    # Claim 3: resumed re-run skips everything and merges identically.
+    before = (out_dir / "sweep.json").read_bytes()
+    skips: list[str] = []
+    resumed = run_sweep(
+        scenarios, out_dir, strategies=STRATEGIES,
+        processes=args.processes, log=skips.append, **caps,
+    )
+    check(sum(s.startswith("[skip]") for s in skips) == expected_cells,
+          "resume skipped every completed cell", failures)
+    check((out_dir / "sweep.json").read_bytes() == before
+          and resumed.to_json().encode() == before,
+          "resumed sweep.json byte-identical", failures)
+
+    if failures:
+        print(f"\n{len(failures)} claim(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nall claims hold ({expected_cells} cells, out={out_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

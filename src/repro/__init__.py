@@ -41,6 +41,14 @@ Serving quickstart::
     serving = make_serving_engine(strategy="hybrimoe", num_layers=8)
     report = serving.serve_trace(serving_workload(8, arrival_rate=2.0))
     print(report.summary())
+
+Scenario quickstart (the spec-based configuration API)::
+
+    from repro import get_scenario, run_sweep
+    report = get_scenario("chat-multiturn").run(seed=0)
+    sweep = run_sweep(["chat-multiturn", "edge-decode"], "out/sweep",
+                      strategies=["hybrimoe", "ondemand"])
+    print(sweep.rows())
 """
 
 from repro.engine import (
@@ -73,6 +81,19 @@ from repro.errors import (
     TraceError,
 )
 from repro.models import MoEModelConfig, ReferenceMoEModel, get_preset
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    ServingSpec,
+    SweepReport,
+    WorkloadRecipe,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_sweep,
+)
 from repro.version import __version__
 
 __all__ = [
@@ -83,6 +104,17 @@ __all__ = [
     "make_fleet",
     "available_strategies",
     "available_routers",
+    "EngineSpec",
+    "ServingSpec",
+    "FleetSpec",
+    "WorkloadRecipe",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "BUILTIN_SCENARIOS",
+    "run_sweep",
+    "SweepReport",
     "InferenceEngine",
     "ServingEngine",
     "FleetRouter",

@@ -2,10 +2,12 @@
 
 Subcommands::
 
-    python -m repro.cli run      --model deepseek --strategy hybrimoe ...
-    python -m repro.cli serve    --strategy hybrimoe --arrival-rate 4 --num-requests 32
-    python -m repro.cli compare  --model qwen2 --cache-ratio 0.25 ...
-    python -m repro.cli figure   fig8 [--full]
+    python -m repro.cli run       --model deepseek --strategy hybrimoe ...
+    python -m repro.cli serve     --strategy hybrimoe --arrival-rate 4 --num-requests 32
+    python -m repro.cli compare   --model qwen2 --cache-ratio 0.25 ...
+    python -m repro.cli figure    fig8 [--full]
+    python -m repro.cli sweep     --scenarios chat-multiturn,edge-decode --out out/sweep
+    python -m repro.cli scenarios list
     python -m repro.cli info
 
 ``run`` executes one generation and prints its metrics; ``serve`` runs
@@ -16,7 +18,10 @@ aggregate (goodput, pooled percentiles) — with ``--replicas M
 --router POLICY`` the trace is served by an M-replica fleet behind a
 front-end router instead of one engine; ``compare`` races all
 five frameworks on one workload; ``figure`` regenerates one paper
-artifact (quick scale by default); ``info`` lists presets.
+artifact (quick scale by default); ``sweep`` fans registered scenarios
+x strategies x hardware presets out over worker processes into a
+resumable output directory (see :mod:`repro.scenarios`); ``scenarios
+list`` shows the registry; ``info`` lists presets.
 """
 
 from __future__ import annotations
@@ -136,14 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated arrival instants (overrides --arrival-rate)",
     )
     serve.add_argument("--decode-steps", type=int, default=16)
-    serve.add_argument("--max-batch-size", type=int, default=8)
     serve.add_argument(
         "--priority-mix",
         default=None,
         help="per-class arrival fractions, e.g. 'interactive=0.25,batch=0.75' "
         "(default: every request in the batch class — pure FCFS)",
     )
-    serve.add_argument(
+
+    serving_group = serve.add_argument_group(
+        "serving", "continuous-batching loop knobs (one replica's scheduler)"
+    )
+    serving_group.add_argument("--max-batch-size", type=int, default=8)
+    serving_group.add_argument(
         "--prefill-chunk",
         type=int,
         default=None,
@@ -151,26 +160,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunked prefill: bound each prefill step to TOKENS prompt "
         "tokens, interleaving slices with decode steps",
     )
-    serve.add_argument(
+    serving_group.add_argument(
         "--preempt",
         action="store_true",
         help="allow arrived higher-priority requests to pause the "
         "lowest-priority decoder when the batch is full",
     )
-    serve.add_argument(
+
+    fleet_group = serve.add_argument_group(
+        "fleet", "replica pool behind a front-end router"
+    )
+    fleet_group.add_argument(
         "--replicas",
         type=int,
         default=1,
         help="replica fleet size (1 = the bare single serving engine; "
         "above 1 a FleetRouter spreads arrivals across identical replicas)",
     )
-    serve.add_argument(
+    fleet_group.add_argument(
         "--router",
         default="round_robin",
         help="fleet routing policy (only meaningful with --replicas > 1); "
         f"one of: {', '.join(available_routers())}",
     )
-    serve.add_argument(
+
+    faults_group = serve.add_argument_group(
+        "faults", "replica and sub-replica fault injection"
+    )
+    faults_group.add_argument(
         "--fault-spec",
         default=None,
         metavar="SPEC",
@@ -180,7 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(HARDWARE_FAULT_KINDS)} are sub-replica hardware "
         "faults (duration required, severity where the kind takes one)",
     )
-    serve.add_argument(
+
+    resilience_group = serve.add_argument_group(
+        "resilience", "timeouts, overload shedding and retry policy"
+    )
+    resilience_group.add_argument(
         "--request-timeout",
         type=float,
         default=None,
@@ -188,7 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="end-to-end per-request budget from arrival; requests still "
         "unfinished past it are aborted (status timed_out)",
     )
-    serve.add_argument(
+    resilience_group.add_argument(
         "--shed",
         default=None,
         metavar="DEPTH[:RESUME]",
@@ -196,20 +217,21 @@ def build_parser() -> argparse.ArgumentParser:
         "DEPTH, draining to RESUME (default DEPTH//2); lowest class "
         "sheds first, newest arrival first",
     )
-    serve.add_argument(
+    resilience_group.add_argument(
         "--max-retries",
         type=int,
         default=0,
         help="timeout retry budget per request (fleet only: retries are "
         "re-routed like failovers)",
     )
-    serve.add_argument(
+    resilience_group.add_argument(
         "--retry-backoff",
         type=float,
         default=0.5,
         metavar="SECONDS",
         help="base retry backoff; retry n waits backoff * 2**(n-1)",
     )
+
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--num-gpus", type=int, default=1, help="simulated GPU devices (sharded cache above 1)"
@@ -251,6 +273,77 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(_FIGURES))
     figure.add_argument("--full", action="store_true", help="paper-scale grid")
     figure.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan scenarios x strategies x hardware out into a resumable "
+        "output directory",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        required=True,
+        metavar="NAMES",
+        help="comma-separated registered scenario names "
+        "(see 'scenarios list')",
+    )
+    sweep.add_argument(
+        "--strategies",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated strategy override axis "
+        "(default: each scenario's own strategy)",
+    )
+    sweep.add_argument(
+        "--hardware",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated hardware-preset override axis "
+        "(default: each scenario's own preset)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default=None,
+        metavar="INTS",
+        help="comma-separated seed override axis "
+        "(default: each scenario's own seed list)",
+    )
+    sweep.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory: per-cell JSON under DIR/cells/, merged "
+        "report at DIR/sweep.json; re-running resumes, skipping "
+        "completed cells",
+    )
+    sweep.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    sweep.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap every cell's request/session count (CI smoke control)",
+    )
+    sweep.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap every cell's decode steps (CI smoke control)",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="re-run every cell even when a completed file exists",
+    )
+
+    scenarios = sub.add_parser("scenarios", help="scenario registry utilities")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_sub.add_parser("list", help="list registered scenarios")
 
     sub.add_parser("info", help="list model and hardware presets")
     return parser
@@ -644,6 +737,63 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(text: str | None) -> list[str] | None:
+    """Split a comma-separated CLI axis into names (None stays None)."""
+    if text is None:
+        return None
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise ConfigError(f"empty comma-separated list {text!r}")
+    return names
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported lazily: only the sweep/scenarios commands need the
+    # registry (and its built-in registrations).
+    from repro.scenarios import run_sweep
+
+    seeds_text = _split_csv(args.seeds)
+    try:
+        seeds = [int(s) for s in seeds_text] if seeds_text is not None else None
+    except ValueError:
+        raise ConfigError(f"bad --seeds value {args.seeds!r}; expected integers") from None
+    report = run_sweep(
+        _split_csv(args.scenarios),
+        args.out,
+        strategies=_split_csv(args.strategies),
+        hardware=_split_csv(args.hardware),
+        seeds=seeds,
+        processes=args.processes,
+        max_requests=args.requests,
+        max_steps=args.steps,
+        force=args.force,
+        log=print,
+    )
+    print(format_table(report.rows(), title="sweep cells"))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, get_scenario
+
+    rows = []
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        rows.append(
+            {
+                "scenario": name,
+                "kind": spec.kind,
+                "workload": spec.workload.kind,
+                "strategy": spec.strategy,
+                "hardware": spec.hardware,
+                "seeds": len(spec.seeds),
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows, title="registered scenarios"))
+    return 0
+
+
 def _cmd_info() -> int:
     print("model presets:")
     for name in sorted(MODEL_PRESETS):
@@ -665,6 +815,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         return _cmd_info()
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -6,6 +6,9 @@ way; these helpers keep that construction in one place.
 
 from __future__ import annotations
 
+import inspect
+from typing import TYPE_CHECKING
+
 from repro.baselines.adapmoe import AdapMoEStrategy
 from repro.baselines.ktransformers import KTransformersStrategy
 from repro.baselines.llamacpp import LlamaCppStrategy
@@ -18,6 +21,9 @@ from repro.hardware.cost_model import HardwareProfile
 from repro.hardware.platform_presets import get_hardware_preset
 from repro.models.model import ReferenceMoEModel
 from repro.models.presets import get_preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import EngineSpec, FleetSpec, ServingSpec
 
 __all__ = [
     "available_strategies",
@@ -39,6 +45,39 @@ _STRATEGIES = {
 def available_strategies() -> list[str]:
     """Names accepted by :func:`make_strategy` / :func:`make_engine`."""
     return sorted(_STRATEGIES)
+
+
+def _require_spec_exclusive(func, args: dict, spec_type: type, spec) -> None:
+    """Enforce ``factory(spec=...)`` taking no other configuration.
+
+    A spec *is* the configuration; mixing it with loose keyword
+    overrides would create two sources of truth (and silently ignore
+    one of them). Any argument that differs from its declared default
+    alongside ``spec`` is an error naming the offending keywords.
+    """
+    if not isinstance(spec, spec_type):
+        raise ConfigError(
+            f"{func.__name__} spec must be a {spec_type.__name__}, got "
+            f"{type(spec).__name__}"
+        )
+    clash = []
+    for name, param in inspect.signature(func).parameters.items():
+        if name == "spec":
+            continue
+        value = args[name]
+        if value is param.default:
+            continue
+        try:
+            if bool(value == param.default):
+                continue
+        except Exception:
+            pass
+        clash.append(name)
+    if clash:
+        raise ConfigError(
+            f"{func.__name__}(spec=...) replaces the keyword configuration; "
+            f"fold these arguments into the spec: {', '.join(sorted(clash))}"
+        )
 
 
 def make_strategy(name: str, **kwargs) -> Strategy:
@@ -72,11 +111,18 @@ def make_engine(
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
+    spec: "EngineSpec | None" = None,
 ) -> InferenceEngine:
     """One-call engine construction from preset names.
 
     Parameters
     ----------
+    spec:
+        An :class:`~repro.scenarios.spec.EngineSpec` carrying the whole
+        configuration. Mutually exclusive with every other argument;
+        the spec's fields feed the exact same construction path as the
+        legacy keywords, so ``make_engine(spec=s)`` is bit-identical to
+        spelling ``s``'s fields out as keywords.
     model:
         Preset name (``"mixtral"``, ``"qwen2"``, ``"deepseek"``) or a
         ready-made functional model.
@@ -126,6 +172,24 @@ def make_engine(
     strategy_kwargs / model_kwargs:
         Extra constructor arguments for strategy / functional model.
     """
+    if spec is not None:
+        # Imported lazily: repro.scenarios builds on this module.
+        from repro.scenarios.spec import EngineSpec
+
+        _require_spec_exclusive(make_engine, locals(), EngineSpec, spec)
+        model = spec.model
+        strategy = spec.strategy
+        cache_ratio = spec.cache_ratio
+        hardware = spec.hardware
+        num_layers = spec.num_layers
+        seed = spec.seed
+        num_gpus = spec.num_gpus
+        placement = spec.placement
+        planner_fast_path = spec.planner_fast_path
+        engine_fast_path = spec.engine_fast_path
+        cpu_cache_capacity = spec.cpu_cache_capacity
+        cpu_cache_policy = spec.cpu_cache_policy
+        disk_bandwidth = spec.disk_bandwidth
     if isinstance(model, str):
         config = get_preset(model, num_layers=num_layers)
         model = ReferenceMoEModel(config, seed=seed, **(model_kwargs or {}))
@@ -175,8 +239,15 @@ def make_serving_engine(
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
+    spec: "ServingSpec | None" = None,
 ):
     """One-call construction of a continuous-batching serving engine.
+
+    ``spec`` takes a :class:`~repro.scenarios.spec.ServingSpec` carrying
+    the whole configuration (mutually exclusive with every other
+    argument) and feeds the same construction path as the legacy
+    keywords — ``make_serving_engine(spec=s)`` is bit-identical to
+    spelling ``s`` out.
 
     Builds a fresh :func:`make_engine` (cold clock, warm cache) and
     wraps it in a :class:`~repro.serving.engine.ServingEngine`.
@@ -206,6 +277,26 @@ def make_serving_engine(
     # top-level import here would be circular.
     from repro.serving.engine import ServingEngine
     from repro.serving.scheduler import ServingConfig
+
+    if spec is not None:
+        from repro.scenarios.spec import ServingSpec
+
+        _require_spec_exclusive(make_serving_engine, locals(), ServingSpec, spec)
+        e = spec.engine
+        model, strategy, cache_ratio = e.model, e.strategy, e.cache_ratio
+        hardware, num_layers, seed = e.hardware, e.num_layers, e.seed
+        num_gpus, placement = e.num_gpus, e.placement
+        planner_fast_path = e.planner_fast_path
+        engine_fast_path = e.engine_fast_path
+        cpu_cache_capacity = e.cpu_cache_capacity
+        cpu_cache_policy = e.cpu_cache_policy
+        disk_bandwidth = e.disk_bandwidth
+        max_batch_size = spec.max_batch_size
+        prefill_chunk_tokens = spec.prefill_chunk_tokens
+        preemption = spec.preemption
+        request_timeout_s = spec.request_timeout_s
+        shed_queue_depth = spec.shed_queue_depth
+        shed_resume_depth = spec.shed_resume_depth
 
     engine = make_engine(
         model=model,
@@ -268,8 +359,16 @@ def make_fleet(
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
+    spec: "FleetSpec | None" = None,
 ):
     """One-call construction of a multi-replica serving fleet.
+
+    ``spec`` takes a :class:`~repro.scenarios.spec.FleetSpec` carrying
+    the whole configuration (mutually exclusive with every other
+    argument) and feeds the same construction path as the legacy
+    keywords — ``make_fleet(spec=s)`` is bit-identical to spelling
+    ``s`` out. Fault/autoscale schedules are live objects, not spec
+    data; inject them via the keyword path.
 
     Builds a :class:`~repro.fleet.fleet.FleetRouter` whose ``replicas``
     identical replica engines are produced lazily by a
@@ -294,6 +393,31 @@ def make_fleet(
     # top-level import here would be circular.
     from repro.fleet.fleet import FleetRouter
     from repro.serving.scheduler import ServingConfig
+
+    if spec is not None:
+        from repro.scenarios.spec import FleetSpec
+
+        _require_spec_exclusive(make_fleet, locals(), FleetSpec, spec)
+        e = spec.engine
+        model, strategy, cache_ratio = e.model, e.strategy, e.cache_ratio
+        hardware, num_layers, seed = e.hardware, e.num_layers, e.seed
+        num_gpus, placement = e.num_gpus, e.placement
+        planner_fast_path = e.planner_fast_path
+        engine_fast_path = e.engine_fast_path
+        cpu_cache_capacity = e.cpu_cache_capacity
+        cpu_cache_policy = e.cpu_cache_policy
+        disk_bandwidth = e.disk_bandwidth
+        s = spec.serving
+        max_batch_size = s.max_batch_size
+        prefill_chunk_tokens = s.prefill_chunk_tokens
+        preemption = s.preemption
+        request_timeout_s = s.request_timeout_s
+        shed_queue_depth = s.shed_queue_depth
+        shed_resume_depth = s.shed_resume_depth
+        replicas = spec.replicas
+        router = spec.router
+        max_retries = spec.max_retries
+        retry_backoff_s = spec.retry_backoff_s
 
     if not isinstance(strategy, str) and replicas > 1:
         raise ConfigError(

@@ -34,6 +34,8 @@ from repro.hardware.faults import (
 from repro.hardware.platform_presets import (
     HARDWARE_PRESETS,
     cpu_weak_testbed,
+    disk_slow_testbed,
+    edge_testbed,
     get_hardware_preset,
     paper_testbed,
     pcie_fast_testbed,
@@ -62,5 +64,7 @@ __all__ = [
     "paper_testbed",
     "cpu_weak_testbed",
     "pcie_fast_testbed",
+    "disk_slow_testbed",
+    "edge_testbed",
     "get_hardware_preset",
 ]

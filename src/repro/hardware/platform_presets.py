@@ -39,6 +39,7 @@ __all__ = [
     "cpu_weak_testbed",
     "pcie_fast_testbed",
     "disk_slow_testbed",
+    "edge_testbed",
     "HARDWARE_PRESETS",
     "get_hardware_preset",
 ]
@@ -128,11 +129,45 @@ def disk_slow_testbed() -> HardwareProfile:
     )
 
 
+def edge_testbed() -> HardwareProfile:
+    """An edge-class SoC: integrated GPU, few cores, shared LPDDR, UFS.
+
+    Models a Jetson-Orin-class embedded platform (the regime of the
+    GPU-NDP edge-scheduling work in PAPERS.md): roughly an order of
+    magnitude less GPU compute than the paper's A6000, a 4-core-class
+    CPU budget, *shared* LPDDR5 behind both (so the effective
+    GPU-memory and CPU-memory bandwidths sit far closer together than
+    on a discrete rig), a narrow host-to-accelerator path, and a
+    UFS-class flash tier. Every scheduling ratio shifts: transfers are
+    relatively cheaper against the slow GPU (weakening the
+    keep-it-resident bias), the CPU fallback is weaker, and spilling
+    past DRAM is punishing — which is exactly why "does the win hold
+    on edge hardware?" needs its own scenario axis rather than a
+    rescaled paper profile.
+    """
+    return HardwareProfile(
+        name="orin-edge",
+        gpu_flops=2.5e12,         # Ampere iGPU, 4-bit effective
+        gpu_mem_bw=80e9,          # shared LPDDR5 slice
+        gpu_overhead_s=60e-6,
+        cpu_flops=40e9,           # 4 efficiency-class cores
+        cpu_mem_bw=25e9,          # same LPDDR5, CPU slice
+        cpu_task_overhead_s=25e-6,
+        cpu_warmup_s=200e-6,
+        pcie_bw=8e9,              # iGPU copy-engine effective
+        pcie_latency_s=60e-6,
+        bits_per_param=4.5,
+        disk_bw=1.2e9,            # UFS 3.1-class sequential read
+        disk_latency_s=200e-6,
+    )
+
+
 HARDWARE_PRESETS = {
     "paper": paper_testbed,
     "cpu-weak": cpu_weak_testbed,
     "pcie-fast": pcie_fast_testbed,
     "disk-slow": disk_slow_testbed,
+    "edge": edge_testbed,
 }
 
 

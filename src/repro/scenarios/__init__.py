@@ -1,0 +1,48 @@
+"""Scenario registry and parallel sweep runner.
+
+``repro.scenarios`` is the reproduction's answer-machine for "does the
+scheduling win hold under X?": frozen, JSON-round-trippable
+:class:`ScenarioSpec` objects (workload x hardware preset x
+engine/serving/fleet configuration x seeds) behind a named registry,
+plus :func:`run_sweep`, which fans scenarios x strategies x hardware
+out over worker processes into resumable per-cell JSON outputs and a
+pooled :class:`SweepReport`.
+
+Importing this package registers the built-in scenarios
+(:data:`BUILTIN_SCENARIOS`).
+"""
+
+from repro.scenarios.builtin import BUILTIN_SCENARIOS
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.scenario import ScenarioSpec
+from repro.scenarios.spec import EngineSpec, FleetSpec, ServingSpec, WorkloadRecipe
+from repro.scenarios.sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SweepReport,
+    run_cell,
+    run_sweep,
+    sweep_cells,
+)
+
+__all__ = [
+    "EngineSpec",
+    "ServingSpec",
+    "FleetSpec",
+    "WorkloadRecipe",
+    "ScenarioSpec",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "BUILTIN_SCENARIOS",
+    "SWEEP_SCHEMA_VERSION",
+    "SweepReport",
+    "run_cell",
+    "run_sweep",
+    "sweep_cells",
+]

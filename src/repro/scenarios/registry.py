@@ -1,0 +1,99 @@
+"""The scenario registry: named, discoverable scenario specs.
+
+Scenarios register once (import time for the built-ins, decorator or
+direct call for user scenarios) and are looked up by name everywhere a
+scenario axis appears — ``cli sweep --scenarios``, ``cli scenarios
+list``, :func:`~repro.scenarios.sweep.run_sweep`. Duplicate names are
+rejected so two modules cannot silently shadow each other's scenarios.
+
+Usage::
+
+    @register_scenario
+    def my_scenario() -> ScenarioSpec:
+        return ScenarioSpec(name="my-scenario", workload=..., fleet=...)
+
+or, with a spec already in hand::
+
+    register_scenario(spec)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, overload
+
+from repro.errors import ConfigError
+from repro.scenarios.scenario import ScenarioSpec
+
+__all__ = [
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+]
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def _register(spec: ScenarioSpec) -> ScenarioSpec:
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigError(
+            f"register_scenario needs a ScenarioSpec (or a zero-arg factory "
+            f"returning one), got {type(spec).__name__}"
+        )
+    if spec.name in _REGISTRY:
+        raise ConfigError(
+            f"scenario {spec.name!r} is already registered; scenario names "
+            f"must be unique"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+@overload
+def register_scenario(target: ScenarioSpec) -> ScenarioSpec: ...
+@overload
+def register_scenario(
+    target: Callable[[], ScenarioSpec],
+) -> Callable[[], ScenarioSpec]: ...
+
+
+def register_scenario(target):
+    """Register a scenario spec under its ``name`` (duplicates rejected).
+
+    Accepts either a :class:`ScenarioSpec` directly or — as a decorator
+    — a zero-argument factory returning one. The factory form is
+    evaluated immediately (specs are frozen data; there is nothing to
+    defer) and the factory is returned unchanged so it stays callable
+    and documentable.
+    """
+    if isinstance(target, ScenarioSpec):
+        return _register(target)
+    if callable(target):
+        _register(target())
+        return target
+    raise ConfigError(
+        f"register_scenario needs a ScenarioSpec or a zero-arg factory, "
+        f"got {type(target).__name__}"
+    )
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (primarily for tests)."""
+    if name not in _REGISTRY:
+        known = ", ".join(available_scenarios())
+        raise ConfigError(f"unknown scenario {name!r} (known: {known})")
+    del _REGISTRY[name]
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_scenarios())
+        raise ConfigError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)

@@ -20,6 +20,7 @@ from repro.workloads.generator import (
     ArrivedWorkload,
     WorkloadSpec,
     bursty_arrivals,
+    chat_serving_workload,
     decode_workload,
     diurnal_arrivals,
     poisson_arrivals,
@@ -37,6 +38,7 @@ __all__ = [
     "trace_arrivals",
     "serving_workload",
     "skewed_serving_workload",
+    "chat_serving_workload",
     "DatasetProfile",
     "DATASET_PROFILES",
     "PREFILL_BUCKETS",

@@ -34,6 +34,7 @@ __all__ = [
     "priority_assignment",
     "serving_workload",
     "skewed_serving_workload",
+    "chat_serving_workload",
 ]
 
 #: Priority classes in ascending precedence. Defined here (the lowest
@@ -433,6 +434,89 @@ def serving_workload(
             )
         )
     return entries
+
+
+def chat_serving_workload(
+    num_sessions: int = 4,
+    turns_per_session: int = 3,
+    session_rate: float = 0.5,
+    think_time_s: float = 2.0,
+    user_tokens: int = 16,
+    decode_steps: int = 8,
+    vocab_size: int = 512,
+    dataset: str = "chatgpt-prompts",
+    seed: int = 0,
+) -> list[ArrivedWorkload]:
+    """Multi-turn chat sessions with cross-turn prompt-prefix reuse.
+
+    Each of ``num_sessions`` conversations opens with a dataset-typical
+    prompt and then alternates: the model's ``decode_steps`` reply and
+    the user's next ``user_tokens`` message are *appended* to the
+    running context, so turn ``t``'s prompt is turn ``t-1``'s prompt
+    plus one exchange. Consecutive turns of a session therefore share
+    their entire token prefix — they activate near-identical expert
+    routing profiles, and the expert residency a turn earns is exactly
+    what its successor wants. This is the workload where cross-turn
+    **cache reuse** pays (and where evicting a quiet session's experts
+    between turns hurts): the chat analogue of the paper's
+    decode-locality argument, one level up.
+
+    Sessions start at Poisson instants (``session_rate`` sessions/s);
+    within a session, turn ``t`` arrives one think-time after turn
+    ``t-1`` (exponential with mean ``think_time_s``, so sessions
+    interleave irregularly). All entries are returned globally sorted
+    by arrival instant. Deterministic per ``(num_sessions,
+    turns_per_session, seed)``; replies are synthesised token draws
+    (the simulator never feeds real decoded tokens back), which
+    preserves the prefix-sharing structure the cache sees.
+    """
+    if num_sessions <= 0:
+        raise ConfigError(f"num_sessions must be positive, got {num_sessions}")
+    if turns_per_session <= 0:
+        raise ConfigError(
+            f"turns_per_session must be positive, got {turns_per_session}"
+        )
+    if think_time_s <= 0:
+        raise ConfigError(f"think_time_s must be positive, got {think_time_s}")
+    if user_tokens <= 0:
+        raise ConfigError(f"user_tokens must be positive, got {user_tokens}")
+    if decode_steps < 0:
+        raise ConfigError(f"decode_steps must be non-negative, got {decode_steps}")
+    if dataset not in DATASET_PROFILES:
+        raise ConfigError(f"unknown dataset {dataset!r}")
+    starts = poisson_arrivals(num_sessions, session_rate, seed=seed)
+    entries: list[tuple[float, int, int, WorkloadSpec]] = []
+    for session in range(num_sessions):
+        context = np.asarray(
+            sample_prompt(dataset, vocab_size, seed=seed, index=session),
+            dtype=np.int64,
+        )
+        arrival = float(starts[session])
+        for turn in range(turns_per_session):
+            entries.append(
+                (
+                    arrival,
+                    session,
+                    turn,
+                    WorkloadSpec(
+                        kind="decode" if decode_steps > 0 else "prefill",
+                        dataset=dataset,
+                        prompt_tokens=context.copy(),
+                        decode_steps=decode_steps,
+                    ),
+                )
+            )
+            rng = derive_rng(seed, "workload", "chat", session, turn)
+            exchange = rng.integers(
+                0, vocab_size, size=max(decode_steps, 1) + user_tokens
+            )
+            context = np.concatenate([context, exchange])
+            arrival += float(rng.exponential(scale=think_time_s))
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    return [
+        ArrivedWorkload(arrival_time=arrival, workload=workload)
+        for arrival, _session, _turn, workload in entries
+    ]
 
 
 def skewed_serving_workload(

@@ -101,3 +101,27 @@ class TestPresets:
         from repro.hardware.platform_presets import paper_testbed, pcie_fast_testbed
 
         assert pcie_fast_testbed().pcie_bw == pytest.approx(2 * paper_testbed().pcie_bw)
+
+    def test_edge_preset_shifts_every_ratio(self):
+        """The edge SoC is not a rescaled paper rig: compute drops by an
+        order of magnitude while the CPU/GPU bandwidth gap collapses
+        (shared LPDDR), so transfer-vs-compute ratios genuinely shift."""
+        from repro.hardware.platform_presets import edge_testbed, paper_testbed
+
+        edge, paper = edge_testbed(), paper_testbed()
+        assert edge.name == "orin-edge"
+        assert edge.gpu_flops <= paper.gpu_flops / 10
+        assert edge.cpu_flops < paper.cpu_flops
+        assert edge.pcie_bw < paper.pcie_bw
+        assert edge.disk_bw < paper.disk_bw
+        # shared LPDDR: the GPU/CPU memory-bandwidth ratio collapses
+        # relative to a discrete-GPU rig
+        assert (edge.gpu_mem_bw / edge.cpu_mem_bw) < (
+            paper.gpu_mem_bw / paper.cpu_mem_bw
+        )
+
+    def test_edge_preset_registered(self):
+        from repro.hardware.platform_presets import HARDWARE_PRESETS, get_hardware_preset
+
+        assert "edge" in HARDWARE_PRESETS
+        assert get_hardware_preset("edge").name == "orin-edge"

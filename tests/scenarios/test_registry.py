@@ -1,0 +1,71 @@
+"""Scenario registry: registration, duplicates, lookup."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    ScenarioSpec,
+    WorkloadRecipe,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+
+
+def _tiny_spec(name="tiny-registry-probe"):
+    return ScenarioSpec(
+        name=name,
+        workload=WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 2, "arrival_rate": 4.0, "decode_steps": 1},
+        ),
+    )
+
+
+@pytest.fixture
+def scratch_scenario():
+    spec = _tiny_spec()
+    register_scenario(spec)
+    yield spec
+    unregister_scenario(spec.name)
+
+
+class TestRegistry:
+    def test_builtins_registered_on_import(self):
+        assert set(BUILTIN_SCENARIOS) <= set(available_scenarios())
+
+    def test_lookup_returns_registered_spec(self, scratch_scenario):
+        assert get_scenario(scratch_scenario.name) is scratch_scenario
+
+    def test_duplicate_name_rejected(self, scratch_scenario):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_scenario(_tiny_spec(scratch_scenario.name))
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigError, match="unknown scenario 'absent'"):
+            get_scenario("absent")
+
+    def test_decorator_form_registers_and_returns_factory(self):
+        @register_scenario
+        def probe() -> ScenarioSpec:
+            return _tiny_spec("tiny-decorator-probe")
+
+        try:
+            assert callable(probe)
+            assert get_scenario("tiny-decorator-probe") == probe()
+        finally:
+            unregister_scenario("tiny-decorator-probe")
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigError, match="needs a ScenarioSpec"):
+            register_scenario({"name": "dict-not-spec"})
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            unregister_scenario("absent")
+
+    def test_available_is_sorted(self):
+        names = available_scenarios()
+        assert names == sorted(names)

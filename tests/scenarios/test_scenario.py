@@ -1,0 +1,107 @@
+"""ScenarioSpec: round-trips, overrides, execution equivalence."""
+
+import json
+
+import pytest
+
+from repro.engine.factory import make_serving_engine
+from repro.errors import ConfigError
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    ServingSpec,
+    WorkloadRecipe,
+    get_scenario,
+)
+
+
+def _tiny(name="tiny", **fleet_kwargs):
+    return ScenarioSpec(
+        name=name,
+        workload=WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 3, "arrival_rate": 4.0, "decode_steps": 2},
+        ),
+        fleet=FleetSpec(
+            serving=ServingSpec(engine=EngineSpec(cache_ratio=0.4, num_layers=2)),
+            replicas=1,
+            **fleet_kwargs,
+        ),
+        seeds=(0, 1),
+    )
+
+
+class TestScenarioSpec:
+    def test_roundtrip_through_json(self):
+        spec = _tiny()
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(data) == spec
+
+    @pytest.mark.parametrize("name", BUILTIN_SCENARIOS)
+    def test_builtin_roundtrips(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @pytest.mark.parametrize("bad", ["", "Has Spaces", "UPPER", "-leading", "a/b"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ConfigError, match="scenario name"):
+            _tiny(name=bad)
+
+    def test_seeds_must_be_unique_and_nonempty(self):
+        base = _tiny()
+        with pytest.raises(ConfigError, match="must not be empty"):
+            ScenarioSpec(name="x", workload=base.workload, seeds=())
+        with pytest.raises(ConfigError, match="duplicates"):
+            ScenarioSpec(name="x", workload=base.workload, seeds=(1, 1))
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = _tiny().to_dict()
+        data["extra"] = 1
+        with pytest.raises(ConfigError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_dict(data)
+
+    def test_views(self):
+        spec = _tiny()
+        assert spec.kind == "serving"
+        assert spec.strategy == "hybrimoe"
+        assert spec.hardware == "paper"
+        assert get_scenario("skewed-fleet").kind == "fleet"
+
+    def test_with_overrides_strategy_hardware(self):
+        spec = _tiny().with_overrides(strategy="ondemand", hardware="edge")
+        assert spec.strategy == "ondemand"
+        assert spec.hardware == "edge"
+        # untouched axes survive
+        assert spec.fleet.engine.cache_ratio == 0.4
+
+    def test_with_overrides_seed_pins_both(self):
+        spec = _tiny().with_overrides(seed=7)
+        assert spec.seeds == (7,)
+        assert spec.fleet.engine.seed == 7
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            _tiny().with_overrides(strategy="nope")
+
+    def test_with_overrides_noop_returns_self(self):
+        spec = _tiny()
+        assert spec.with_overrides() is spec
+
+    def test_run_equals_direct_factory_invocation(self):
+        spec = _tiny()
+        report = spec.run(seed=0)
+        direct_engine = make_serving_engine(cache_ratio=0.4, num_layers=2)
+        direct = direct_engine.serve_trace(spec.build_trace(seed=0))
+        assert report.summary() == direct.summary()
+        assert report.per_request_rows() == direct.per_request_rows()
+
+    def test_run_defaults_to_first_seed(self):
+        spec = _tiny()
+        assert spec.run().summary() == spec.run(seed=0).summary()
+
+    def test_seed_changes_outcome(self):
+        spec = _tiny()
+        arrivals = lambda s: [e.arrival_time for e in spec.build_trace(s)]  # noqa: E731
+        assert arrivals(0) != arrivals(1)

@@ -1,0 +1,260 @@
+"""Config specs: validation, JSON round-trips, factory equivalence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.factory import make_engine, make_fleet, make_serving_engine
+from repro.errors import ConfigError
+from repro.scenarios import EngineSpec, FleetSpec, ServingSpec, WorkloadRecipe
+from repro.workloads.generator import serving_workload
+
+
+class TestEngineSpec:
+    def test_roundtrip_through_json(self):
+        spec = EngineSpec(
+            model="qwen2",
+            strategy="adapmoe",
+            cache_ratio=0.3,
+            hardware="edge",
+            num_layers=4,
+            seed=7,
+            num_gpus=2,
+            placement="layer_striped",
+            cpu_cache_capacity=16,
+            cpu_cache_policy="mrs",
+            disk_bandwidth=1e9,
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert EngineSpec.from_dict(data) == spec
+
+    def test_to_dict_is_plain_json(self):
+        data = EngineSpec(seed=np.int64(3)).to_dict()
+        json.dumps(data)
+        assert type(data["seed"]) is int
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": "gpt5"},
+            {"strategy": "nope"},
+            {"hardware": "tpu"},
+            {"cache_ratio": 0.0},
+            {"cache_ratio": 1.5},
+            {"num_layers": 0},
+            {"num_gpus": 0},
+            {"placement": "nope"},
+            {"cpu_cache_policy": "fifo"},
+            {"cpu_cache_capacity": 0},
+            {"disk_bandwidth": 0.0},
+        ],
+    )
+    def test_invalid_fields_raise_at_construction(self, kwargs):
+        with pytest.raises(ConfigError):
+            EngineSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown EngineSpec keys"):
+            EngineSpec.from_dict({"modle": "deepseek"})
+
+    def test_spec_is_hashable(self):
+        assert len({EngineSpec(), EngineSpec(), EngineSpec(seed=1)}) == 2
+
+
+class TestServingSpec:
+    def test_roundtrip_nests_engine(self):
+        spec = ServingSpec(
+            engine=EngineSpec(strategy="ondemand", num_layers=3),
+            max_batch_size=4,
+            prefill_chunk_tokens=32,
+            preemption=True,
+            request_timeout_s=2.0,
+            shed_queue_depth=10,
+            shed_resume_depth=5,
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert ServingSpec.from_dict(data) == spec
+
+    def test_engine_field_must_be_spec(self):
+        with pytest.raises(ConfigError, match="must be an EngineSpec"):
+            ServingSpec(engine={"model": "deepseek"})
+
+    def test_serving_knobs_validated_via_serving_config(self):
+        with pytest.raises(ConfigError):
+            ServingSpec(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            ServingSpec(shed_resume_depth=4)  # resume without depth
+
+    def test_serving_config_equivalent(self):
+        spec = ServingSpec(max_batch_size=2, preemption=True)
+        config = spec.serving_config()
+        assert config.max_batch_size == 2
+        assert config.preemption is True
+
+
+class TestFleetSpec:
+    def test_roundtrip_nests_serving(self):
+        spec = FleetSpec(
+            serving=ServingSpec(engine=EngineSpec(num_layers=2)),
+            replicas=3,
+            router="least_loaded",
+            max_retries=2,
+            retry_backoff_s=0.25,
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert FleetSpec.from_dict(data) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replicas": 0},
+            {"router": "nope"},
+            {"max_retries": -1},
+            {"retry_backoff_s": 0.0},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            FleetSpec(**kwargs)
+
+    def test_engine_shortcut(self):
+        spec = FleetSpec(serving=ServingSpec(engine=EngineSpec(seed=9)))
+        assert spec.engine.seed == 9
+
+
+class TestWorkloadRecipe:
+    def test_roundtrip(self):
+        recipe = WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 4, "arrival_rate": 2.0, "decode_steps": 2},
+        )
+        data = json.loads(json.dumps(recipe.to_dict()))
+        assert WorkloadRecipe.from_dict(data) == recipe
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload kind"):
+            WorkloadRecipe(kind="sinusoid", params={})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError, match="unknown 'poisson' workload params"):
+            WorkloadRecipe(
+                kind="poisson",
+                params={"num_requests": 4, "arrival_rate": 2.0, "ratee": 1},
+            )
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(ConfigError, match="missing required params"):
+            WorkloadRecipe(kind="poisson", params={"num_requests": 4})
+
+    def test_build_matches_generator(self):
+        recipe = WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 3, "arrival_rate": 4.0, "decode_steps": 2},
+        )
+        built = recipe.build(seed=5)
+        direct = serving_workload(
+            num_requests=3, arrival_rate=4.0, decode_steps=2, seed=5
+        )
+        assert [e.arrival_time for e in built] == [e.arrival_time for e in direct]
+        for b, d in zip(built, direct):
+            np.testing.assert_array_equal(
+                b.workload.prompt_tokens, d.workload.prompt_tokens
+            )
+
+    def test_capped_clamps_only_downward(self):
+        recipe = WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 8, "arrival_rate": 2.0, "decode_steps": 6},
+        )
+        small = recipe.capped(max_requests=3, max_steps=2)
+        assert small.params["num_requests"] == 3
+        assert small.params["decode_steps"] == 2
+        # caps above the recipe's own values are byte-identical no-ops
+        assert recipe.capped(max_requests=100, max_steps=100) == recipe
+
+    def test_chat_cap_targets_sessions(self):
+        recipe = WorkloadRecipe(kind="chat", params={"num_sessions": 8})
+        assert recipe.capped(max_requests=2).params["num_sessions"] == 2
+
+
+class TestFactorySpecEquivalence:
+    """make_*(spec=...) must be bit-identical to the legacy kwargs."""
+
+    def test_engine_spec_equals_kwargs(self):
+        spec = EngineSpec(
+            strategy="hybrimoe", cache_ratio=0.3, num_layers=2, seed=1
+        )
+        by_spec = make_engine(spec=spec)
+        by_kwargs = make_engine(
+            strategy="hybrimoe", cache_ratio=0.3, num_layers=2, seed=1
+        )
+        prompt = np.arange(8) % by_spec.model.vocab_size
+        a = by_spec.generate(prompt, decode_steps=2)
+        b = by_kwargs.generate(prompt, decode_steps=2)
+        assert a.prefill == b.prefill
+        assert a.decode_steps == b.decode_steps
+        assert a.summary() == b.summary()
+
+    def test_serving_spec_equals_kwargs(self):
+        spec = ServingSpec(
+            engine=EngineSpec(cache_ratio=0.4, num_layers=2),
+            max_batch_size=2,
+        )
+        trace = serving_workload(num_requests=3, arrival_rate=4.0, decode_steps=2)
+        a = make_serving_engine(spec=spec).serve_trace(trace)
+        b = make_serving_engine(
+            cache_ratio=0.4, num_layers=2, max_batch_size=2
+        ).serve_trace(trace)
+        assert a.summary() == b.summary()
+        assert a.per_request_rows() == b.per_request_rows()
+
+    def test_fleet_spec_equals_kwargs(self):
+        spec = FleetSpec(
+            serving=ServingSpec(
+                engine=EngineSpec(cache_ratio=0.4, num_layers=2),
+                max_batch_size=2,
+            ),
+            replicas=2,
+            router="least_loaded",
+        )
+        trace = serving_workload(num_requests=4, arrival_rate=6.0, decode_steps=2)
+        a = make_fleet(spec=spec).serve_trace(trace)
+        b = make_fleet(
+            cache_ratio=0.4,
+            num_layers=2,
+            max_batch_size=2,
+            replicas=2,
+            router="least_loaded",
+        ).serve_trace(trace)
+        assert a.summary() == b.summary()
+        assert a.merged.per_request_rows() == b.merged.per_request_rows()
+
+    def test_build_methods_route_through_factories(self):
+        engine = EngineSpec(num_layers=2).build()
+        assert engine.model.config.num_layers == 2
+        serving = ServingSpec(engine=EngineSpec(num_layers=2)).build()
+        assert serving.engine.model.config.num_layers == 2
+        fleet = FleetSpec(
+            serving=ServingSpec(engine=EngineSpec(num_layers=2)), replicas=2
+        ).build()
+        assert len(fleet.replicas) == 2
+
+    @pytest.mark.parametrize(
+        "factory", [make_engine, make_serving_engine, make_fleet]
+    )
+    def test_spec_excludes_other_kwargs(self, factory):
+        spec = {
+            make_engine: EngineSpec(num_layers=2),
+            make_serving_engine: ServingSpec(engine=EngineSpec(num_layers=2)),
+            make_fleet: FleetSpec(serving=ServingSpec(engine=EngineSpec(num_layers=2))),
+        }[factory]
+        with pytest.raises(ConfigError, match="fold these arguments"):
+            factory(cache_ratio=0.9, spec=spec)
+
+    @pytest.mark.parametrize(
+        "factory", [make_engine, make_serving_engine, make_fleet]
+    )
+    def test_spec_type_checked(self, factory):
+        with pytest.raises(ConfigError, match="spec must be"):
+            factory(spec=object())

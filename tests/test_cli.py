@@ -303,3 +303,77 @@ class TestServeDegraded:
         )
         assert code == 0
         assert "fleet aggregate" in capsys.readouterr().out
+
+
+class TestScenariosCommand:
+    def test_scenarios_list_shows_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "registered scenarios" in out
+        assert "chat-multiturn" in out and "edge-decode" in out
+        assert "skewed-fleet" in out and "fleet" in out
+
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])
+
+
+class TestSweepCommand:
+    def _sweep(self, tmp_path, *extra):
+        return main(
+            [
+                "sweep",
+                "--scenarios",
+                "chat-multiturn",
+                "--out",
+                str(tmp_path / "out"),
+                "--requests",
+                "2",
+                "--steps",
+                "2",
+                *extra,
+            ]
+        )
+
+    def test_sweep_writes_cells_and_merged_report(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "[done]" in out and "sweep cells" in out
+        assert (tmp_path / "out" / "sweep.json").exists()
+        assert list((tmp_path / "out" / "cells").glob("*.json"))
+
+    def test_sweep_rerun_skips_completed_cells(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert self._sweep(tmp_path) == 0
+        assert "[skip]" in capsys.readouterr().out
+
+    def test_sweep_strategy_axis(self, tmp_path, capsys):
+        assert self._sweep(tmp_path, "--strategies", "hybrimoe,ondemand") == 0
+        out = capsys.readouterr().out
+        assert "hybrimoe" in out and "ondemand" in out
+
+    def test_unknown_scenario_exits_2_with_one_line_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--scenarios", "nope", "--out", str(tmp_path / "out")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown scenario 'nope'")
+        assert err.count("\n") == 1
+        assert "chat-multiturn" in err  # the known names are listed
+
+    def test_bad_seeds_exit_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "chat-multiturn",
+                "--out",
+                str(tmp_path / "out"),
+                "--seeds",
+                "one,two",
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: bad --seeds")

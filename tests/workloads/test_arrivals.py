@@ -8,6 +8,7 @@ from repro.workloads.generator import (
     DEFAULT_PRIORITY,
     ArrivedWorkload,
     WorkloadSpec,
+    chat_serving_workload,
     poisson_arrivals,
     priority_assignment,
     serving_workload,
@@ -178,3 +179,76 @@ class TestPriorityAssignment:
                 ),
                 tbt_deadline=0.0,
             )
+
+
+class TestChatServingWorkload:
+    def _sessions(self, entries):
+        """Group entries back into sessions by matching prompt prefixes."""
+        from collections import defaultdict
+
+        sessions = defaultdict(list)
+        for entry in sorted(entries, key=lambda e: len(e.workload.prompt_tokens)):
+            for key, turns_so_far in sessions.items():
+                last = turns_so_far[-1].workload.prompt_tokens
+                current = entry.workload.prompt_tokens
+                if len(current) > len(last) and np.array_equal(
+                    current[: len(last)], last
+                ):
+                    turns_so_far.append(entry)
+                    break
+            else:
+                sessions[len(sessions)] = [entry]
+        return sessions
+
+    def test_turn_count_and_global_sort(self):
+        entries = chat_serving_workload(num_sessions=3, turns_per_session=4, seed=0)
+        assert len(entries) == 12
+        arrivals = [e.arrival_time for e in entries]
+        assert arrivals == sorted(arrivals)
+
+    def test_turns_share_full_prompt_prefix(self):
+        entries = chat_serving_workload(num_sessions=2, turns_per_session=3, seed=0)
+        sessions = self._sessions(entries)
+        assert len(sessions) == 2
+        assert all(len(turns) == 3 for turns in sessions.values())
+
+    def test_context_grows_by_one_exchange_per_turn(self):
+        entries = chat_serving_workload(
+            num_sessions=1,
+            turns_per_session=3,
+            user_tokens=5,
+            decode_steps=4,
+            seed=0,
+        )
+        lengths = sorted(len(e.workload.prompt_tokens) for e in entries)
+        assert lengths[1] - lengths[0] == 9  # decode_steps + user_tokens
+        assert lengths[2] - lengths[1] == 9
+
+    def test_deterministic_under_seed(self):
+        a = chat_serving_workload(num_sessions=2, seed=3)
+        b = chat_serving_workload(num_sessions=2, seed=3)
+        assert [e.arrival_time for e in a] == [e.arrival_time for e in b]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(
+                x.workload.prompt_tokens, y.workload.prompt_tokens
+            )
+
+    def test_seed_changes_trace(self):
+        a = chat_serving_workload(num_sessions=2, seed=0)
+        b = chat_serving_workload(num_sessions=2, seed=1)
+        assert [e.arrival_time for e in a] != [e.arrival_time for e in b]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sessions": 0},
+            {"turns_per_session": 0},
+            {"think_time_s": 0.0},
+            {"user_tokens": 0},
+            {"decode_steps": -1},
+            {"dataset": "nope"},
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ConfigError):
+            chat_serving_workload(**kwargs)
