@@ -1,0 +1,430 @@
+"""Predictor race: prediction accuracy vs prefetch payoff, per strategy.
+
+Two scenarios, both fully deterministic (metrics are *simulated* time
+and the predictors are pure functions of the observation stream, so
+runs are bit-stable across machines — the regression gate can be
+tight):
+
+1. **race** — the tentpole claim and the gate's hard criterion.
+   ``FrequencyPrior`` and ``TransitionPredictor`` drive the confidence
+   gate on the same skewed serving workload (two hot prompt profiles
+   whose *marginal* expert frequencies blur together but whose
+   expert-to-expert transitions stay distinct). Averaged over seeds,
+   the transition predictor must beat the frequency prior on both the
+   engine's prefetch-hit rate and the calibrated distance-1 prediction
+   accuracy: conditioning on the currently active experts is what
+   disambiguates the profiles. The predictor-off cell rides along to
+   pin goodput neutrality — speculation must pay for itself.
+
+2. **sensitivity** — goodput with the transition predictor on versus
+   off, per strategy, on the skewed and chat workloads. The gate only
+   *adds* speculative depth, so turning it on may not buy throughput
+   in every regime, but it must never tank it; the worst per-cell
+   ratio is tracked as a trajectory metric.
+
+Results are written as versioned JSON; the committed repo-root
+``BENCH_predictor.json`` is the trajectory baseline the CI
+``predictor-perf`` job gates against (``perf-regression-ok`` label
+skips the gate).
+
+Usage::
+
+    python benchmarks/bench_predictor.py            # full run, merges into BENCH_predictor.json
+    python benchmarks/bench_predictor.py --smoke    # CI-sized run
+    python benchmarks/bench_predictor.py --smoke --check --out BENCH_predictor.current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.factory import make_serving_engine  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    chat_serving_workload,
+    skewed_serving_workload,
+)
+
+BASELINE_PATH = REPO_ROOT / "BENCH_predictor.json"
+SCHEMA_VERSION = 1
+
+#: Gate: a tracked ratio may not regress by more than this factor
+#: versus the committed baseline.
+REGRESSION_FACTOR = 1.25
+
+#: Speculation may never buy goodput at the price of goodput: every
+#: predictor-on cell must stay within this factor of predictor-off.
+GOODPUT_TOLERANCE = 0.98
+
+#: Race configuration (shared by smoke and full; only trace sizes and
+#: seed sets scale). A short horizon keeps speculative prefetches
+#: near-term — where transition accuracy is highest and a prefetched
+#: expert survives in cache until its layer arrives — and ``0.3``
+#: cache ratio leaves the admission slack that lets speculative
+#: inserts land without churning the resident hot set.
+RACE = {
+    "model": "deepseek",
+    "strategy": "hybrimoe",
+    "cache_ratio": 0.3,
+    "num_layers": 8,
+    "max_batch_size": 4,
+    "predict_horizon": 2,
+    "confidence_gate": 0.2,
+    "num_profiles": 2,
+    "prompt_length": 8,
+    "decode_steps": 8,
+    "arrival_rate": 12.0,
+}
+RACE_FULL = {"num_requests": 24, "seeds": [0, 1, 2]}
+RACE_SMOKE = {"num_requests": 12, "seeds": [1, 2]}
+
+SENSITIVITY = {
+    "model": "deepseek",
+    "cache_ratio": 0.3,
+    "num_layers": 8,
+    "max_batch_size": 4,
+    "predictor": "transition",
+    "predict_horizon": 2,
+    "confidence_gate": 0.2,
+    "seed": 0,
+}
+SENSITIVITY_FULL = {
+    "strategies": ["hybrimoe", "adapmoe", "ktransformers"],
+    "skewed_requests": 24,
+    "chat_sessions": 4,
+}
+SENSITIVITY_SMOKE = {
+    "strategies": ["hybrimoe"],
+    "skewed_requests": 12,
+    "chat_sessions": 2,
+}
+
+PREDICTORS = [None, "frequency", "transition"]
+
+
+def _skewed_trace(num_requests: int, seed: int):
+    p = RACE
+    return skewed_serving_workload(
+        num_requests=num_requests,
+        arrival_rate=p["arrival_rate"],
+        num_profiles=p["num_profiles"],
+        decode_steps=p["decode_steps"],
+        prompt_length=p["prompt_length"],
+        seed=seed,
+    )
+
+
+def _chat_trace(num_sessions: int, seed: int):
+    return chat_serving_workload(
+        num_sessions=num_sessions,
+        turns_per_session=3,
+        decode_steps=RACE["decode_steps"],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario: race (frequency vs transition on the skewed workload)
+# ----------------------------------------------------------------------
+
+def _race_cell(predictor: str | None, num_requests: int, seed: int) -> dict:
+    """One serve of the skewed workload under one predictor setting."""
+    p = RACE
+    engine = make_serving_engine(
+        model=p["model"],
+        strategy=p["strategy"],
+        cache_ratio=p["cache_ratio"],
+        num_layers=p["num_layers"],
+        seed=0,
+        max_batch_size=p["max_batch_size"],
+        predictor=predictor,
+        predict_horizon=p["predict_horizon"],
+        confidence_gate=p["confidence_gate"],
+    )
+    report = engine.serve_trace(_skewed_trace(num_requests, seed))
+    runtime = engine.engine.runtime
+    gate = runtime.prediction_gate
+    accuracy = gate.predictor.calibrated_accuracy() if gate else {}
+    return {
+        "goodput_rps": report.goodput,
+        "hit_rate": report.hit_rate,
+        "prefetch_issued": runtime.prefetch_issued,
+        "prefetch_used": runtime.prefetch_used,
+        "prefetch_hit_rate": runtime.prefetch_hit_rate(),
+        "accuracy_d1": accuracy.get(1, 0.0),
+    }
+
+
+def _bench_race(smoke: bool) -> dict:
+    scale = RACE_SMOKE if smoke else RACE_FULL
+    per_predictor = {}
+    for predictor in PREDICTORS:
+        cells = [
+            _race_cell(predictor, scale["num_requests"], seed)
+            for seed in scale["seeds"]
+        ]
+        mean = {
+            key: sum(cell[key] for cell in cells) / len(cells)
+            for key in cells[0]
+        }
+        per_predictor[predictor or "none"] = {
+            "per_seed": dict(zip(map(str, scale["seeds"]), cells)),
+            "mean": mean,
+        }
+    frequency = per_predictor["frequency"]["mean"]
+    transition = per_predictor["transition"]["mean"]
+    off = per_predictor["none"]["mean"]
+    return {
+        "params": {**RACE, **scale},
+        "predictors": per_predictor,
+        "transition_vs_frequency_prefetch": (
+            transition["prefetch_hit_rate"] / frequency["prefetch_hit_rate"]
+        ),
+        "transition_beats_frequency_prefetch": (
+            transition["prefetch_hit_rate"] > frequency["prefetch_hit_rate"]
+        ),
+        "transition_beats_frequency_accuracy": (
+            transition["accuracy_d1"] > frequency["accuracy_d1"]
+        ),
+        "worst_goodput_vs_off": min(
+            per_predictor[name]["mean"]["goodput_rps"] / off["goodput_rps"]
+            for name in ("frequency", "transition")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario: sensitivity (predictor on vs off, per strategy x workload)
+# ----------------------------------------------------------------------
+
+def _sensitivity_cell(strategy: str, workload: str, predictor: str | None,
+                      scale: dict) -> dict:
+    p = SENSITIVITY
+    engine = make_serving_engine(
+        model=p["model"],
+        strategy=strategy,
+        cache_ratio=p["cache_ratio"],
+        num_layers=p["num_layers"],
+        seed=p["seed"],
+        max_batch_size=p["max_batch_size"],
+        predictor=predictor,
+        predict_horizon=p["predict_horizon"],
+        confidence_gate=p["confidence_gate"],
+    )
+    if workload == "skewed":
+        trace = _skewed_trace(scale["skewed_requests"], p["seed"])
+    else:
+        trace = _chat_trace(scale["chat_sessions"], p["seed"])
+    report = engine.serve_trace(trace)
+    runtime = engine.engine.runtime
+    return {
+        "goodput_rps": report.goodput,
+        "hit_rate": report.hit_rate,
+        "prefetch_hit_rate": runtime.prefetch_hit_rate(),
+    }
+
+
+def _bench_sensitivity(smoke: bool) -> dict:
+    scale = SENSITIVITY_SMOKE if smoke else SENSITIVITY_FULL
+    cells = {}
+    ratios = {}
+    for strategy in scale["strategies"]:
+        for workload in ("skewed", "chat"):
+            off = _sensitivity_cell(strategy, workload, None, scale)
+            on = _sensitivity_cell(
+                strategy, workload, SENSITIVITY["predictor"], scale
+            )
+            label = f"{strategy}/{workload}"
+            ratio = on["goodput_rps"] / off["goodput_rps"]
+            cells[label] = {"off": off, "on": on, "goodput_ratio": ratio}
+            ratios[label] = ratio
+    return {
+        "params": {**SENSITIVITY, **scale},
+        "cells": cells,
+        "worst_goodput_ratio": min(ratios.values()),
+        "best_goodput_ratio": max(ratios.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# trajectory + gate
+# ----------------------------------------------------------------------
+
+def run(smoke: bool) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "criteria": {
+            "regression_factor": REGRESSION_FACTOR,
+            "goodput_tolerance": GOODPUT_TOLERANCE,
+        },
+        "scenarios": {
+            "race": _bench_race(smoke),
+            "sensitivity": _bench_sensitivity(smoke),
+        },
+    }
+
+
+def check(current: dict, baseline: dict | None) -> list[str]:
+    """Gate failures of ``current`` against the committed baseline."""
+    failures: list[str] = []
+    mode = current["mode"]
+    race = current["scenarios"]["race"]
+    sensitivity = current["scenarios"]["sensitivity"]
+
+    # Hard criteria (hold in every mode, baseline or not).
+    if not race["transition_beats_frequency_prefetch"]:
+        frequency = race["predictors"]["frequency"]["mean"]
+        transition = race["predictors"]["transition"]["mean"]
+        failures.append(
+            f"race: transition no longer beats frequency on mean "
+            f"prefetch-hit rate ({transition['prefetch_hit_rate']:.4f} vs "
+            f"{frequency['prefetch_hit_rate']:.4f})"
+        )
+    if not race["transition_beats_frequency_accuracy"]:
+        frequency = race["predictors"]["frequency"]["mean"]
+        transition = race["predictors"]["transition"]["mean"]
+        failures.append(
+            f"race: transition no longer beats frequency on calibrated "
+            f"distance-1 accuracy ({transition['accuracy_d1']:.4f} vs "
+            f"{frequency['accuracy_d1']:.4f})"
+        )
+    if race["worst_goodput_vs_off"] < GOODPUT_TOLERANCE:
+        failures.append(
+            f"race: a predictor cell pays >{1 - GOODPUT_TOLERANCE:.0%} "
+            f"goodput vs predictor-off "
+            f"(worst ratio {race['worst_goodput_vs_off']:.4f})"
+        )
+    if sensitivity["worst_goodput_ratio"] < GOODPUT_TOLERANCE:
+        failures.append(
+            f"sensitivity: predictor-on tanks goodput in some cell "
+            f"(worst ratio {sensitivity['worst_goodput_ratio']:.4f} < "
+            f"{GOODPUT_TOLERANCE})"
+        )
+
+    # Trajectory regression vs the committed baseline (same mode).
+    if baseline is None:
+        failures.append(f"no committed baseline at {BASELINE_PATH}")
+        return failures
+    committed = baseline.get("modes", {}).get(mode)
+    if committed is None:
+        failures.append(f"committed baseline has no '{mode}' mode entry")
+        return failures
+    committed_race = committed["scenarios"]["race"]
+    committed_sensitivity = committed["scenarios"]["sensitivity"]
+    ratios = (
+        (
+            "race: transition vs frequency prefetch-hit rate",
+            race["transition_vs_frequency_prefetch"],
+            committed_race["transition_vs_frequency_prefetch"],
+        ),
+        (
+            "race: transition calibrated distance-1 accuracy",
+            race["predictors"]["transition"]["mean"]["accuracy_d1"],
+            committed_race["predictors"]["transition"]["mean"]["accuracy_d1"],
+        ),
+        (
+            "sensitivity: worst predictor-on goodput ratio",
+            sensitivity["worst_goodput_ratio"],
+            committed_sensitivity["worst_goodput_ratio"],
+        ),
+    )
+    for label, now, then in ratios:
+        floor = then / REGRESSION_FACTOR
+        if now < floor:
+            failures.append(
+                f"{label} regressed >{REGRESSION_FACTOR:.2f}x: "
+                f"{now:.4f} vs committed {then:.4f} (floor {floor:.4f})"
+            )
+    return failures
+
+
+def _print_results(results: dict) -> None:
+    race = results["scenarios"]["race"]
+    print(f"predictor bench ({results['mode']}):")
+    print("  race (skewed workload, mean over seeds):")
+    for name in ("none", "frequency", "transition"):
+        mean = race["predictors"][name]["mean"]
+        print(
+            f"    {name:10s} goodput {mean['goodput_rps']:6.2f} req/s  "
+            f"prefetch-hit {mean['prefetch_hit_rate']:.4f}  "
+            f"accuracy@1 {mean['accuracy_d1']:.3f}"
+        )
+    print(
+        f"    transition vs frequency prefetch-hit: "
+        f"{race['transition_vs_frequency_prefetch']:.4f}x "
+        f"(beats: {race['transition_beats_frequency_prefetch']}, "
+        f"accuracy beats: {race['transition_beats_frequency_accuracy']})"
+    )
+    sensitivity = results["scenarios"]["sensitivity"]
+    print("  sensitivity (transition on vs off):")
+    for label, cell in sensitivity["cells"].items():
+        print(
+            f"    {label:24s} goodput ratio {cell['goodput_ratio']:.4f} "
+            f"({cell['on']['goodput_rps']:.2f} vs "
+            f"{cell['off']['goodput_rps']:.2f} req/s)"
+        )
+    print(
+        f"    worst ratio {sensitivity['worst_goodput_ratio']:.4f}, "
+        f"best {sensitivity['best_goodput_ratio']:.4f}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on regression vs the committed BENCH_predictor.json",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=BASELINE_PATH,
+        help="where to write results (default: repo-root BENCH_predictor.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Read the committed baseline before writing anything: `--check`
+    # must compare against the pre-run state even when --out points at
+    # the baseline file itself.
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    results = run(args.smoke)
+
+    if args.out == BASELINE_PATH:
+        # The baseline keeps one entry per mode, so a smoke run never
+        # clobbers the committed full-mode trajectory (or vice versa).
+        merged = {
+            "schema": SCHEMA_VERSION,
+            "criteria": results["criteria"],
+            "modes": dict((baseline or {}).get("modes", {})),
+        }
+        merged["modes"][results["mode"]] = {"scenarios": results["scenarios"]}
+        args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    else:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    _print_results(results)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

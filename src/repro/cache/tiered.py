@@ -100,14 +100,23 @@ class TieredCacheManager:
         """
         return self.cpu_tier.insert(key)
 
-    def dram_would_admit(self, key: ExpertKey) -> bool:
+    def dram_would_admit(self, key: ExpertKey, margin: float = 0.0) -> bool:
         """Whether a speculative DRAM promotion of ``key`` makes sense.
 
-        Plain insertion semantics: any non-resident key is admitted as
-        long as the tier has slots at all (evicting the policy's victim
-        when full) — the classic behaviour of an OS page cache.
+        With ``margin=0`` (the default): plain insertion semantics —
+        any non-resident key is admitted as long as the tier has slots
+        at all (evicting the policy's victim when full), the classic
+        behaviour of an OS page cache. A positive ``margin`` makes the
+        promotion policy-aware: when the tier is full, ``key`` must
+        outrank the would-be victim by the relative margin
+        (:meth:`~repro.cache.manager.ExpertCache.would_admit`).
+        Confidence-gated prefetching passes a margin shrinking with
+        prediction confidence, so only well-earned deep predictions
+        churn DRAM residency.
         """
-        return self.cpu_tier.capacity > 0 and key not in self.cpu_tier
+        if margin <= 0.0:
+            return self.cpu_tier.capacity > 0 and key not in self.cpu_tier
+        return self.cpu_tier.would_admit(key, margin=margin)
 
     def tier_stats(self) -> dict[str, CacheStats]:
         """Counters per tier (``gpu`` aggregate and ``cpu``)."""

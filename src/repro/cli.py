@@ -114,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "records, rescanning frontiers — for perf baselines)",
     )
     _add_tiered_memory_args(run)
+    _add_predictor_args(run)
 
     serve = sub.add_parser(
         "serve", help="serve a multi-request arrival trace with continuous batching"
@@ -259,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "records, rescanning frontiers — for perf baselines)",
     )
     _add_tiered_memory_args(serve)
+    _add_predictor_args(serve)
 
     compare = sub.add_parser("compare", help="race all frameworks on one workload")
     compare.add_argument("--model", default="deepseek", choices=sorted(MODEL_PRESETS))
@@ -306,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="INTS",
         help="comma-separated seed override axis "
         "(default: each scenario's own seed list)",
+    )
+    sweep.add_argument(
+        "--predictors",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated predictor override axis; 'none' means "
+        "predictor off, so 'none,transition' races the heuristic "
+        "against the predictor cell-for-cell "
+        "(default: each scenario's own setting)",
     )
     sweep.add_argument(
         "--out",
@@ -375,6 +386,37 @@ def _add_tiered_memory_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_predictor_args(parser: argparse.ArgumentParser) -> None:
+    """The predictive-scheduling knob trio shared by ``run`` and ``serve``."""
+    from repro.prediction import available_predictors
+
+    parser.add_argument(
+        "--predictor",
+        default=None,
+        choices=available_predictors(),
+        help="cross-layer expert predictor driving confidence-gated deep "
+        "prefetching (default: off — the heuristic prefetcher, "
+        "bit-identical to the historical engine)",
+    )
+    parser.add_argument(
+        "--predict-horizon",
+        type=int,
+        default=4,
+        metavar="LAYERS",
+        help="deepest lookahead distance a confident predictor may "
+        "extend prefetching to",
+    )
+    parser.add_argument(
+        "--confidence-gate",
+        type=float,
+        default=0.6,
+        metavar="THRESHOLD",
+        help="calibrated-confidence threshold in [0, 1] the predictor "
+        "must clear before it influences prefetch decisions (1.0 "
+        "never fires)",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     engine = make_engine(
         model=args.model,
@@ -390,6 +432,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cpu_cache_capacity=args.cpu_cache_capacity,
         cpu_cache_policy=args.cpu_cache_policy,
         disk_bandwidth=args.disk_bandwidth,
+        predictor=args.predictor,
+        predict_horizon=args.predict_horizon,
+        confidence_gate=args.confidence_gate,
     )
     rng = derive_rng(args.seed, "cli", "prompt")
     prompt = rng.integers(0, engine.model.vocab_size, size=args.prompt_len)
@@ -553,6 +598,9 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         cpu_cache_capacity=args.cpu_cache_capacity,
         cpu_cache_policy=args.cpu_cache_policy,
         disk_bandwidth=args.disk_bandwidth,
+        predictor=args.predictor,
+        predict_horizon=args.predict_horizon,
+        confidence_gate=args.confidence_gate,
         max_batch_size=args.max_batch_size,
         prefill_chunk_tokens=args.prefill_chunk,
         preemption=args.preempt,
@@ -634,6 +682,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cpu_cache_capacity=args.cpu_cache_capacity,
         cpu_cache_policy=args.cpu_cache_policy,
         disk_bandwidth=args.disk_bandwidth,
+        predictor=args.predictor,
+        predict_horizon=args.predict_horizon,
+        confidence_gate=args.confidence_gate,
         max_batch_size=args.max_batch_size,
         prefill_chunk_tokens=args.prefill_chunk,
         preemption=args.preempt,
@@ -757,12 +808,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds = [int(s) for s in seeds_text] if seeds_text is not None else None
     except ValueError:
         raise ConfigError(f"bad --seeds value {args.seeds!r}; expected integers") from None
+    predictors_text = _split_csv(args.predictors)
+    predictors = (
+        [None if name == "none" else name for name in predictors_text]
+        if predictors_text is not None
+        else None
+    )
     report = run_sweep(
         _split_csv(args.scenarios),
         args.out,
         strategies=_split_csv(args.strategies),
         hardware=_split_csv(args.hardware),
         seeds=seeds,
+        predictors=predictors,
         processes=args.processes,
         max_requests=args.requests,
         max_steps=args.steps,

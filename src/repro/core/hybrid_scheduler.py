@@ -502,6 +502,34 @@ class HybridScheduler:
             self._memo_put(key, bounds)
         return bounds
 
+    def screen_prediction_batch(
+        self,
+        items: list[tuple],
+        disk_fetch_s: float = 0.0,
+    ) -> list[tuple[float, dict[int, float]]]:
+        """:meth:`quick_screen` over a whole prediction window at once.
+
+        ``items`` holds one ``(activated, cached_experts, n_tokens,
+        candidates, spilled)`` tuple per predicted layer — the
+        prefetcher's full multi-layer-ahead window, including any
+        gate-extended deep-horizon layers. Each item's result is the
+        exact :meth:`quick_screen` pair (every per-layer computation is
+        independently memoized), so batching changes call structure,
+        never floats — decisions are bit-identical to the per-layer
+        loop (test-enforced).
+        """
+        return [
+            self.quick_screen(
+                activated,
+                cached_experts,
+                n_tokens,
+                candidates,
+                spilled=spilled,
+                disk_fetch_s=disk_fetch_s,
+            )
+            for activated, cached_experts, n_tokens, candidates, spilled in items
+        ]
+
     def quick_screen(
         self,
         activated: list[tuple[int, int]],

@@ -66,6 +66,12 @@ class PredictedLayer:
         Expert ids of that layer resident in *no* memory tier (tiered
         platforms only): their impact simulations carry the disk-fetch
         surcharge, and a granted prefetch first stages them into DRAM.
+    confidence:
+        Calibrated confidence of a gate-backed prediction
+        (:class:`~repro.prediction.gate.ConfidenceGate`), or ``None``
+        for the historical heuristic prediction. When set it replaces
+        the distance-decay discount on gains and licenses distances
+        beyond the heuristic ``lookahead``.
     """
 
     layer: int
@@ -73,6 +79,7 @@ class PredictedLayer:
     n_tokens: int
     cached_experts: frozenset[int]
     spilled_experts: frozenset[int] = frozenset()
+    confidence: float | None = None
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,7 @@ class PrefetchDecision:
     gain: float
     cost: float
     distance: int
+    confidence: float | None = None
 
 
 class ImpactDrivenPrefetcher:
@@ -205,35 +213,66 @@ class ImpactDrivenPrefetcher:
     def evaluate_candidates(
         self, predictions: list[PredictedLayer], current_layer: int
     ) -> list[PrefetchDecision]:
-        """Simulate the impact of each candidate expert, best first."""
-        decisions: list[PrefetchDecision] = []
+        """Simulate the impact of each candidate expert, best first.
+
+        A prediction within ``lookahead`` is the historical heuristic:
+        its gain is discounted by ``confidence_decay ** (distance-1)``.
+        A prediction carrying a gate-calibrated ``confidence`` uses
+        that value instead — and is the only kind admitted *beyond*
+        ``lookahead`` (predictor-earned lead time).
+        """
+        prepared: list[tuple[PredictedLayer, int, list, set, list]] = []
         for prediction in predictions:
             distance = prediction.layer - current_layer
-            if distance < 1 or distance > self.lookahead:
+            if distance < 1:
+                continue
+            if prediction.confidence is None and distance > self.lookahead:
                 continue
             activated = self.predicted_activation(prediction)
             cached = set(prediction.cached_experts)
             candidates = [e for e, _ in activated if e not in cached]
             if not candidates:
                 continue
+            prepared.append((prediction, distance, activated, cached, candidates))
+        if not prepared:
+            return []
+        screens = None
+        if self.fast_path:
+            # Bases and screening bounds for *every* predicted layer
+            # from one batched, memoized pass — the separate
+            # per-prediction base simulation and per-candidate bound
+            # calls repeat the same input validation and sorts. Floats
+            # are bit-identical to the per-layer calls.
+            screens = self.scheduler.screen_prediction_batch(
+                [
+                    (
+                        activated,
+                        cached,
+                        prediction.n_tokens,
+                        candidates if self.delta_screen else [],
+                        prediction.spilled_experts,
+                    )
+                    for prediction, _, activated, cached, candidates in prepared
+                ],
+                disk_fetch_s=self.disk_fetch_s,
+            )
+        decisions: list[PrefetchDecision] = []
+        for index, (prediction, distance, activated, cached, candidates) in enumerate(
+            prepared
+        ):
             spilled = prediction.spilled_experts
             bounds = None
-            if self.fast_path:
-                # Base and screening bounds from one batched, memoized
-                # call — the separate per-prediction base simulation
-                # and per-candidate bound calls repeat the same input
-                # validation and sorts. Floats are bit-identical.
-                base, bounds = self.scheduler.quick_screen(
-                    activated, cached, prediction.n_tokens,
-                    candidates if self.delta_screen else [],
-                    spilled=spilled, disk_fetch_s=self.disk_fetch_s,
-                )
+            if screens is not None:
+                base, bounds = screens[index]
             else:
                 base = self.scheduler.simulate_makespan(
                     activated, cached, prediction.n_tokens, quick=True,
                     spilled=spilled, disk_fetch_s=self.disk_fetch_s,
                 )
-            confidence = self.confidence_decay ** (distance - 1)
+            if prediction.confidence is not None:
+                confidence = prediction.confidence
+            else:
+                confidence = self.confidence_decay ** (distance - 1)
             survivors = self._screen(
                 activated, cached, candidates, base, confidence,
                 prediction.n_tokens, spilled, bounds=bounds,
@@ -272,6 +311,7 @@ class ImpactDrivenPrefetcher:
                             gain=gain,
                             cost=cost,
                             distance=distance,
+                            confidence=prediction.confidence,
                         )
                     )
         decisions.sort(key=lambda d: (-d.gain, d.distance, d.layer, d.expert))

@@ -39,6 +39,7 @@ from repro.hardware.platform_presets import paper_testbed
 from repro.hardware.simulator import ThreeResourceClock
 from repro.hardware.warmup import WarmupCalibrator
 from repro.models.model import ReferenceMoEModel, SequenceStateStore
+from repro.prediction import ConfidenceGate, available_predictors, make_predictor
 from repro.routing.generator import generate_trace
 from repro.routing.statistics import expert_activation_frequency
 from repro.routing.trace import RoutingTrace
@@ -128,6 +129,20 @@ class EngineConfig:
         Override of the hardware profile's disk read bandwidth in
         bytes/s (e.g. to model SATA vs NVMe without a new profile).
         Requires a capacity-limited CPU tier.
+    predictor:
+        Cross-layer expert predictor driving confidence-gated deep
+        prefetching (``"frequency"`` or ``"transition"``; see
+        :mod:`repro.prediction`). ``None`` (default) keeps the
+        historical gate-reuse heuristic — bit-identical to the pre-
+        predictor engine across every strategy, test-enforced.
+    predict_horizon:
+        Deepest lookahead distance a confident predictor may extend
+        prefetching to (>= ``prefetch_lookahead`` to matter).
+    confidence_gate:
+        Calibrated-confidence threshold of the
+        :class:`~repro.prediction.gate.ConfidenceGate`. Confidence is
+        strictly below 1, so ``1.0`` never fires — the equivalence
+        oracle the bit-identity tests use.
     """
 
     cache_ratio: float = 0.5
@@ -150,6 +165,9 @@ class EngineConfig:
     cpu_cache_capacity: int | None = None
     cpu_cache_policy: str = "lru"
     disk_bandwidth: float | None = None
+    predictor: str | None = None
+    predict_horizon: int = 4
+    confidence_gate: float = 0.6
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cache_ratio <= 1.0:
@@ -204,6 +222,19 @@ class EngineConfig:
                     "disk_bandwidth requires a capacity-limited CPU tier "
                     "(set cpu_cache_capacity)"
                 )
+        if self.predictor is not None and self.predictor not in available_predictors():
+            known = ", ".join(available_predictors())
+            raise ConfigError(
+                f"unknown predictor {self.predictor!r} (known: {known})"
+            )
+        if self.predict_horizon < 1:
+            raise ConfigError(
+                f"predict_horizon must be >= 1, got {self.predict_horizon}"
+            )
+        if not 0.0 <= self.confidence_gate <= 1.0:
+            raise ConfigError(
+                f"confidence_gate must be in [0, 1], got {self.confidence_gate}"
+            )
 
     @property
     def tiered(self) -> bool:
@@ -248,6 +279,16 @@ class EngineRuntime:
         #: when a layer starts after the read has landed — the DRAM
         #: analogue of the GPU tier's ``arrivals`` gating.
         self.pending_dram: dict[tuple[int, int], float] = {}
+        #: Confidence gate over the configured cross-layer predictor
+        #: (bound by :class:`InferenceEngine`; None keeps the
+        #: historical heuristic-only prefetch path).
+        self.prediction_gate: ConfidenceGate | None = None
+        #: Prefetch effectiveness accounting (pure observation — no
+        #: code path consults these): GPU prefetches issued, and how
+        #: many were still resident when their layer activated them.
+        self.prefetch_issued = 0
+        self.prefetch_used = 0
+        self._prefetch_pending: set[tuple[int, int]] = set()
         self.cache: ExpertCache | ShardedCacheManager | TieredCacheManager | None = None
         #: Planner-side disk -> DRAM read estimate per routed expert
         #: (0 on two-tier platforms, where disk is never consulted).
@@ -353,6 +394,18 @@ class EngineRuntime:
             )
         return self._warmup_trace
 
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of issued GPU prefetches consumed by their layer.
+
+        A prefetch counts as used when the expert was still resident
+        the first time its layer activated it — the benchmark signal
+        behind the predictor accuracy -> goodput sensitivity study.
+        Returns 0 when nothing was prefetched.
+        """
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.prefetch_used / self.prefetch_issued
+
     def frequency_ranking(self) -> list[tuple[int, int]]:
         """``(layer, expert)`` keys by warmup activation frequency, desc."""
         counts = expert_activation_frequency(self.warmup_trace)
@@ -441,6 +494,23 @@ class InferenceEngine:
             self.runtime.cache = gpu_cache
         self.runtime.cache.set_fast_path(self.config.engine_fast_path)
         self.runtime.cache.validate()
+        if self.config.predictor is not None:
+            # The predictor bulk-fits on the warmup trace (the same
+            # profiling signal frequency pinning and MRS priming use)
+            # and keeps learning online from every executed layer. Its
+            # gate only changes scheduling once calibrated confidence
+            # clears the threshold, so a fresh engine behaves exactly
+            # like the heuristic one until trust is earned.
+            predictor = make_predictor(
+                self.config.predictor,
+                num_layers=model.config.num_layers,
+                num_experts=model.config.num_routed_experts,
+                horizon=self.config.predict_horizon,
+            )
+            predictor.fit_trace(self.runtime.warmup_trace)
+            self.runtime.prediction_gate = ConfidenceGate(
+                predictor, threshold=self.config.confidence_gate
+            )
         #: Batch-capable step executor; the serving layer drives it
         #: directly with many concurrent sequence states.
         self.pipeline = StepPipeline(model, strategy, self.runtime)

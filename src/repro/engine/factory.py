@@ -108,6 +108,9 @@ def make_engine(
     cpu_cache_capacity: int | None = None,
     cpu_cache_policy: str = "lru",
     disk_bandwidth: float | None = None,
+    predictor: str | None = None,
+    predict_horizon: int = 4,
+    confidence_gate: float = 0.6,
     engine_config: EngineConfig | None = None,
     strategy_kwargs: dict | None = None,
     model_kwargs: dict | None = None,
@@ -166,6 +169,17 @@ def make_engine(
     disk_bandwidth:
         Disk read-bandwidth override in bytes/s, replacing the hardware
         profile's ``disk_bw`` (ignored when ``engine_config`` given).
+    predictor:
+        Cross-layer expert predictor name (``"frequency"`` /
+        ``"transition"``) driving confidence-gated deep prefetching;
+        ``None`` keeps the historical heuristic bit-identically
+        (ignored when ``engine_config`` given).
+    predict_horizon:
+        Deepest lookahead distance a confident predictor may extend
+        prefetching to (ignored when ``engine_config`` given).
+    confidence_gate:
+        Calibrated-confidence threshold of the predictor's gate; 1.0
+        never fires (ignored when ``engine_config`` given).
     engine_config:
         Full engine configuration; overrides ``cache_ratio``/``seed``/
         ``num_gpus``/``placement``/the tiered-memory knobs.
@@ -190,6 +204,9 @@ def make_engine(
         cpu_cache_capacity = spec.cpu_cache_capacity
         cpu_cache_policy = spec.cpu_cache_policy
         disk_bandwidth = spec.disk_bandwidth
+        predictor = spec.predictor
+        predict_horizon = spec.predict_horizon
+        confidence_gate = spec.confidence_gate
     if isinstance(model, str):
         config = get_preset(model, num_layers=num_layers)
         model = ReferenceMoEModel(config, seed=seed, **(model_kwargs or {}))
@@ -210,6 +227,9 @@ def make_engine(
             cpu_cache_capacity=cpu_cache_capacity,
             cpu_cache_policy=cpu_cache_policy,
             disk_bandwidth=disk_bandwidth,
+            predictor=predictor,
+            predict_horizon=predict_horizon,
+            confidence_gate=confidence_gate,
         )
     return InferenceEngine(model, strategy, hardware, engine_config)
 
@@ -228,6 +248,9 @@ def make_serving_engine(
     cpu_cache_capacity: int | None = None,
     cpu_cache_policy: str = "lru",
     disk_bandwidth: float | None = None,
+    predictor: str | None = None,
+    predict_horizon: int = 4,
+    confidence_gate: float = 0.6,
     max_batch_size: int = 8,
     prefill_chunk_tokens: int | None = None,
     preemption: bool = False,
@@ -291,6 +314,9 @@ def make_serving_engine(
         cpu_cache_capacity = e.cpu_cache_capacity
         cpu_cache_policy = e.cpu_cache_policy
         disk_bandwidth = e.disk_bandwidth
+        predictor = e.predictor
+        predict_horizon = e.predict_horizon
+        confidence_gate = e.confidence_gate
         max_batch_size = spec.max_batch_size
         prefill_chunk_tokens = spec.prefill_chunk_tokens
         preemption = spec.preemption
@@ -312,6 +338,9 @@ def make_serving_engine(
         cpu_cache_capacity=cpu_cache_capacity,
         cpu_cache_policy=cpu_cache_policy,
         disk_bandwidth=disk_bandwidth,
+        predictor=predictor,
+        predict_horizon=predict_horizon,
+        confidence_gate=confidence_gate,
         engine_config=engine_config,
         strategy_kwargs=strategy_kwargs,
         model_kwargs=model_kwargs,
@@ -342,6 +371,9 @@ def make_fleet(
     cpu_cache_capacity: int | None = None,
     cpu_cache_policy: str = "lru",
     disk_bandwidth: float | None = None,
+    predictor: str | None = None,
+    predict_horizon: int = 4,
+    confidence_gate: float = 0.6,
     max_batch_size: int = 8,
     prefill_chunk_tokens: int | None = None,
     preemption: bool = False,
@@ -407,6 +439,9 @@ def make_fleet(
         cpu_cache_capacity = e.cpu_cache_capacity
         cpu_cache_policy = e.cpu_cache_policy
         disk_bandwidth = e.disk_bandwidth
+        predictor = e.predictor
+        predict_horizon = e.predict_horizon
+        confidence_gate = e.confidence_gate
         s = spec.serving
         max_batch_size = s.max_batch_size
         prefill_chunk_tokens = s.prefill_chunk_tokens
@@ -449,6 +484,9 @@ def make_fleet(
             cpu_cache_capacity=cpu_cache_capacity,
             cpu_cache_policy=cpu_cache_policy,
             disk_bandwidth=disk_bandwidth,
+            predictor=predictor,
+            predict_horizon=predict_horizon,
+            confidence_gate=confidence_gate,
             engine_config=engine_config,
             strategy_kwargs=strategy_kwargs,
             model_kwargs=None,

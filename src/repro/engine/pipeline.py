@@ -246,8 +246,23 @@ class StepPipeline:
                 )
             else:
                 spilled = frozenset()
+            if runtime.prediction_gate is not None:
+                # Feed the predictor every executed layer's activation
+                # set — the online observation stream its transition
+                # statistics and calibration are fit from.
+                runtime.prediction_gate.observe(
+                    layer, (expert for expert, _ in activated)
+                )
             for expert, _ in activated:
-                cache.access((layer, expert))
+                key = (layer, expert)
+                hit = cache.access(key)
+                if key in runtime._prefetch_pending:
+                    # Prefetch-effectiveness accounting only — a
+                    # prefetched expert counts as used when it is still
+                    # resident the first time its layer needs it.
+                    runtime._prefetch_pending.discard(key)
+                    if hit:
+                        runtime.prefetch_used += 1
 
             pcie_backlog = max(0.0, clock.pcie.available_at - attn_end)
             inflight_offsets = tuple(
@@ -522,12 +537,29 @@ class StepPipeline:
         cache = self._cache()
         cfg = self.model.config
         num_layers = cfg.num_layers
+        gate = runtime.prediction_gate
+        # The heuristic window is `prefetch_lookahead`; a confident
+        # predictor extends it up to its calibrated depth (capped by
+        # `predict_horizon` via the predictor's own horizon) — the
+        # lead-time hint of the confidence gate. With no gate bound (or
+        # one that never fires) `depth == prefetch_lookahead` and every
+        # line below computes exactly the historical floats.
+        depth = self.config.prefetch_lookahead
+        if gate is not None:
+            depth = max(depth, gate.confident_depth(ctx.layer))
         predictions: list[PredictedLayer] = []
-        for distance in range(1, self.config.prefetch_lookahead + 1):
+        for distance in range(1, depth + 1):
             future = ctx.layer + distance
             if future >= num_layers:
                 break
             scores = self.model.gate_scores(z, future).mean(axis=0)
+            confidence = None
+            if gate is not None:
+                scores, confidence = gate.advise(ctx.layer, distance, scores)
+            if distance > self.config.prefetch_lookahead and confidence is None:
+                # Beyond the heuristic window only gate-backed
+                # predictions ride; an unconfident deep layer is noise.
+                continue
             if runtime.tiered:
                 future_spilled = cache.spilled_experts(
                     future, range(cfg.num_routed_experts)
@@ -541,6 +573,7 @@ class StepPipeline:
                     n_tokens=ctx.n_tokens,
                     cached_experts=frozenset(cache.cached_experts_of_layer(future)),
                     spilled_experts=future_spilled,
+                    confidence=confidence,
                 )
             )
         if not predictions:
@@ -558,7 +591,7 @@ class StepPipeline:
             0.0,
             runtime.clock.min_pcie_available_at - runtime.clock.compute_frontier,
         )
-        budget = self.config.prefetch_lookahead * max(layer_span, attn_est) - backlog
+        budget = depth * max(layer_span, attn_est) - backlog
         if budget <= 0:
             return
         requests = self.strategy.prefetch_requests(
@@ -613,3 +646,5 @@ class StepPipeline:
             )
             runtime.arrivals[key] = finish
             cache.insert(key)
+            runtime.prefetch_issued += 1
+            runtime._prefetch_pending.add(key)

@@ -1,0 +1,47 @@
+"""Pluggable cross-layer expert-activation prediction.
+
+The package behind ``EngineConfig.predictor``: deterministic
+:class:`ExpertPredictor` implementations fit from routing observations
+(``frequency`` — static per-layer priors; ``transition`` — per-layer
+expert-to-expert transition statistics), composed with the engine's
+gate-reuse heuristic through a :class:`ConfidenceGate` that only
+changes scheduling when *calibrated* confidence clears a threshold.
+See :mod:`repro.prediction.base` for the confidence model.
+"""
+
+from repro.errors import ConfigError
+from repro.prediction.base import ExpertPredictor, Prediction
+from repro.prediction.frequency import FrequencyPrior
+from repro.prediction.gate import ConfidenceGate
+from repro.prediction.transition import TransitionPredictor
+
+__all__ = [
+    "ExpertPredictor",
+    "Prediction",
+    "FrequencyPrior",
+    "TransitionPredictor",
+    "ConfidenceGate",
+    "available_predictors",
+    "make_predictor",
+]
+
+_PREDICTORS: dict[str, type[ExpertPredictor]] = {
+    "frequency": FrequencyPrior,
+    "transition": TransitionPredictor,
+}
+
+
+def available_predictors() -> tuple[str, ...]:
+    """Registered predictor names, sorted."""
+    return tuple(sorted(_PREDICTORS))
+
+
+def make_predictor(
+    name: str, num_layers: int, num_experts: int, horizon: int = 4, **kwargs
+) -> ExpertPredictor:
+    """Build a registered predictor by name."""
+    predictor_cls = _PREDICTORS.get(name)
+    if predictor_cls is None:
+        known = ", ".join(available_predictors())
+        raise ConfigError(f"unknown predictor {name!r} (known: {known})")
+    return predictor_cls(num_layers, num_experts, horizon=horizon, **kwargs)

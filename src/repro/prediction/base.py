@@ -1,0 +1,245 @@
+"""Pluggable cross-layer expert-activation predictors.
+
+HybriMoE's prefetcher predicts one step of routing by reusing future
+layers' gates on the current hidden state (paper §IV-C). LayerScope-
+style analyses show activations are predictable *several* layers ahead
+from routing history alone. :class:`ExpertPredictor` packages that
+signal behind one interface: subclasses accumulate per-layer
+activation observations online (or bulk-fit from a recorded
+:class:`~repro.routing.trace.RoutingTrace`) and predict the activation
+scores of a layer up to ``horizon`` layers ahead.
+
+**Calibrated confidence.** Every prediction carries a confidence the
+scheduler can gate on. It is the product of two factors, both
+deterministic functions of the observation stream:
+
+- *support* — ``n / (n + obs_prior)`` where ``n`` is how often the
+  target layer has been observed. Monotone in the observation count
+  and strictly below 1, so a fresh predictor is never trusted.
+- *measured accuracy* — a per-distance EWMA of the predictor's own
+  top-k recall, scored retroactively: when a layer's actual activation
+  set arrives, the prediction the predictor *would have issued*
+  ``distance`` layers earlier (from state prior to this pass's
+  update) is compared against it. Starts at 0, so confidence is earned
+  from evidence, never assumed.
+
+Both factors are strictly below 1, hence so is every confidence — a
+gate threshold of ``1.0`` can therefore never fire, which is the
+equivalence oracle the bit-identity tests lean on.
+
+Predictors hold no RNG: identical observation streams yield identical
+predictions and confidences (property-test-enforced).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Prediction", "ExpertPredictor"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One cross-layer activation prediction.
+
+    Attributes
+    ----------
+    layer:
+        Target layer the prediction is about.
+    distance:
+        How many layers ahead of the observed layer the target sits.
+    scores:
+        Per-expert activation scores of the target layer, shape
+        ``(num_experts,)``, non-negative. Positive mass appears only on
+        experts the predictor has actually seen activated at the
+        target layer (support ⊆ observed expert set).
+    confidence:
+        Calibrated confidence in ``[0, 1)`` — see the module docstring.
+    """
+
+    layer: int
+    distance: int
+    scores: np.ndarray
+    confidence: float
+
+
+class ExpertPredictor(ABC):
+    """Observation bookkeeping + calibrated confidence for subclasses.
+
+    Parameters
+    ----------
+    num_layers / num_experts:
+        Model shape the predictor observes.
+    horizon:
+        Deepest lookahead distance predictions reach.
+    obs_prior:
+        Pseudo-count of the support factor ``n / (n + obs_prior)``:
+        how many observations of a layer it takes to trust the
+        statistics about half-way.
+    accuracy_beta:
+        EWMA step of the measured per-distance accuracy.
+    """
+
+    name: str = "?"
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_experts: int,
+        horizon: int = 4,
+        obs_prior: float = 8.0,
+        accuracy_beta: float = 0.25,
+    ) -> None:
+        if num_layers < 1:
+            raise ConfigError(f"num_layers must be >= 1, got {num_layers}")
+        if num_experts < 1:
+            raise ConfigError(f"num_experts must be >= 1, got {num_experts}")
+        if horizon < 1:
+            raise ConfigError(f"horizon must be >= 1, got {horizon}")
+        if obs_prior <= 0:
+            raise ConfigError(f"obs_prior must be positive, got {obs_prior}")
+        if not 0.0 < accuracy_beta <= 1.0:
+            raise ConfigError(
+                f"accuracy_beta must be in (0, 1], got {accuracy_beta}"
+            )
+        self.num_layers = int(num_layers)
+        self.num_experts = int(num_experts)
+        self.horizon = int(horizon)
+        self.obs_prior = float(obs_prior)
+        self.accuracy_beta = float(accuracy_beta)
+        self._obs_count = np.zeros(self.num_layers, dtype=np.int64)
+        # Indexed by distance (entry 0 unused).
+        self._accuracy = np.zeros(self.horizon + 1, dtype=np.float64)
+        #: Activation sets of the forward pass currently in flight,
+        #: keyed by layer. Cleared when the layer index stops
+        #: increasing (a new pass started).
+        self._pass_actives: dict[int, frozenset[int]] = {}
+        self._last_layer: int | None = None
+
+    # ------------------------------------------------------------------
+    # observation stream
+    # ------------------------------------------------------------------
+    def observe(self, layer: int, experts) -> None:
+        """Record one layer's activated expert set.
+
+        Layers of a forward pass must arrive in ascending order; a
+        non-increasing layer index marks the start of a new pass.
+        Before the counts are updated, the activation set scores the
+        predictions earlier layers of this pass implied — the
+        calibration signal behind :meth:`confidence`.
+        """
+        if not 0 <= layer < self.num_layers:
+            raise ConfigError(
+                f"layer {layer} out of range [0, {self.num_layers})"
+            )
+        actives = frozenset(int(e) for e in experts)
+        if self._last_layer is not None and layer <= self._last_layer:
+            self._pass_actives.clear()
+        self._calibrate(layer, actives)
+        self._update(layer, actives)
+        self._pass_actives[layer] = actives
+        self._obs_count[layer] += 1
+        self._last_layer = layer
+
+    def fit_trace(self, trace) -> None:
+        """Bulk-fit from a recorded routing trace (the warmup phase).
+
+        Replays the trace's per-step, per-layer activation sets through
+        :meth:`observe`, so bulk fitting and online observation build
+        byte-identical state — including the calibration EWMAs.
+        """
+        for step in trace.steps:
+            for routing in step.layers:
+                self.observe(routing.layer, np.flatnonzero(routing.loads > 0))
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, layer: int, distance: int) -> Prediction | None:
+        """Predict layer ``layer + distance``'s activation scores.
+
+        Returns ``None`` when the distance is out of the horizon, the
+        target layer does not exist, or the predictor has no data yet.
+        """
+        target = layer + distance
+        if (
+            distance < 1
+            or distance > self.horizon
+            or not 0 <= layer < self.num_layers
+            or target >= self.num_layers
+        ):
+            return None
+        scores = self._predict_scores(layer, distance)
+        if scores is None:
+            return None
+        return Prediction(
+            layer=target,
+            distance=distance,
+            scores=scores,
+            confidence=self.confidence(layer, distance),
+        )
+
+    def confidence(self, layer: int, distance: int) -> float:
+        """Calibrated confidence for predicting ``distance`` ahead.
+
+        Strictly below 1 by construction (see the module docstring);
+        0 whenever the target is out of range.
+        """
+        target = layer + distance
+        if distance < 1 or distance > self.horizon or target >= self.num_layers:
+            return 0.0
+        n = float(self._obs_count[target])
+        support = n / (n + self.obs_prior)
+        return support * float(self._accuracy[distance])
+
+    def calibrated_accuracy(self) -> dict[int, float]:
+        """Measured per-distance prediction accuracy (recall EWMA)."""
+        return {
+            distance: float(self._accuracy[distance])
+            for distance in range(1, self.horizon + 1)
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _calibrate(self, layer: int, actives: frozenset[int]) -> None:
+        """Score this pass's earlier implied predictions of ``layer``.
+
+        Runs *before* ``actives`` enters the counts, so each scored
+        prediction is out-of-sample with respect to the arriving
+        observation.
+        """
+        if not actives:
+            return
+        k = len(actives)
+        for distance in range(1, self.horizon + 1):
+            source = layer - distance
+            if source not in self._pass_actives:
+                continue
+            scores = self._predict_scores(source, distance)
+            if scores is None:
+                continue
+            order = np.argsort(-scores, kind="stable")[:k]
+            predicted = {int(e) for e in order if scores[e] > 0}
+            recall = len(predicted & actives) / k
+            self._accuracy[distance] += self.accuracy_beta * (
+                recall - self._accuracy[distance]
+            )
+
+    @abstractmethod
+    def _update(self, layer: int, actives: frozenset[int]) -> None:
+        """Fold one activation observation into the subclass statistics."""
+
+    @abstractmethod
+    def _predict_scores(self, layer: int, distance: int) -> np.ndarray | None:
+        """Scores over the target layer's experts, or None without data.
+
+        Called with an in-range ``(layer, distance)`` pair only. The
+        returned array must be non-negative with positive mass confined
+        to experts observed activated at the target layer.
+        """

@@ -1,0 +1,41 @@
+"""Static per-layer frequency prior over expert activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import ExpertPredictor
+
+__all__ = ["FrequencyPrior"]
+
+
+class FrequencyPrior(ExpertPredictor):
+    """Predict from per-layer activation frequencies alone.
+
+    The same signal the kTransformers baseline pins experts with,
+    recast as a predictor: each layer's activation counts, normalised,
+    are that layer's predicted scores — regardless of what the current
+    pass activated, so the prediction is identical at every distance.
+    Cheap and workload-stable, but blind to step-to-step routing
+    dynamics; it is the floor the transition statistics are measured
+    against.
+    """
+
+    name = "frequency"
+
+    def __init__(
+        self, num_layers: int, num_experts: int, horizon: int = 4, **kwargs
+    ) -> None:
+        super().__init__(num_layers, num_experts, horizon=horizon, **kwargs)
+        self._counts = np.zeros((self.num_layers, self.num_experts), dtype=np.int64)
+
+    def _update(self, layer: int, actives: frozenset[int]) -> None:
+        if actives:
+            self._counts[layer, sorted(actives)] += 1
+
+    def _predict_scores(self, layer: int, distance: int) -> np.ndarray | None:
+        row = self._counts[layer + distance]
+        total = int(row.sum())
+        if total == 0:
+            return None
+        return row / float(total)

@@ -1,0 +1,108 @@
+"""Confidence-gated composition of a predictor with gate-reuse scores."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.prediction.base import ExpertPredictor
+
+__all__ = ["ConfidenceGate"]
+
+
+class ConfidenceGate:
+    """Mix predictor output into the engine's heuristic prefetch scores.
+
+    The engine's existing signal — future layers' gates applied to the
+    current hidden state — is accurate one or two layers out and decays
+    fast. A predictor's statistics reach deeper but must *earn* trust.
+    The gate arbitrates: per ``(layer, distance)`` it asks the wrapped
+    predictor for a prediction and **fires only when the calibrated
+    confidence clears ``threshold``**. When it fires it returns a blend
+    of the (normalised) heuristic scores with the predictor's, weighted
+    by ``blend * confidence``; otherwise the heuristic scores pass
+    through byte-unchanged and the caller keeps its historical
+    behaviour.
+
+    Because every predictor confidence is strictly below 1,
+    ``threshold=1.0`` can never fire — the oracle configuration the
+    bit-identity tests pin the default path with.
+
+    Parameters
+    ----------
+    predictor:
+        The wrapped :class:`~repro.prediction.base.ExpertPredictor`.
+    threshold:
+        Minimum calibrated confidence before the gate fires.
+    blend:
+        Cap on the predictor's share of the mixed scores; the actual
+        weight is ``blend * confidence``.
+    """
+
+    def __init__(
+        self,
+        predictor: ExpertPredictor,
+        threshold: float = 0.6,
+        blend: float = 0.5,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigError(f"threshold must be in [0, 1], got {threshold}")
+        if not 0.0 <= blend <= 1.0:
+            raise ConfigError(f"blend must be in [0, 1], got {blend}")
+        self.predictor = predictor
+        self.threshold = float(threshold)
+        self.blend = float(blend)
+
+    @property
+    def horizon(self) -> int:
+        """Deepest distance the wrapped predictor reaches."""
+        return self.predictor.horizon
+
+    def observe(self, layer: int, experts) -> None:
+        """Forward one activation observation to the predictor."""
+        self.predictor.observe(layer, experts)
+
+    def advise(
+        self, layer: int, distance: int, heuristic_scores: np.ndarray
+    ) -> tuple[np.ndarray, float | None]:
+        """Gate one predicted layer's scores.
+
+        Returns ``(scores, confidence)``. When the gate does not fire
+        the heuristic scores come back unchanged (the same array) with
+        ``confidence=None``; when it fires, the blended scores and the
+        calibrated confidence that cleared the threshold.
+        """
+        prediction = self.predictor.predict(layer, distance)
+        if prediction is None or prediction.confidence < self.threshold:
+            return heuristic_scores, None
+        heuristic = np.asarray(heuristic_scores, dtype=np.float64)
+        total = float(heuristic.sum())
+        if total > 0:
+            heuristic = heuristic / total
+        weight = self.blend * prediction.confidence
+        mixed = (1.0 - weight) * heuristic + weight * prediction.scores
+        return mixed, prediction.confidence
+
+    def confident_depth(self, layer: int) -> int:
+        """Deepest contiguous distance whose confidence clears the gate.
+
+        The prefetcher extends its lookahead window to this depth
+        (lead-time hint); 0 means no extension.
+        """
+        depth = 0
+        for distance in range(1, self.horizon + 1):
+            if self.predictor.confidence(layer, distance) < self.threshold:
+                break
+            depth = distance
+        return depth
+
+    def promotion_margin(self, base_margin: float, confidence: float) -> float:
+        """DRAM-promotion admission margin for a gate-backed prefetch.
+
+        Scales the strategy's speculative-insert margin down as
+        confidence grows: a barely-over-threshold prediction must beat
+        the DRAM victim by nearly the full margin, while a
+        high-confidence one promotes almost unconditionally — the
+        confidence-driven promotion lead-time knob.
+        """
+        return base_margin * (1.0 - confidence)

@@ -1,0 +1,85 @@
+"""Per-layer expert-to-expert transition statistics as a predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.prediction.base import ExpertPredictor
+
+__all__ = ["TransitionPredictor"]
+
+
+class TransitionPredictor(ExpertPredictor):
+    """Predict from observed cross-layer activation transitions.
+
+    For every source layer ``l`` and distance ``d <= horizon`` the
+    predictor counts, within each forward pass, how often expert ``b``
+    activated at layer ``l + d`` while expert ``a`` was active at
+    layer ``l`` — the same statistic
+    :func:`~repro.routing.statistics.expert_transition_counts` extracts
+    from a recorded trace, fit online here. A prediction conditions on
+    the *current* pass's activation set: the observed source experts'
+    transition rows (each normalised to a distribution) are averaged,
+    so the scores are sharper than a frequency prior whenever routing
+    is history-dependent.
+    """
+
+    name = "transition"
+
+    def __init__(
+        self, num_layers: int, num_experts: int, horizon: int = 4, **kwargs
+    ) -> None:
+        super().__init__(num_layers, num_experts, horizon=horizon, **kwargs)
+        #: ``_counts[d - 1, l, a, b]``: passes in which ``a`` was active
+        #: at layer ``l`` and ``b`` at layer ``l + d``.
+        self._counts = np.zeros(
+            (self.horizon, self.num_layers, self.num_experts, self.num_experts),
+            dtype=np.int64,
+        )
+
+    def _update(self, layer: int, actives: frozenset[int]) -> None:
+        if not actives:
+            return
+        cols = np.asarray(sorted(actives), dtype=np.int64)
+        for distance in range(1, self.horizon + 1):
+            source = layer - distance
+            if source < 0:
+                break
+            src_actives = self._pass_actives.get(source)
+            if not src_actives:
+                continue
+            rows = np.asarray(sorted(src_actives), dtype=np.int64)
+            self._counts[distance - 1, source][np.ix_(rows, cols)] += 1
+
+    def transition_matrix(self, layer: int, distance: int) -> np.ndarray:
+        """Row-normalised transition matrix for ``layer -> layer + distance``.
+
+        Rows of experts observed active at ``layer`` (with at least one
+        recorded transition) sum to exactly 1; unobserved rows are all
+        zero.
+        """
+        if not 1 <= distance <= self.horizon:
+            raise ConfigError(
+                f"distance must be in [1, {self.horizon}], got {distance}"
+            )
+        if not 0 <= layer < self.num_layers - distance:
+            raise ConfigError(
+                f"layer must be in [0, {self.num_layers - distance}), got {layer}"
+            )
+        counts = self._counts[distance - 1, layer].astype(np.float64)
+        sums = counts.sum(axis=1, keepdims=True)
+        return np.divide(counts, sums, out=np.zeros_like(counts), where=sums > 0)
+
+    def _predict_scores(self, layer: int, distance: int) -> np.ndarray | None:
+        src_actives = self._pass_actives.get(layer)
+        if not src_actives:
+            return None
+        counts = self._counts[distance - 1, layer]
+        rows = np.asarray(sorted(src_actives), dtype=np.int64)
+        sub = counts[rows].astype(np.float64)
+        sums = sub.sum(axis=1, keepdims=True)
+        observed = sums[:, 0] > 0
+        if not np.any(observed):
+            return None
+        return (sub[observed] / sums[observed]).mean(axis=0)

@@ -116,6 +116,7 @@ class ScenarioSpec:
         strategy: str | None = None,
         hardware: str | None = None,
         seed: int | None = None,
+        predictor: str | None = None,
         max_requests: int | None = None,
         max_steps: int | None = None,
     ) -> "ScenarioSpec":
@@ -123,9 +124,13 @@ class ScenarioSpec:
 
         ``strategy`` / ``hardware`` replace the engine's; ``seed``
         pins ``seeds`` to that single seed (and the engine seed with
-        it); ``max_requests`` / ``max_steps`` cap the workload size
-        (smoke runs). Validation reruns on the result, so an override
-        naming an unknown strategy or preset raises immediately.
+        it); ``predictor`` switches on a cross-layer expert predictor
+        (``None`` leaves the scenario's own setting untouched — the
+        predictor-off cell is every scenario's default, so there is no
+        "force off" override); ``max_requests`` / ``max_steps`` cap
+        the workload size (smoke runs). Validation reruns on the
+        result, so an override naming an unknown strategy or preset
+        raises immediately.
         """
         engine = self.fleet.engine
         engine_changes: dict[str, Any] = {}
@@ -135,6 +140,8 @@ class ScenarioSpec:
             engine_changes["hardware"] = hardware
         if seed is not None:
             engine_changes["seed"] = int(seed)
+        if predictor is not None:
+            engine_changes["predictor"] = predictor
         changes: dict[str, Any] = {}
         if engine_changes:
             serving = dataclasses.replace(

@@ -106,6 +106,11 @@ class EngineSpec:
     cpu_cache_capacity / cpu_cache_policy / disk_bandwidth:
         Tiered-memory knobs (``None`` capacity keeps the classic
         two-tier engine).
+    predictor / predict_horizon / confidence_gate:
+        Predictive-scheduling knobs: cross-layer expert predictor name
+        (``None`` keeps the heuristic prefetcher bit-identically), the
+        deepest lookahead a confident predictor may extend to, and the
+        calibrated-confidence threshold of the gate.
     """
 
     model: str = "deepseek"
@@ -121,6 +126,9 @@ class EngineSpec:
     cpu_cache_capacity: int | None = None
     cpu_cache_policy: str = "lru"
     disk_bandwidth: float | None = None
+    predictor: str | None = None
+    predict_horizon: int = 4
+    confidence_gate: float = 0.6
 
     def __post_init__(self) -> None:
         # Imported here: the factory imports this module lazily inside
@@ -168,6 +176,22 @@ class EngineSpec:
             raise ConfigError(
                 f"disk_bandwidth must be positive (or None), got "
                 f"{self.disk_bandwidth}"
+            )
+        if self.predictor is not None:
+            from repro.prediction import available_predictors
+
+            if self.predictor not in available_predictors():
+                known = ", ".join(available_predictors())
+                raise ConfigError(
+                    f"unknown predictor {self.predictor!r} (known: {known})"
+                )
+        if self.predict_horizon < 1:
+            raise ConfigError(
+                f"predict_horizon must be >= 1, got {self.predict_horizon}"
+            )
+        if not 0.0 <= self.confidence_gate <= 1.0:
+            raise ConfigError(
+                f"confidence_gate must be in [0, 1], got {self.confidence_gate}"
             )
 
     def to_dict(self) -> dict[str, Any]:

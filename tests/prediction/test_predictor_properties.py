@@ -1,0 +1,251 @@
+"""Property-based tests of the predictor invariants.
+
+The prediction layer feeds speculative prefetch decisions, so its
+statistical invariants are load-bearing: a transition row that does not
+sum to 1 skews score mixing, a predicted expert outside the layer's
+expert set would index out of bounds in the prefetcher, and any
+non-determinism would break the engine's bit-identity guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.prediction import (
+    ConfidenceGate,
+    FrequencyPrior,
+    TransitionPredictor,
+    available_predictors,
+    make_predictor,
+)
+from repro.routing.generator import generate_trace
+from repro.routing.statistics import expert_transition_counts
+
+_NUM_LAYERS = 4
+_NUM_EXPERTS = 6
+
+
+@st.composite
+def observation_streams(draw):
+    """Random forward-pass streams: per pass, one active set per layer."""
+    num_passes = draw(st.integers(1, 6))
+    passes = []
+    for _ in range(num_passes):
+        layers = []
+        for _layer in range(_NUM_LAYERS):
+            layers.append(
+                draw(
+                    st.sets(
+                        st.integers(0, _NUM_EXPERTS - 1), min_size=1, max_size=3
+                    )
+                )
+            )
+        passes.append(layers)
+    return passes
+
+
+def _feed(predictor, passes):
+    for layers in passes:
+        for layer, experts in enumerate(layers):
+            predictor.observe(layer, sorted(experts))
+
+
+class TestTransitionMatrix:
+    @given(passes=observation_streams(), distance=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_observed_rows_sum_to_one(self, passes, distance):
+        """Every observed transition row is a distribution; the rest zero."""
+        predictor = TransitionPredictor(
+            _NUM_LAYERS, _NUM_EXPERTS, horizon=3
+        )
+        _feed(predictor, passes)
+        for layer in range(_NUM_LAYERS - distance):
+            matrix = predictor.transition_matrix(layer, distance)
+            assert matrix.shape == (_NUM_EXPERTS, _NUM_EXPERTS)
+            sums = matrix.sum(axis=1)
+            observed = sums > 0
+            np.testing.assert_allclose(sums[observed], 1.0)
+            assert (matrix[~observed] == 0.0).all()
+
+    def test_counts_match_trace_statistics(self, tiny_model, prompt_tokens):
+        """Online counts equal the batch statistics over the same trace."""
+        trace = generate_trace(tiny_model, prompt_tokens, decode_steps=8, seed=3)
+        predictor = TransitionPredictor(
+            trace.num_layers, trace.num_experts, horizon=2
+        )
+        predictor.fit_trace(trace)
+        for distance in (1, 2):
+            batch = expert_transition_counts(trace, distance=distance)
+            online = predictor._counts[distance - 1, : trace.num_layers - distance]
+            np.testing.assert_array_equal(online, batch)
+
+    def test_matrix_validates_range(self):
+        predictor = TransitionPredictor(_NUM_LAYERS, _NUM_EXPERTS, horizon=2)
+        with pytest.raises(ConfigError):
+            predictor.transition_matrix(_NUM_LAYERS - 1, 1)
+        with pytest.raises(ConfigError):
+            predictor.transition_matrix(0, 3)
+
+
+class TestPredictionSupport:
+    @given(
+        passes=observation_streams(),
+        name=st.sampled_from(sorted(available_predictors())),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_support_within_expert_set(self, passes, name):
+        """Predicted scores live on the layer's expert set and sum to <= 1."""
+        predictor = make_predictor(name, _NUM_LAYERS, _NUM_EXPERTS, horizon=3)
+        _feed(predictor, passes)
+        for layer in range(_NUM_LAYERS):
+            for distance in (1, 2, 3):
+                prediction = predictor.predict(layer, distance)
+                if prediction is None:
+                    continue
+                assert prediction.scores.shape == (_NUM_EXPERTS,)
+                assert (prediction.scores >= 0.0).all()
+                assert prediction.scores.sum() <= 1.0 + 1e-9
+                assert 0.0 <= prediction.confidence < 1.0
+
+    @given(passes=observation_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_frequency_support_is_observed_experts(self, passes):
+        """FrequencyPrior only scores experts actually seen at the layer."""
+        predictor = FrequencyPrior(_NUM_LAYERS, _NUM_EXPERTS, horizon=2)
+        _feed(predictor, passes)
+        seen = [set() for _ in range(_NUM_LAYERS)]
+        for layers in passes:
+            for layer, experts in enumerate(layers):
+                seen[layer] |= experts
+        for layer in range(_NUM_LAYERS - 1):
+            prediction = predictor.predict(layer, 1)
+            if prediction is None:
+                continue
+            support = set(np.flatnonzero(prediction.scores > 0))
+            assert support <= seen[layer + 1]
+
+
+class TestConfidence:
+    def test_monotone_in_observation_count(self):
+        """Repeating a consistent stream never lowers confidence."""
+        predictor = TransitionPredictor(_NUM_LAYERS, _NUM_EXPERTS, horizon=2)
+        stream = [[{0, 1}, {2, 3}, {4, 5}, {0, 2}]]
+        last = 0.0
+        for _ in range(12):
+            _feed(predictor, stream)
+            confidence = predictor.confidence(0, 1)
+            assert confidence >= last - 1e-12
+            last = confidence
+        # A perfectly repeating pattern earns confidence strictly > 0...
+        assert last > 0.0
+        # ...but calibrated confidence is always strictly below 1.
+        assert last < 1.0
+
+    @given(passes=observation_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_confidence_bounded(self, passes):
+        predictor = FrequencyPrior(_NUM_LAYERS, _NUM_EXPERTS, horizon=3)
+        _feed(predictor, passes)
+        for layer in range(_NUM_LAYERS):
+            for distance in range(1, 4):
+                assert 0.0 <= predictor.confidence(layer, distance) < 1.0
+
+
+class TestDeterminism:
+    @given(
+        passes=observation_streams(),
+        name=st.sampled_from(sorted(available_predictors())),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_streams_identical_predictions(self, passes, name):
+        """Prediction is a pure function of the observation stream."""
+        a = make_predictor(name, _NUM_LAYERS, _NUM_EXPERTS, horizon=3)
+        b = make_predictor(name, _NUM_LAYERS, _NUM_EXPERTS, horizon=3)
+        _feed(a, passes)
+        _feed(b, passes)
+        for layer in range(_NUM_LAYERS):
+            for distance in (1, 2, 3):
+                pa, pb = a.predict(layer, distance), b.predict(layer, distance)
+                assert (pa is None) == (pb is None)
+                if pa is not None:
+                    assert pa.confidence == pb.confidence
+                    np.testing.assert_array_equal(pa.scores, pb.scores)
+
+
+class TestConstruction:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown predictor"):
+            make_predictor("oracle", _NUM_LAYERS, _NUM_EXPERTS)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_layers": 0},
+            {"num_experts": 0},
+            {"horizon": 0},
+            {"obs_prior": 0.0},
+            {"accuracy_beta": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        full = {"num_layers": _NUM_LAYERS, "num_experts": _NUM_EXPERTS}
+        full.update(kwargs)
+        with pytest.raises(ConfigError):
+            FrequencyPrior(**full)
+
+    def test_observe_rejects_out_of_range_layer(self):
+        predictor = FrequencyPrior(_NUM_LAYERS, _NUM_EXPERTS)
+        with pytest.raises(ConfigError):
+            predictor.observe(_NUM_LAYERS, [0])
+
+
+class TestConfidenceGate:
+    def test_threshold_one_never_fires(self):
+        """The bit-identity oracle: confidence < 1 so gate 1.0 is inert."""
+        predictor = TransitionPredictor(_NUM_LAYERS, _NUM_EXPERTS, horizon=2)
+        gate = ConfidenceGate(predictor, threshold=1.0)
+        stream = [[{0, 1}, {2, 3}, {4, 5}, {0, 2}]]
+        for _ in range(20):
+            for layers in stream:
+                for layer, experts in enumerate(layers):
+                    gate.observe(layer, sorted(experts))
+        heuristic = np.full(_NUM_EXPERTS, 1.0 / _NUM_EXPERTS)
+        for layer in range(_NUM_LAYERS):
+            for distance in (1, 2):
+                scores, confidence = gate.advise(layer, distance, heuristic)
+                assert confidence is None
+                assert scores is heuristic  # byte-unchanged passthrough
+            assert gate.confident_depth(layer) == 0
+
+    def test_low_threshold_fires_and_mixes(self):
+        predictor = TransitionPredictor(_NUM_LAYERS, _NUM_EXPERTS, horizon=2)
+        gate = ConfidenceGate(predictor, threshold=0.05, blend=0.5)
+        stream = [[{0, 1}, {2, 3}, {4, 5}, {0, 2}]]
+        for _ in range(30):
+            for layers in stream:
+                for layer, experts in enumerate(layers):
+                    gate.observe(layer, sorted(experts))
+        heuristic = np.full(_NUM_EXPERTS, 1.0 / _NUM_EXPERTS)
+        scores, confidence = gate.advise(0, 1, heuristic)
+        assert confidence is not None and confidence >= 0.05
+        assert scores is not heuristic
+        assert scores.sum() == pytest.approx(1.0)
+        # Layer 1's repeating actives are {2, 3}: mixing shifts mass there.
+        assert scores[2] > heuristic[2] and scores[3] > heuristic[3]
+        assert gate.confident_depth(0) >= 1
+
+    def test_promotion_margin_shrinks_with_confidence(self):
+        predictor = FrequencyPrior(_NUM_LAYERS, _NUM_EXPERTS)
+        gate = ConfidenceGate(predictor, threshold=0.5)
+        assert gate.promotion_margin(0.25, 0.0) == pytest.approx(0.25)
+        assert gate.promotion_margin(0.25, 1.0) == pytest.approx(0.0)
+        assert gate.promotion_margin(0.25, 0.6) == pytest.approx(0.1)
+
+    def test_invalid_gate_parameters_rejected(self):
+        predictor = FrequencyPrior(_NUM_LAYERS, _NUM_EXPERTS)
+        with pytest.raises(ConfigError):
+            ConfidenceGate(predictor, threshold=1.5)
+        with pytest.raises(ConfigError):
+            ConfidenceGate(predictor, blend=-0.1)

@@ -1,0 +1,164 @@
+"""The predictor axis: spec fields, overrides, sweep grid and CLI knobs."""
+
+import pytest
+
+from repro.engine.factory import make_engine
+from repro.errors import ConfigError
+from repro.scenarios import (
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    ServingSpec,
+    WorkloadRecipe,
+    sweep_cells,
+)
+
+
+def _scenario(name="predictor-probe", **engine_kwargs):
+    return ScenarioSpec(
+        name=name,
+        workload=WorkloadRecipe(
+            kind="poisson",
+            params={"num_requests": 3, "arrival_rate": 4.0, "decode_steps": 2},
+        ),
+        fleet=FleetSpec(
+            serving=ServingSpec(
+                engine=EngineSpec(cache_ratio=0.4, num_layers=2, **engine_kwargs)
+            ),
+            replicas=1,
+        ),
+    )
+
+
+class TestEngineSpecFields:
+    def test_roundtrip_with_predictor(self):
+        spec = EngineSpec(
+            predictor="transition", predict_horizon=3, confidence_gate=0.4
+        )
+        assert EngineSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["predictor"] == "transition"
+
+    def test_default_predictor_off(self):
+        spec = EngineSpec()
+        assert spec.predictor is None
+        assert spec.to_dict()["predictor"] is None
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ConfigError, match="unknown predictor"):
+            EngineSpec(predictor="oracle")
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigError, match="predict_horizon"):
+            EngineSpec(predict_horizon=0)
+        with pytest.raises(ConfigError, match="confidence_gate"):
+            EngineSpec(confidence_gate=-0.1)
+
+    def test_spec_build_threads_predictor(self, tmp_path):
+        spec = EngineSpec(
+            num_layers=2, cache_ratio=0.4, predictor="frequency",
+            confidence_gate=0.2,
+        )
+        engine = spec.build()
+        assert engine.config.predictor == "frequency"
+        assert engine.runtime.prediction_gate is not None
+
+    def test_factory_kwargs_match_spec_path(self):
+        via_kwargs = make_engine(
+            num_layers=2, cache_ratio=0.4, predictor="frequency"
+        )
+        assert via_kwargs.config.predictor == "frequency"
+        assert via_kwargs.runtime.prediction_gate is not None
+
+
+class TestWithOverrides:
+    def test_predictor_override(self):
+        base = _scenario()
+        derived = base.with_overrides(predictor="transition")
+        assert derived.fleet.engine.predictor == "transition"
+        # None leaves the scenario's own setting untouched.
+        assert base.with_overrides().fleet.engine.predictor is None
+
+    def test_override_keeps_existing_predictor(self):
+        base = _scenario(predictor="frequency")
+        assert base.with_overrides(seed=1).fleet.engine.predictor == "frequency"
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigError, match="unknown predictor"):
+            _scenario().with_overrides(predictor="oracle")
+
+
+class TestSweepPredictorAxis:
+    def test_axis_expands_cells(self):
+        cells = sweep_cells([_scenario()], predictors=[None, "transition"])
+        assert len(cells) == 2
+        metas = [meta for _id, meta, _spec in cells]
+        assert {meta["predictor"] for meta in metas} == {None, "transition"}
+
+    def test_off_cell_keeps_historical_id(self):
+        cells = sweep_cells([_scenario()], predictors=[None, "transition"])
+        ids = {meta["predictor"]: cell_id for cell_id, meta, _spec in cells}
+        assert ids[None].endswith("__seed0")
+        assert ids["transition"].endswith("__seed0__transition")
+
+    def test_default_axis_is_scenario_setting(self):
+        cells = sweep_cells([_scenario(predictor="frequency")])
+        assert cells[0][1]["predictor"] == "frequency"
+        assert cells[0][0].endswith("__frequency")
+
+
+class TestCli:
+    def test_run_accepts_predictor(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "--num-layers", "2",
+                "--prompt-len", "8",
+                "--decode-steps", "2",
+                "--predictor", "transition",
+                "--predict-horizon", "2",
+                "--confidence-gate", "0.3",
+            ]
+        )
+        assert code == 0
+        assert "ttft" in capsys.readouterr().out
+
+    def test_unknown_predictor_rejected_by_parser(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--predictor", "oracle"])
+
+    def test_sweep_predictors_axis(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.scenarios import SweepReport, register_scenario, unregister_scenario
+
+        spec = _scenario(name="predictor-cli-probe")
+        register_scenario(spec)
+        try:
+            code = main(
+                [
+                    "sweep",
+                    "--scenarios", "predictor-cli-probe",
+                    "--predictors", "none,frequency",
+                    "--requests", "2",
+                    "--steps", "2",
+                    "--out", str(tmp_path),
+                ]
+            )
+        finally:
+            unregister_scenario("predictor-cli-probe")
+        assert code == 0
+        report = SweepReport.load(tmp_path)
+        assert {c["cell"]["predictor"] for c in report.cells} == {None, "frequency"}
+
+    def test_scenarios_list_sorted(self, capsys):
+        """The registry listing is name-sorted (and so deterministic)."""
+        from repro.cli import main
+        from repro.scenarios import available_scenarios
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        positions = [out.index(name) for name in available_scenarios()]
+        assert positions == sorted(positions)

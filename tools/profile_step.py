@@ -57,6 +57,61 @@ def profile_decode(
     return profiler, time.perf_counter() - start
 
 
+def _top_rows(profiler: cProfile.Profile, top: int, sort: str) -> list[dict]:
+    """The hottest ``top`` functions as plain rows (for the report)."""
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    rows = []
+    for func in stats.fcn_list[:top]:  # fcn_list is set by sort_stats
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": nc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    return rows
+
+
+def profile_report(
+    steps: int = 5,
+    model: str = "deepseek",
+    strategy: str = "hybrimoe",
+    num_layers: int = 8,
+    cache_ratio: float = 0.75,
+    seed: int = 0,
+    top: int = 20,
+    sort: str = "cumulative",
+) -> dict:
+    """Profile fast and reference engine cores; return a structured report.
+
+    One entry per engine core, each with the wall time, derived step
+    rate and the hottest ``top`` functions — the machine-readable
+    counterpart of ``main``'s printed output, used by the smoke test
+    and available to tooling.
+    """
+    report: dict = {"steps": steps, "model": model, "strategy": strategy}
+    for label, fast in (("fast", True), ("reference", False)):
+        profiler, elapsed = profile_decode(
+            engine_fast_path=fast,
+            model=model,
+            strategy=strategy,
+            num_layers=num_layers,
+            cache_ratio=cache_ratio,
+            steps=steps,
+            seed=seed,
+        )
+        report[label] = {
+            "elapsed_s": elapsed,
+            "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
+            "top": _top_rows(profiler, top, sort),
+        }
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
